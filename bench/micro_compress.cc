@@ -1,0 +1,62 @@
+// nymzip micro-benchmarks: compression/decompression throughput and ratio
+// on the content classes nym archives actually contain.
+#include <benchmark/benchmark.h>
+
+#include "src/compress/nymzip.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+namespace {
+
+Bytes TextLike(size_t size) {
+  static const std::string kPhrase =
+      "user_pref(\"browser.cache.disk.capacity\", 83000); // chromium prefs\n";
+  Bytes out;
+  while (out.size() < size) {
+    out.insert(out.end(), kPhrase.begin(), kPhrase.end());
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes RandomLike(size_t size) {
+  Prng prng(7);
+  return prng.NextBytes(size);
+}
+
+void BM_CompressText(benchmark::State& state) {
+  Bytes data = TextLike(static_cast<size_t>(state.range(0)));
+  size_t compressed = 0;
+  for (auto _ : state) {
+    Bytes frame = NymzipCompress(data);
+    compressed = frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ratio"] = static_cast<double>(compressed) / static_cast<double>(data.size());
+}
+BENCHMARK(BM_CompressText)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_CompressRandom(benchmark::State& state) {
+  Bytes data = RandomLike(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NymzipCompress(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CompressRandom)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_Decompress(benchmark::State& state) {
+  Bytes frame = NymzipCompress(TextLike(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto out = NymzipDecompress(frame);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Decompress)->Arg(1024 * 1024);
+
+}  // namespace
+}  // namespace nymix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// DC-net round engine micro-benchmarks: the O(N^2) pad generation is why
+// "Dissent ... is less mature and currently less scalable than Tor" (§3.3);
+// per-round cost and blame-audit cost vs group size make that concrete.
+#include <benchmark/benchmark.h>
+
+#include "src/anon/dcnet.h"
+
+namespace nymix {
+namespace {
+
+void BM_DcNetRound(benchmark::State& state) {
+  size_t members = static_cast<size_t>(state.range(0));
+  DcNetGroup group(members, 512, 42);
+  std::vector<Bytes> messages(members);
+  messages[0] = BytesFromString("payload for the round");
+  uint64_t round = 1;
+  for (auto _ : state) {
+    auto slots = group.SlotPermutation(round);
+    auto result = group.RunRound(messages, slots, round++);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(group.round_bytes()));
+  state.counters["members"] = static_cast<double>(members);
+}
+BENCHMARK(BM_DcNetRound)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_DcNetMemberCiphertext(benchmark::State& state) {
+  size_t members = static_cast<size_t>(state.range(0));
+  DcNetGroup group(members, 512, 42);
+  Bytes message = BytesFromString("x");
+  uint64_t round = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.MemberCiphertext(0, 0, message, round++));
+  }
+}
+BENCHMARK(BM_DcNetMemberCiphertext)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_DcNetBlame(benchmark::State& state) {
+  size_t members = static_cast<size_t>(state.range(0));
+  DcNetGroup group(members, 512, 42);
+  std::vector<Bytes> messages(members);
+  auto slots = group.SlotPermutation(1);
+  std::vector<Bytes> transmitted;
+  for (size_t member = 0; member < members; ++member) {
+    transmitted.push_back(*group.MemberCiphertext(member, slots[member], messages[member], 1));
+  }
+  transmitted[members / 2][0] ^= 0xff;  // one disruptor
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.Blame(transmitted, messages, slots, 1));
+  }
+}
+BENCHMARK(BM_DcNetBlame)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace nymix
+
+BENCHMARK_MAIN();

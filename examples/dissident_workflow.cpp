@@ -1,0 +1,126 @@
+// Bob's workflow (§2, "People's Republic of Tyrannistan"): a dissident who
+//   1. keeps a pre-configured pseudonymous Twitter nym whose encrypted
+//      state lives in the cloud (nothing incriminating on his devices),
+//   2. posts a protest photo only after the SaniVM scrubs its GPS EXIF,
+//      camera serial, and visible faces,
+//   3. checks the Buddies-style anonymity metric before posting, and
+//   4. survives device confiscation: the forensic view of his USB stick is
+//      empty, and the cloud provider saw only Tor exits and ciphertext.
+//
+//   ./build/examples/dissident_workflow
+#include <cstdio>
+#include <set>
+
+#include "src/core/metrics.h"
+#include "src/core/testbed.h"
+
+using namespace nymix;
+
+int main() {
+  Testbed bed(/*seed=*/7);
+  std::printf("== Bob the dissident: pre-configured cloud nym + photo scrubbing ==\n\n");
+
+  // --- Session 1: configure the nym once --------------------------------
+  NymManager::CreateOptions options;
+  options.mode = NymMode::kPreConfigured;
+  // Guard choice derived from storage location + password, so even the
+  // ephemeral download nym will use the same Tor entry guard (§3.5).
+  options.guard_seed = DeriveGuardSeed("drop.example.com/tulip-gardener", "correct horse");
+  Nym* nym = bed.CreateNymBlocking("protest-voice", options);
+
+  bool account_done = false;
+  bed.manager().CreateCloudAccount(*nym, bed.cloud(), "tulip-gardener", "cloud-pass",
+                                   [&](Status status) {
+                                     NYMIX_CHECK(status.ok());
+                                     account_done = true;
+                                   });
+  bed.sim().RunUntil([&] { return account_done; });
+
+  Website& twitter = bed.sites().ByName("Twitter");
+  bool logged_in = false;
+  nym->browser()->Login(twitter, "@tyrannistan_truth", "site-pass",
+                        [&](Result<SimTime> r) { logged_in = r.ok(); });
+  bed.sim().RunUntil([&] { return logged_in; });
+  NYMIX_CHECK(bed.VisitBlocking(nym, twitter).ok());
+  std::printf("configured nym: credential stored for twitter.com = %s\n",
+              nym->browser()->StoredAccount("twitter.com")->c_str());
+
+  auto receipt = bed.SaveBlocking(nym, "tulip-gardener", "cloud-pass", "correct horse");
+  NYMIX_CHECK(receipt.ok());
+  std::printf("snapshot to cloud: %s encrypted (AnonVM fraction %.0f%%), seq=%u\n\n",
+              FormatSize(receipt->logical_size).c_str(), 100 * receipt->anonvm_fraction,
+              receipt->sequence);
+  NYMIX_CHECK(bed.manager().TerminateNym(nym).ok());
+
+  // --- Session 2 (another day): restore, scrub, post --------------------
+  NymStartupReport report;
+  auto restored = bed.LoadBlocking("protest-voice", "tulip-gardener", "cloud-pass",
+                                   "correct horse", options, &report);
+  NYMIX_CHECK(restored.ok());
+  nym = *restored;
+  std::printf("restored from cloud in %.1f s (ephemeral download nym %.1f s, boot %.1f s, "
+              "warm Tor start %.1f s)\n",
+              ToSeconds(report.Total()), ToSeconds(report.ephemeral_nym),
+              ToSeconds(report.boot_vm), ToSeconds(report.start_anonymizer));
+  std::printf("no retyping: credential still present = %s\n\n",
+              nym->browser()->HasStoredCredential("twitter.com") ? "yes" : "NO (bug)");
+
+  // The protest photo on Bob's camera card: GPS, serial, and two faces.
+  SaniService sani(bed.manager());
+  bool sani_ready = false;
+  sani.Start([&](SimTime) { sani_ready = true; });
+  bed.sim().RunUntil([&] { return sani_ready; });
+
+  auto sdcard = std::make_shared<MemFs>();
+  JpegFile photo;
+  photo.image = GeneratePhoto(256, 192, 99, {{40, 40, 48, 48}, {150, 70, 56, 56}});
+  ExifData exif;
+  exif.gps = GpsCoordinate{38.5731, 68.7864};  // Tyrannimen Square
+  exif.body_serial_number = "IMEI-356938035643809";
+  exif.camera_model = "Galaxy S4";
+  exif.datetime_original = "2014:05:01 21:14:03";
+  photo.exif = exif;
+  NYMIX_CHECK(sdcard->WriteFile("/DCIM/IMG_0001.jpg", Blob::FromBytes(EncodeJpeg(photo))).ok());
+  NYMIX_CHECK(sani.MountHostFilesystem("camera-sd", sdcard).ok());
+  NYMIX_CHECK(sani.RegisterNym(*nym).ok());
+
+  auto risks = sani.AnalyzeHostFile("camera-sd", "/DCIM/IMG_0001.jpg");
+  std::printf("SaniVM risk analysis: %s\n", risks->Summary().c_str());
+
+  ScrubOptions scrub;
+  scrub.level = ParanoiaLevel::kMetadataAndVisual;  // strip EXIF + blur faces + noise
+  auto outcome = sani.TransferToNym(*nym, "camera-sd", "/DCIM/IMG_0001.jpg", scrub);
+  NYMIX_CHECK(outcome.ok());
+  std::printf("scrub actions:");
+  for (const auto& action : outcome->actions) {
+    std::printf(" [%s]", action.c_str());
+  }
+  auto transferred = (*nym->anon_vm()->GetShare("incoming"))->ReadFile(outcome->guest_path);
+  auto clean = AnalyzeFile(transferred->bytes());
+  std::printf("\npost-scrub analysis: %s\n\n", clean->Summary().c_str());
+
+  // Buddies check before posting (§7): is the anonymity set big enough?
+  IntersectionObserver adversary;
+  adversary.RecordRound({"bob", "farid", "gulya", "rustam", "zarina"}, true);
+  BuddiesPolicy policy(/*min_anonymity_set=*/3);
+  std::set<std::string> online_now = {"bob", "farid", "zarina", "anora"};
+  std::printf("Buddies: anonymity set if posting now = %zu (threshold %zu) -> %s\n",
+              policy.ProjectedSetSize(adversary, online_now), policy.threshold(),
+              policy.MayPost(adversary, online_now) ? "post allowed" : "POST BLOCKED");
+  NYMIX_CHECK(bed.VisitBlocking(nym, twitter).ok());  // the post itself
+  std::printf("posted; tracker saw exit %s\n\n",
+              twitter.tracker_log().back().observed_source.ToString().c_str());
+
+  // --- Confiscation scenario -------------------------------------------
+  LocalStore usb("bobs-usb-stick");
+  std::printf("forensics on Bob's USB stick: %zu suspicious blobs (cloud-only persistence)\n",
+              usb.InspectDevice().size());
+  std::printf("cloud provider's view (%zu log entries):\n", bed.cloud().access_log().size());
+  for (const auto& entry : bed.cloud().access_log()) {
+    std::printf("  t=%7.1fs  from %-15s  %s\n", ToSeconds(entry.time),
+                entry.observed_source.ToString().c_str(), entry.action.c_str());
+  }
+  NYMIX_CHECK(bed.manager().TerminateNym(nym).ok());
+  std::printf("\nworkflow complete at virtual t=%.1f s\n", ToSeconds(bed.sim().now()));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// ChainedAnonymizer: serial composition, "connecting CommVMs in serial"
+// (§3.3) — e.g. Tor over Dissent for "best of both worlds" anonymity. The
+// inner tool wraps the traffic first (its byte overhead applies), then the
+// outer tool carries the wrapped stream to the destination (its path and
+// exit identity apply).
+//
+// Model approximation (documented in DESIGN.md): the inner stage's path
+// latency is folded into its Start() time and byte overhead; the data path
+// itself is the outer tool's.
+#ifndef SRC_ANON_CHAIN_H_
+#define SRC_ANON_CHAIN_H_
+
+#include <memory>
+
+#include "src/anon/anonymizer.h"
+
+namespace nymix {
+
+class ChainedAnonymizer : public Anonymizer {
+ public:
+  ChainedAnonymizer(std::unique_ptr<Anonymizer> inner, std::unique_ptr<Anonymizer> outer)
+      : inner_(std::move(inner)), outer_(std::move(outer)) {
+    NYMIX_CHECK(inner_ != nullptr && outer_ != nullptr);
+  }
+
+  AnonymizerKind kind() const override { return AnonymizerKind::kChained; }
+  std::string_view Name() const override { return "Chained"; }
+
+  Anonymizer& inner() { return *inner_; }
+  Anonymizer& outer() { return *outer_; }
+
+  void Start(std::function<void(SimTime)> ready) override {
+    inner_->Start([this, ready = std::move(ready)](SimTime) {
+      outer_->Start(std::move(ready));
+    });
+  }
+  bool ready() const override { return inner_->ready() && outer_->ready(); }
+
+  void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
+             std::function<void(Result<FetchReceipt>)> done) override {
+    if (!ready()) {
+      done(FailedPreconditionError("chained anonymizer not ready"));
+      return;
+    }
+    // The outer tool carries the inner tool's expanded byte stream.
+    double inner_overhead = inner_->OverheadFactor();
+    outer_->Fetch(host, static_cast<uint64_t>(request_bytes * inner_overhead),
+                  static_cast<uint64_t>(response_bytes * inner_overhead), std::move(done));
+  }
+
+  double OverheadFactor() const override {
+    return inner_->OverheadFactor() * outer_->OverheadFactor();
+  }
+  bool ProtectsNetworkIdentity() const override {
+    return inner_->ProtectsNetworkIdentity() || outer_->ProtectsNetworkIdentity();
+  }
+
+  Status SaveState(MemFs& fs) const override {
+    NYMIX_RETURN_IF_ERROR(inner_->SaveState(fs));
+    return outer_->SaveState(fs);
+  }
+  Status RestoreState(const MemFs& fs) override {
+    NYMIX_RETURN_IF_ERROR(inner_->RestoreState(fs));
+    return outer_->RestoreState(fs);
+  }
+  void HandlePacket(const Packet& packet) override {
+    inner_->HandlePacket(packet);
+    outer_->HandlePacket(packet);
+  }
+
+ private:
+  std::unique_ptr<Anonymizer> inner_;
+  std::unique_ptr<Anonymizer> outer_;
+};
+
+// Test/bench adapter: attaches an anonymizer directly as the guest side of
+// its uplink (no CommVM in between).
+class AnonymizerPortAdapter : public PacketSink {
+ public:
+  explicit AnonymizerPortAdapter(Anonymizer* anonymizer) : anonymizer_(anonymizer) {}
+  void OnPacket(const Packet& packet, Link& link, bool from_a) override {
+    (void)link;
+    (void)from_a;
+    anonymizer_->HandlePacket(packet);
+  }
+
+ private:
+  Anonymizer* anonymizer_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ANON_CHAIN_H_

@@ -1,0 +1,192 @@
+#include "src/anon/dcnet.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace nymix {
+
+namespace {
+
+// Framing: u16 length | u32 checksum | payload (zero-padded).
+constexpr size_t kFrameHeader = 2 + 4;
+
+uint32_t FrameChecksum(ByteSpan payload) {
+  return static_cast<uint32_t>(Fnv1a64(payload));
+}
+
+void XorInto(Bytes& accumulator, ByteSpan other) {
+  NYMIX_CHECK(accumulator.size() == other.size());
+  for (size_t i = 0; i < accumulator.size(); ++i) {
+    accumulator[i] ^= other[i];
+  }
+}
+
+}  // namespace
+
+DcNetGroup::DcNetGroup(size_t member_count, size_t slot_bytes, uint64_t group_seed)
+    : member_count_(member_count),
+      slot_bytes_(slot_bytes),
+      framed_bytes_(slot_bytes + kFrameHeader),
+      group_seed_(group_seed) {
+  NYMIX_CHECK(member_count_ >= 2);
+  NYMIX_CHECK(slot_bytes_ > 0);
+}
+
+uint64_t DcNetGroup::PairSeed(size_t a, size_t b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return Mix64(group_seed_ ^ (static_cast<uint64_t>(a) << 32) ^ b);
+}
+
+Bytes DcNetGroup::PadFor(size_t member, size_t other, uint64_t round) const {
+  Prng prng(Mix64(PairSeed(member, other) ^ round));
+  return prng.NextBytes(framed_bytes_ * member_count_);
+}
+
+Bytes DcNetGroup::FrameMessage(ByteSpan message) const {
+  NYMIX_CHECK(message.size() <= slot_bytes_);
+  Bytes framed;
+  framed.reserve(framed_bytes_);
+  AppendU16(framed, static_cast<uint16_t>(message.size()));
+  AppendU32(framed, FrameChecksum(message));
+  framed.insert(framed.end(), message.begin(), message.end());
+  framed.resize(framed_bytes_, 0);
+  return framed;
+}
+
+Result<Bytes> DcNetGroup::UnframeSlot(ByteSpan framed) const {
+  if (framed.size() != framed_bytes_) {
+    return DataLossError("bad slot size");
+  }
+  size_t offset = 0;
+  NYMIX_ASSIGN_OR_RETURN(uint16_t length, ReadU16(framed, offset));
+  NYMIX_ASSIGN_OR_RETURN(uint32_t checksum, ReadU32(framed, offset));
+  if (length > slot_bytes_) {
+    return DataLossError("slot length field corrupted");
+  }
+  Bytes payload(framed.begin() + kFrameHeader, framed.begin() + kFrameHeader + length);
+  if (FrameChecksum(payload) != checksum) {
+    return DataLossError("slot checksum mismatch (disruption)");
+  }
+  return payload;
+}
+
+Bytes DcNetGroup::HonestCiphertext(size_t member, size_t slot, ByteSpan framed,
+                                   uint64_t round) const {
+  Bytes ciphertext(framed_bytes_ * member_count_, 0);
+  for (size_t other = 0; other < member_count_; ++other) {
+    if (other == member) {
+      continue;
+    }
+    XorInto(ciphertext, PadFor(member, other, round));
+  }
+  if (!framed.empty()) {
+    for (size_t i = 0; i < framed.size(); ++i) {
+      ciphertext[slot * framed_bytes_ + i] ^= framed[i];
+    }
+  }
+  return ciphertext;
+}
+
+Result<Bytes> DcNetGroup::MemberCiphertext(size_t member, size_t slot, ByteSpan message,
+                                           uint64_t round) const {
+  if (member >= member_count_ || slot >= member_count_) {
+    return InvalidArgumentError("member/slot out of range");
+  }
+  if (message.size() > slot_bytes_) {
+    return InvalidArgumentError("message exceeds slot size");
+  }
+  Bytes framed = message.empty() ? Bytes() : FrameMessage(message);
+  return HonestCiphertext(member, slot, framed, round);
+}
+
+Result<Bytes> DcNetGroup::CombineRound(const std::vector<Bytes>& ciphertexts) const {
+  if (ciphertexts.size() != member_count_) {
+    return InvalidArgumentError("need one ciphertext per member");
+  }
+  Bytes combined(framed_bytes_ * member_count_, 0);
+  for (const Bytes& ciphertext : ciphertexts) {
+    if (ciphertext.size() != combined.size()) {
+      return InvalidArgumentError("ciphertext has wrong size");
+    }
+    XorInto(combined, ciphertext);
+  }
+  return combined;
+}
+
+Result<Bytes> DcNetGroup::SlotPayload(const Bytes& round_plaintext, size_t slot) const {
+  if (slot >= member_count_ || round_plaintext.size() != framed_bytes_ * member_count_) {
+    return InvalidArgumentError("bad slot or plaintext size");
+  }
+  ByteSpan framed(round_plaintext.data() + slot * framed_bytes_, framed_bytes_);
+  // An untouched slot is all zeros: empty payload with zero checksum.
+  bool all_zero = std::all_of(framed.begin(), framed.end(), [](uint8_t b) { return b == 0; });
+  if (all_zero) {
+    return Bytes{};
+  }
+  return UnframeSlot(framed);
+}
+
+DcNetGroup::RoundResult DcNetGroup::RunRound(const std::vector<Bytes>& messages,
+                                             const std::vector<size_t>& slots, uint64_t round,
+                                             std::optional<size_t> disruptor) const {
+  NYMIX_CHECK(messages.size() == member_count_ && slots.size() == member_count_);
+  std::vector<Bytes> transmissions;
+  transmissions.reserve(member_count_);
+  for (size_t member = 0; member < member_count_; ++member) {
+    auto ciphertext = MemberCiphertext(member, slots[member], messages[member], round);
+    NYMIX_CHECK(ciphertext.ok());
+    transmissions.push_back(std::move(*ciphertext));
+  }
+  if (disruptor.has_value()) {
+    // The disruptor flips bits across the round (jamming other slots).
+    Prng noise(Mix64(round ^ 0xbadc0deULL));
+    for (auto& byte : transmissions[*disruptor]) {
+      byte ^= static_cast<uint8_t>(noise.NextBelow(256));
+    }
+  }
+  auto combined = CombineRound(transmissions);
+  NYMIX_CHECK(combined.ok());
+  RoundResult result;
+  result.plaintext = std::move(*combined);
+  for (size_t slot = 0; slot < member_count_; ++slot) {
+    auto payload = SlotPayload(result.plaintext, slot);
+    if (!payload.ok()) {
+      result.corrupted_slots.push_back(slot);
+    }
+  }
+  return result;
+}
+
+std::vector<size_t> DcNetGroup::Blame(const std::vector<Bytes>& transmitted,
+                                      const std::vector<Bytes>& messages,
+                                      const std::vector<size_t>& slots, uint64_t round) const {
+  NYMIX_CHECK(transmitted.size() == member_count_);
+  std::vector<size_t> disruptors;
+  for (size_t member = 0; member < member_count_; ++member) {
+    auto honest = MemberCiphertext(member, slots[member], messages[member], round);
+    NYMIX_CHECK(honest.ok());
+    if (*honest != transmitted[member]) {
+      disruptors.push_back(member);
+    }
+  }
+  return disruptors;
+}
+
+std::vector<size_t> DcNetGroup::SlotPermutation(uint64_t round) const {
+  std::vector<size_t> permutation(member_count_);
+  for (size_t i = 0; i < member_count_; ++i) {
+    permutation[i] = i;
+  }
+  // Fisher-Yates keyed by (group, round) — the shuffle's public output.
+  Prng prng(Mix64(group_seed_ ^ Mix64(round ^ 0x5107f1e5ULL)));
+  for (size_t i = member_count_ - 1; i > 0; --i) {
+    size_t j = prng.NextBelow(i + 1);
+    std::swap(permutation[i], permutation[j]);
+  }
+  return permutation;
+}
+
+}  // namespace nymix

@@ -1,0 +1,91 @@
+// DC-net round engine (Chaum's Dining Cryptographers [11], the primitive
+// under Dissent [76]). Real XOR math, not a cost model:
+//
+//   - every pair of members shares a seed; member i's ciphertext is the
+//     XOR of PRG(seed_ij) for all j != i, XOR its slot plaintext;
+//   - XORing all ciphertexts cancels every pad pairwise and yields the
+//     concatenated slot plaintexts — without revealing which member wrote
+//     which slot beyond the (externally shuffled) slot assignment;
+//   - a disruptor who flips bits corrupts a slot; per-slot checksums
+//     detect it, and a seed-reveal audit (Dissent's blame protocol, here
+//     in its simplest retrospective form) identifies the member whose
+//     transmission disagrees with their pads.
+//
+// The DissentClient's traffic costs are flow-modeled; this engine is the
+// correctness core, exercised by tests, the micro bench, and
+// DissentClient::PostAnonymousMessage.
+#ifndef SRC_ANON_DCNET_H_
+#define SRC_ANON_DCNET_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+class DcNetGroup {
+ public:
+  // `member_count` participants, `slot_bytes` payload per slot, one slot
+  // per member. Pairwise seeds derive from `group_seed` (in Dissent these
+  // come from a DH exchange; the derivation is deterministic per group).
+  DcNetGroup(size_t member_count, size_t slot_bytes, uint64_t group_seed);
+
+  size_t member_count() const { return member_count_; }
+  size_t slot_bytes() const { return slot_bytes_; }
+  size_t round_bytes() const { return member_count_ * slot_bytes_; }
+
+  // The ciphertext member `member` transmits in round `round`, writing
+  // `message` (possibly empty = no transmission) into slot `slot`.
+  // Messages longer than slot_bytes are rejected.
+  Result<Bytes> MemberCiphertext(size_t member, size_t slot, ByteSpan message,
+                                 uint64_t round) const;
+
+  // XOR-combines all members' ciphertexts into the round's plaintext.
+  Result<Bytes> CombineRound(const std::vector<Bytes>& ciphertexts) const;
+
+  // Extracts one slot's payload from a combined round.
+  Result<Bytes> SlotPayload(const Bytes& round_plaintext, size_t slot) const;
+
+  struct RoundResult {
+    Bytes plaintext;
+    std::vector<size_t> corrupted_slots;  // checksum-failed slots
+  };
+  // Runs a full round: each member i submits messages[i] into slots[i]
+  // (empty = silent). Framing adds a per-slot checksum so disruption is
+  // detectable. `disruptor` (optional member index) XORs noise over its
+  // honest ciphertext.
+  RoundResult RunRound(const std::vector<Bytes>& messages, const std::vector<size_t>& slots,
+                       uint64_t round, std::optional<size_t> disruptor = std::nullopt) const;
+
+  // Blame (seed-reveal audit): given the transmitted ciphertexts of a
+  // corrupted round and each member's claimed (slot, message), recompute
+  // every member's honest ciphertext from the revealed seeds and return
+  // the members whose transmissions do not match. Anonymity of the round
+  // is sacrificed — exactly Dissent's retrospective-blame trade-off.
+  std::vector<size_t> Blame(const std::vector<Bytes>& transmitted,
+                            const std::vector<Bytes>& messages,
+                            const std::vector<size_t>& slots, uint64_t round) const;
+
+  // Deterministic slot permutation for a round (the verifiable shuffle's
+  // output): a bijection member -> slot.
+  std::vector<size_t> SlotPermutation(uint64_t round) const;
+
+ private:
+  uint64_t PairSeed(size_t a, size_t b) const;
+  Bytes PadFor(size_t member, size_t other, uint64_t round) const;
+  Bytes HonestCiphertext(size_t member, size_t slot, ByteSpan framed, uint64_t round) const;
+  Bytes FrameMessage(ByteSpan message) const;           // length + checksum + payload
+  Result<Bytes> UnframeSlot(ByteSpan framed) const;     // verify + strip
+
+  size_t member_count_;
+  size_t slot_bytes_;   // payload bytes per slot
+  size_t framed_bytes_; // payload + framing
+  uint64_t group_seed_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ANON_DCNET_H_

@@ -1,0 +1,46 @@
+// Incognito mode (§4.1): "Linux' IPTables masquerade mode in order to
+// provide a NAT interface into the Internet" — a lightweight pass-through
+// with minimal overhead and NO network-level tracking protection. The
+// destination observes the user's real public address; Nymix still gives
+// the session a throwaway browser environment.
+#ifndef SRC_ANON_INCOGNITO_H_
+#define SRC_ANON_INCOGNITO_H_
+
+#include "src/anon/anonymizer.h"
+
+namespace nymix {
+
+class IncognitoVpn : public Anonymizer {
+ public:
+  explicit IncognitoVpn(ClientAttachment attachment) : attachment_(attachment) {
+    NYMIX_CHECK(attachment_.sim != nullptr);
+  }
+
+  AnonymizerKind kind() const override { return AnonymizerKind::kIncognito; }
+  std::string_view Name() const override { return "Incognito"; }
+
+  void Start(std::function<void(SimTime)> ready) override {
+    // Just an iptables rule install.
+    attachment_.sim->loop().ScheduleAfter(Millis(200), [this, ready = std::move(ready)] {
+      ready_ = true;
+      if (ready) {
+        ready(attachment_.sim->now());
+      }
+    });
+  }
+  bool ready() const override { return ready_; }
+
+  void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
+             std::function<void(Result<FetchReceipt>)> done) override;
+
+  double OverheadFactor() const override { return 1.0; }
+  bool ProtectsNetworkIdentity() const override { return false; }
+
+ private:
+  ClientAttachment attachment_;
+  bool ready_ = false;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ANON_INCOGNITO_H_

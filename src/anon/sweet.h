@@ -1,0 +1,56 @@
+// SWEET model (§4.1): "Serving the Web by Exploiting Email Tunnels" — the
+// paper's own implementation of Houmansadr et al.'s circumvention tool.
+// Web traffic is wrapped in email messages exchanged with a benign mail
+// provider, so the cost model is dominated by mail-spool batching latency
+// and MIME/base64 expansion, not bandwidth.
+#ifndef SRC_ANON_SWEET_H_
+#define SRC_ANON_SWEET_H_
+
+#include "src/anon/anonymizer.h"
+
+namespace nymix {
+
+class SweetTunnel : public Anonymizer {
+ public:
+  struct Config {
+    SimDuration mail_batch_latency = SecondsF(1.5);  // spool polling interval
+    uint64_t mail_bandwidth_bps = 2'000'000;
+    double mime_overhead = 1.37;  // base64 + headers
+    SimDuration account_setup = SecondsF(1.0);
+  };
+
+  SweetTunnel(ClientAttachment attachment, uint64_t instance_id)
+      : SweetTunnel(attachment, instance_id, Config{}) {}
+  SweetTunnel(ClientAttachment attachment, uint64_t instance_id, Config config);
+
+  AnonymizerKind kind() const override { return AnonymizerKind::kSweet; }
+  std::string_view Name() const override { return "SWEET"; }
+  void Start(std::function<void(SimTime)> ready) override;
+  bool ready() const override { return ready_; }
+  void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
+             std::function<void(Result<FetchReceipt>)> done) override;
+  double OverheadFactor() const override { return config_.mime_overhead; }
+  bool ProtectsNetworkIdentity() const override { return true; }
+
+  Ipv4Address mail_gateway_ip() const { return gateway_ip_; }
+
+ private:
+  class MailGateway : public InternetHost {
+   public:
+    void OnDatagram(const Packet& packet, const std::function<void(Packet)>& reply) override {
+      (void)packet;
+      (void)reply;
+    }
+  };
+
+  ClientAttachment attachment_;
+  Config config_;
+  MailGateway gateway_;
+  Ipv4Address gateway_ip_;
+  Link* mail_link_;
+  bool ready_ = false;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ANON_SWEET_H_

@@ -1,0 +1,359 @@
+#include "src/anon/tor.h"
+
+#include <cstdlib>
+
+namespace nymix {
+
+std::string_view AnonymizerKindName(AnonymizerKind kind) {
+  switch (kind) {
+    case AnonymizerKind::kIncognito:
+      return "Incognito";
+    case AnonymizerKind::kTor:
+      return "Tor";
+    case AnonymizerKind::kDissent:
+      return "Dissent";
+    case AnonymizerKind::kSweet:
+      return "SWEET";
+    case AnonymizerKind::kChained:
+      return "Chained";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ relays
+
+TorRelay::TorRelay(EventLoop& loop, std::string nickname, SimDuration crypto_delay)
+    : loop_(loop), nickname_(std::move(nickname)), crypto_delay_(crypto_delay) {}
+
+void TorRelay::OnDatagram(const Packet& packet, const std::function<void(Packet)>& reply) {
+  ++cells_processed_;
+  sources_seen_.insert(packet.src_ip);
+  std::string text = StringFromBytes(packet.payload);
+
+  // Onion layer present? Peel it and forward the inner cell to the next
+  // hop; our answer to the requester is whatever comes back.
+  size_t fwd = text.find(" fwd=");
+  if (fwd != std::string::npos && internet_ != nullptr) {
+    size_t ip_start = fwd + 5;
+    size_t ip_end = text.find(' ', ip_start);
+    std::string next_hop_text =
+        text.substr(ip_start, ip_end == std::string::npos ? std::string::npos
+                                                          : ip_end - ip_start);
+    std::string inner_text =
+        text.substr(0, fwd) + (ip_end == std::string::npos ? "" : text.substr(ip_end));
+    auto next_hop = ParseIpv4(next_hop_text);
+    if (next_hop.ok()) {
+      ++cells_forwarded_;
+      Packet inner;
+      inner.dst_ip = *next_hop;
+      inner.dst_port = 9001;
+      inner.protocol = IpProtocol::kTcp;
+      inner.payload = BytesFromString(inner_text);
+      inner.annotation = "Tor";
+      Packet request = packet;  // addressing for the eventual answer
+      loop_.ScheduleAfter(crypto_delay_, [this, inner = std::move(inner),
+                                          request = std::move(request), reply]() mutable {
+        internet_->SendBetweenHosts(
+            self_ip_, std::move(inner), [request, reply](Packet answer) {
+              Packet response;
+              response.src_ip = request.dst_ip;
+              response.src_port = request.dst_port;
+              response.dst_ip = request.src_ip;
+              response.dst_port = request.src_port;
+              response.protocol = IpProtocol::kTcp;
+              response.payload = answer.payload;
+              response.annotation = "Tor";
+              reply(std::move(response));
+            });
+      });
+      return;
+    }
+  }
+
+  // Terminal hop: acknowledge the cell.
+  Packet response;
+  response.src_ip = packet.dst_ip;
+  response.src_port = packet.dst_port;
+  response.dst_ip = packet.src_ip;
+  response.dst_port = packet.src_port;
+  response.protocol = IpProtocol::kTcp;
+  response.payload = BytesFromString("ACK " + text);
+  response.annotation = "Tor";
+  loop_.ScheduleAfter(crypto_delay_, [reply, response = std::move(response)]() mutable {
+    reply(std::move(response));
+  });
+}
+
+// ------------------------------------------------------------------ network
+
+TorNetwork::TorNetwork(Simulation& sim, Config config) : sim_(sim), config_(config) {
+  NYMIX_CHECK(config_.guard_count + config_.exit_count <= config_.relay_count);
+  for (size_t i = 0; i < config_.relay_count; ++i) {
+    std::string nickname = "relay" + std::to_string(i);
+    relays_.push_back(
+        std::make_unique<TorRelay>(sim.loop(), nickname, config_.relay_crypto_delay));
+    Link* access = sim.CreateLink("tor-" + nickname, config_.relay_link_latency,
+                                  config_.relay_bandwidth_bps);
+    Ipv4Address ip = sim.internet().RegisterHost(nickname + ".tor.net", relays_.back().get(),
+                                                 access);
+    relays_.back()->AttachToInternet(&sim.internet(), ip);
+    access_links_.push_back(access);
+    TorRelayInfo info;
+    info.nickname = nickname;
+    info.ip = ip;
+    info.is_guard = i < config_.guard_count;
+    info.is_exit = i >= config_.relay_count - config_.exit_count;
+    info.bandwidth_bps = config_.relay_bandwidth_bps;
+    infos_.push_back(info);
+  }
+  directory_ip_ = sim.internet().RegisterHost("dirauth.tor.net", &directory_);
+}
+
+std::vector<size_t> TorNetwork::GuardIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].is_guard) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> TorNetwork::ExitIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].is_exit) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<size_t> TorNetwork::IndexOfRelay(const std::string& nickname) const {
+  for (size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].nickname == nickname) {
+      return i;
+    }
+  }
+  return NotFoundError("no such relay: " + nickname);
+}
+
+// ------------------------------------------------------------------ client
+
+TorClient::TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t seed,
+                     TorClientConfig config)
+    : attachment_(attachment), network_(network), config_(config), prng_(seed) {
+  NYMIX_CHECK(attachment_.sim != nullptr);
+  NYMIX_CHECK(attachment_.vm_uplink != nullptr);
+}
+
+void TorClient::SeedGuardSelection(uint64_t seed) {
+  NYMIX_CHECK_MSG(!guard_index_.has_value(), "guard already chosen");
+  guard_seed_ = seed;
+}
+
+void TorClient::ChooseGuardIfNeeded() {
+  // Rotate out a guard past its lifetime ([14, 20]); a seeded choice is
+  // location-derived and therefore stable.
+  if (guard_index_.has_value() && !guard_seed_.has_value() &&
+      attachment_.sim->now() - guard_chosen_at_ > config_.guard_lifetime) {
+    guard_index_.reset();
+  }
+  if (guard_index_.has_value()) {
+    return;
+  }
+  std::vector<size_t> guards = network_.GuardIndices();
+  NYMIX_CHECK(!guards.empty());
+  if (guard_seed_.has_value()) {
+    guard_index_ = guards[*guard_seed_ % guards.size()];
+  } else {
+    guard_index_ = guards[prng_.NextBelow(guards.size())];
+  }
+  guard_chosen_at_ = attachment_.sim->now();
+}
+
+void TorClient::DownloadDirectory(std::function<void()> then) {
+  uint64_t bytes =
+      has_cached_consensus_ ? config_.refresh_bytes : config_.consensus_bytes + config_.descriptors_bytes;
+  Route route = Route::Through(attachment_.client_links);
+  attachment_.sim->flows().StartFlow(route, bytes, 1.0,
+                                     [this, then = std::move(then)](SimTime) {
+                                       has_cached_consensus_ = true;
+                                       attachment_.sim->loop().ScheduleAfter(
+                                           config_.bootstrap_processing, [then] { then(); });
+                                     });
+}
+
+void TorClient::Start(std::function<void(SimTime)> ready) {
+  DownloadDirectory([this, ready = std::move(ready)]() mutable {
+    ChooseGuardIfNeeded();
+    BuildCircuit(std::move(ready));
+  });
+}
+
+void TorClient::NewIdentity(std::function<void(SimTime)> ready) {
+  NYMIX_CHECK_MSG(has_cached_consensus_, "NewIdentity before bootstrap");
+  circuit_ready_ = false;
+  exit_by_destination_.clear();  // fresh identity: drop all stream bindings
+  BuildCircuit(std::move(ready));
+}
+
+void TorClient::BuildCircuit(std::function<void(SimTime)> ready) {
+  ChooseGuardIfNeeded();
+  // Middle: any relay that is neither the guard nor exit-flagged; exit: any
+  // exit relay other than guard/middle.
+  std::vector<size_t> exits = network_.ExitIndices();
+  NYMIX_CHECK(!exits.empty());
+  do {
+    exit_index_ = exits[prng_.NextBelow(exits.size())];
+  } while (exits.size() > 1 && *exit_index_ == *guard_index_);
+  const auto& relays = network_.relays();
+  std::vector<size_t> middles;
+  for (size_t i = 0; i < relays.size(); ++i) {
+    if (i != *guard_index_ && i != *exit_index_) {
+      middles.push_back(i);
+    }
+  }
+  NYMIX_CHECK(!middles.empty());
+  middle_index_ = middles[prng_.NextBelow(middles.size())];
+
+  on_circuit_ready_ = std::move(ready);
+  circuit_id_ = static_cast<uint32_t>(prng_.NextU64());
+  pending_step_ = 1;
+  SendCircuitCell(pending_step_);
+}
+
+void TorClient::SendCircuitCell(int step) {
+  // All circuit cells physically go to the entry guard. EXTEND cells are
+  // onion-wrapped: each " fwd=<ip>" layer tells one relay where to forward
+  // the (to it, opaque) inner cell, so the middle relay hears only from
+  // the guard and the exit only from the middle.
+  const TorRelayInfo& guard = network_.relays()[*guard_index_];
+  Packet cell;
+  cell.src_ip = kGuestCommVmIp;
+  cell.src_port = next_port_++;
+  cell.dst_ip = guard.ip;
+  cell.dst_port = 9001;
+  cell.protocol = IpProtocol::kTcp;
+  std::string verb = step == 1 ? "CREATE2" : "EXTEND2";
+  std::string payload = verb + " circ=" + std::to_string(circuit_id_) +
+                        " step=" + std::to_string(step);
+  if (step >= 2) {
+    payload += " fwd=" + network_.relays()[*middle_index_].ip.ToString();
+  }
+  if (step >= 3) {
+    payload += " fwd=" + network_.relays()[*exit_index_].ip.ToString();
+  }
+  cell.payload = BytesFromString(payload);
+  cell.annotation = "Tor";
+  attachment_.vm_uplink->SendFromA(std::move(cell));
+}
+
+void TorClient::HandlePacket(const Packet& packet) {
+  std::string text = StringFromBytes(packet.payload);
+  std::string expect = " circ=" + std::to_string(circuit_id_) +
+                       " step=" + std::to_string(pending_step_);
+  if (pending_step_ == 0 || text.find(expect) == std::string::npos) {
+    return;  // stale or unrelated cell
+  }
+  if (pending_step_ < config_.circuit_hops) {
+    ++pending_step_;
+    SendCircuitCell(pending_step_);
+    return;
+  }
+  pending_step_ = 0;
+  circuit_ready_ = true;
+  ++circuits_built_;
+  if (on_circuit_ready_) {
+    auto callback = std::move(on_circuit_ready_);
+    on_circuit_ready_ = nullptr;
+    callback(attachment_.sim->now());
+  }
+}
+
+size_t TorClient::ExitIndexForDestination(const std::string& host) {
+  auto it = exit_by_destination_.find(host);
+  if (it != exit_by_destination_.end()) {
+    return it->second;
+  }
+  std::vector<size_t> exits = network_.ExitIndices();
+  size_t exit = exits[prng_.NextBelow(exits.size())];
+  exit_by_destination_.emplace(host, exit);
+  return exit;
+}
+
+Route TorClient::RouteThroughCircuit(Ipv4Address destination, size_t exit_index) const {
+  std::vector<Link*> links = attachment_.client_links;
+  links.push_back(network_.RelayAccessLink(*guard_index_));
+  links.push_back(network_.RelayAccessLink(*middle_index_));
+  links.push_back(network_.RelayAccessLink(exit_index));
+  if (Link* dest_access = attachment_.sim->internet().AccessLink(destination)) {
+    links.push_back(dest_access);
+  }
+  return Route::Through(std::move(links));
+}
+
+void TorClient::Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
+                      std::function<void(Result<FetchReceipt>)> done) {
+  if (!circuit_ready_) {
+    done(FailedPreconditionError("Tor circuit not ready"));
+    return;
+  }
+  // DNS happens at the exit (§4.1: "Tor has a built-in DNS server").
+  auto resolved = attachment_.sim->internet().Resolve(host);
+  if (!resolved.ok()) {
+    done(resolved.status());
+    return;
+  }
+  size_t exit_index = ExitIndexForDestination(host);
+  Ipv4Address exit_ip = network_.relays()[exit_index].ip;
+  Route route = RouteThroughCircuit(*resolved, exit_index);
+  attachment_.sim->flows().StartFlow(
+      route, request_bytes + response_bytes, config_.cell_overhead,
+      [exit_ip, done = std::move(done)](SimTime t) {
+        done(FetchReceipt{t, exit_ip});
+      });
+}
+
+Status TorClient::SaveState(MemFs& fs) const {
+  std::string state;
+  if (guard_index_.has_value()) {
+    state += "guard=" + network_.relays()[*guard_index_].nickname + "\n";
+    state += "guard-since=" + std::to_string(guard_chosen_at_) + "\n";
+  }
+  if (has_cached_consensus_) {
+    state += "consensus-cached=1\n";
+    // The cached consensus + microdescriptors are the bulk of persisted
+    // CommVM state (the ~15% non-AnonVM share of a nym archive, §5.3).
+    NYMIX_RETURN_IF_ERROR(fs.WriteFile(
+        "/var/lib/tor/cached-microdescs",
+        Blob::Synthetic(config_.consensus_bytes + config_.descriptors_bytes,
+                        Fnv1a64("cached-microdescs"), 0.55)));
+  }
+  return fs.WriteFile("/var/lib/tor/state", Blob::FromString(state));
+}
+
+Status TorClient::RestoreState(const MemFs& fs) {
+  auto blob = fs.ReadFile("/var/lib/tor/state");
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  std::string text = StringFromBytes(blob->Materialize());
+  size_t guard_pos = text.find("guard=");
+  if (guard_pos != std::string::npos) {
+    size_t end = text.find('\n', guard_pos);
+    std::string nickname = text.substr(guard_pos + 6, end - guard_pos - 6);
+    NYMIX_ASSIGN_OR_RETURN(size_t index, network_.IndexOfRelay(nickname));
+    guard_index_ = index;
+    size_t since_pos = text.find("guard-since=");
+    if (since_pos != std::string::npos) {
+      guard_chosen_at_ = std::atoll(text.c_str() + since_pos + 12);
+    }
+  }
+  if (text.find("consensus-cached=1") != std::string::npos) {
+    has_cached_consensus_ = true;
+  }
+  return OkStatus();
+}
+
+}  // namespace nymix

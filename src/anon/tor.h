@@ -1,0 +1,197 @@
+// Tor model: a directory authority, a relay population with guard/exit
+// flags, and TorClient — the per-nym anonymizer instance running in a
+// CommVM (§3.3). The model captures the costs the paper measures:
+//   - bootstrap: consensus + descriptor download, then circuit building
+//     (the Figure 7 "Start Tor" phase; much cheaper with cached state);
+//   - entry-guard persistence: a fresh client picks a random guard, a
+//     restored client reuses the stored one (§3.5's intersection-attack
+//     argument), and a guard can be derived deterministically from a seed
+//     (the paper's proposed hash-of-location-and-password scheme);
+//   - data overhead: 512-byte cells with 498 payload bytes plus per-hop
+//     TLS framing, ~12% total (Figure 5's "fixed cost, approximately 12%").
+#ifndef SRC_ANON_TOR_H_
+#define SRC_ANON_TOR_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/anon/anonymizer.h"
+
+namespace nymix {
+
+struct TorRelayInfo {
+  std::string nickname;
+  Ipv4Address ip;
+  bool is_guard = false;
+  bool is_exit = false;
+  uint64_t bandwidth_bps = 100'000'000;
+};
+
+// A relay answers circuit-building cells after a small crypto-processing
+// delay. An onion-encapsulated EXTEND cell carries "fwd=<next-hop-ip>"
+// layers: the relay peels one layer, forwards the inner cell to the next
+// hop, and relays the answer back — so each relay only ever talks to its
+// neighbors, which is the property that makes the middle relay blind to
+// the client (testable via sources_seen()). Bulk data is flow-modeled and
+// does not pass through OnDatagram.
+class TorRelay : public InternetHost {
+ public:
+  TorRelay(EventLoop& loop, std::string nickname, SimDuration crypto_delay);
+
+  // Called by TorNetwork after registration.
+  void AttachToInternet(Internet* internet, Ipv4Address self_ip) {
+    internet_ = internet;
+    self_ip_ = self_ip;
+  }
+
+  void OnDatagram(const Packet& packet, const std::function<void(Packet)>& reply) override;
+
+  uint64_t cells_processed() const { return cells_processed_; }
+  uint64_t cells_forwarded() const { return cells_forwarded_; }
+  // Every source address this relay has observed — the basis of the
+  // "middle never sees the client" test.
+  const std::set<Ipv4Address>& sources_seen() const { return sources_seen_; }
+
+ private:
+  EventLoop& loop_;
+  std::string nickname_;
+  SimDuration crypto_delay_;
+  Internet* internet_ = nullptr;
+  Ipv4Address self_ip_;
+  uint64_t cells_processed_ = 0;
+  uint64_t cells_forwarded_ = 0;
+  std::set<Ipv4Address> sources_seen_;
+};
+
+// The deployed relay population plus a directory authority, registered on
+// the simulation's Internet (the paper's "test Tor deployment running on
+// the DeterLab testbed").
+class TorNetwork {
+ public:
+  struct Config {
+    size_t relay_count = 12;
+    size_t guard_count = 4;   // first `guard_count` relays are guards
+    size_t exit_count = 4;    // last `exit_count` relays are exits
+    uint64_t relay_bandwidth_bps = 100'000'000;
+    SimDuration relay_link_latency = Millis(5);
+    SimDuration relay_crypto_delay = Millis(30);
+  };
+
+  explicit TorNetwork(Simulation& sim) : TorNetwork(sim, Config{}) {}
+  TorNetwork(Simulation& sim, Config config);
+
+  const Config& config() const { return config_; }
+  const std::vector<TorRelayInfo>& relays() const { return infos_; }
+  std::vector<size_t> GuardIndices() const;
+  std::vector<size_t> ExitIndices() const;
+  Link* RelayAccessLink(size_t index) const { return access_links_[index]; }
+  Result<size_t> IndexOfRelay(const std::string& nickname) const;
+  Ipv4Address directory_ip() const { return directory_ip_; }
+  TorRelay& relay(size_t index) { return *relays_[index]; }
+
+ private:
+  // The directory authority serves consensus documents; modeled as flows,
+  // so the host only needs to exist and be routable.
+  class DirectoryServer : public InternetHost {
+   public:
+    void OnDatagram(const Packet& packet, const std::function<void(Packet)>& reply) override {
+      (void)packet;
+      (void)reply;
+    }
+  };
+
+  Simulation& sim_;
+  Config config_;
+  std::vector<std::unique_ptr<TorRelay>> relays_;
+  std::vector<TorRelayInfo> infos_;
+  std::vector<Link*> access_links_;
+  DirectoryServer directory_;
+  Ipv4Address directory_ip_;
+};
+
+struct TorClientConfig {
+  // Fresh bootstrap: network consensus + relay descriptors.
+  uint64_t consensus_bytes = 2 * kMiB;
+  uint64_t descriptors_bytes = 6 * kMiB;
+  // Warm bootstrap with cached state: differential refresh only.
+  uint64_t refresh_bytes = 256 * kKiB;
+  // Client-side processing time folded into bootstrap (parse, verify).
+  SimDuration bootstrap_processing = SecondsF(2.0);
+  int circuit_hops = 3;
+  // 512-byte cells carrying 498 payload bytes, ~3% TLS/TCP framing per hop.
+  double cell_overhead = (512.0 / 498.0) * 1.03 * 1.03 * 1.03;
+  // Entry-guard rotation period: "Tor normally maintains the same entry
+  // relay for several months — and may increase this period further
+  // [14, 20]" (§3.5). Persisted guards older than this are re-drawn.
+  SimDuration guard_lifetime = Seconds(90LL * 24 * 3600);  // ~3 months
+};
+
+class TorClient : public Anonymizer {
+ public:
+  TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t seed,
+            TorClientConfig config = TorClientConfig{});
+
+  AnonymizerKind kind() const override { return AnonymizerKind::kTor; }
+  std::string_view Name() const override { return "Tor"; }
+  void Start(std::function<void(SimTime)> ready) override;
+  bool ready() const override { return circuit_ready_; }
+  void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
+             std::function<void(Result<FetchReceipt>)> done) override;
+  double OverheadFactor() const override { return config_.cell_overhead; }
+  bool ProtectsNetworkIdentity() const override { return true; }
+  Status SaveState(MemFs& fs) const override;
+  Status RestoreState(const MemFs& fs) override;
+  void HandlePacket(const Packet& packet) override;
+
+  // §3.5: derive the guard choice from H(storage location || password) so a
+  // restored nym — and even the ephemeral nym that downloads it — lands on
+  // the same guard. Must be called before Start().
+  void SeedGuardSelection(uint64_t seed);
+
+  // Drops the current circuit and builds a fresh one (Tor's NEWNYM).
+  void NewIdentity(std::function<void(SimTime)> ready);
+
+  std::optional<size_t> entry_guard_index() const { return guard_index_; }
+  std::optional<size_t> exit_index() const { return exit_index_; }
+  int circuits_built() const { return circuits_built_; }
+  bool has_cached_consensus() const { return has_cached_consensus_; }
+
+  // Stream isolation (IsolateDestAddr): each destination gets its own
+  // exit, so two sites visited through the same nym cannot be linked by a
+  // shared exit address. The guard stays fixed (§3.5).
+  size_t ExitIndexForDestination(const std::string& host);
+  size_t isolated_destinations() const { return exit_by_destination_.size(); }
+
+ private:
+  void DownloadDirectory(std::function<void()> then);
+  void ChooseGuardIfNeeded();
+  void BuildCircuit(std::function<void(SimTime)> ready);
+  void SendCircuitCell(int step);
+  Route RouteThroughCircuit(Ipv4Address destination, size_t exit_index) const;
+
+  ClientAttachment attachment_;
+  TorNetwork& network_;
+  TorClientConfig config_;
+  Prng prng_;
+
+  bool has_cached_consensus_ = false;
+  bool circuit_ready_ = false;
+  std::optional<size_t> guard_index_;
+  std::optional<size_t> middle_index_;
+  std::optional<size_t> exit_index_;
+  std::optional<uint64_t> guard_seed_;
+  SimTime guard_chosen_at_ = 0;
+  int circuits_built_ = 0;
+
+  // In-progress circuit build.
+  int pending_step_ = 0;
+  uint32_t circuit_id_ = 0;
+  std::function<void(SimTime)> on_circuit_ready_;
+  Port next_port_ = 40000;
+  std::map<std::string, size_t> exit_by_destination_;  // stream isolation
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ANON_TOR_H_

@@ -1,0 +1,152 @@
+#include "src/compress/nymzip.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+constexpr uint8_t kMagic[3] = {'N', 'Z', '1'};
+constexpr size_t kWindowSize = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 65535;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainSteps = 32;
+
+// Token opcodes.
+constexpr uint8_t kOpLiterals = 0x00;  // u16 count, raw bytes
+constexpr uint8_t kOpMatch = 0x01;     // u16 length, u16 distance
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(Bytes& out, ByteSpan input, size_t start, size_t end) {
+  while (start < end) {
+    size_t run = std::min<size_t>(end - start, 65535);
+    out.push_back(kOpLiterals);
+    AppendU16(out, static_cast<uint16_t>(run));
+    out.insert(out.end(), input.begin() + start, input.begin() + start + run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+Bytes NymzipCompress(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 32);
+  out.insert(out.end(), kMagic, kMagic + 3);
+  AppendU64(out, input.size());
+
+  if (input.size() < kMinMatch) {
+    EmitLiterals(out, input, 0, input.size());
+    return out;
+  }
+
+  // head[h] = most recent position with hash h; prev[pos % window] = chain.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(kWindowSize, -1);
+
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= input.size()) {
+    uint32_t hash = HashAt(input.data() + pos);
+    int64_t candidate = head[hash];
+    size_t best_length = 0;
+    size_t best_distance = 0;
+    int steps = 0;
+    while (candidate >= 0 && steps++ < kMaxChainSteps &&
+           pos - static_cast<size_t>(candidate) <= kWindowSize - 1) {
+      size_t distance = pos - static_cast<size_t>(candidate);
+      size_t limit = std::min(kMaxMatch, input.size() - pos);
+      size_t length = 0;
+      const uint8_t* a = input.data() + candidate;
+      const uint8_t* b = input.data() + pos;
+      while (length < limit && a[length] == b[length]) {
+        ++length;
+      }
+      if (length > best_length) {
+        best_length = length;
+        best_distance = distance;
+        if (length >= 128) {
+          break;  // good enough; deeper chain search rarely pays
+        }
+      }
+      candidate = prev[candidate % kWindowSize];
+    }
+
+    if (best_length >= kMinMatch) {
+      EmitLiterals(out, input, literal_start, pos);
+      out.push_back(kOpMatch);
+      AppendU16(out, static_cast<uint16_t>(best_length));
+      AppendU16(out, static_cast<uint16_t>(best_distance));
+      // Index every position covered by the match so later data can refer
+      // into it.
+      size_t match_end = pos + best_length;
+      while (pos < match_end && pos + kMinMatch <= input.size()) {
+        uint32_t h = HashAt(input.data() + pos);
+        prev[pos % kWindowSize] = head[h];
+        head[h] = static_cast<int64_t>(pos);
+        ++pos;
+      }
+      pos = match_end;
+      literal_start = pos;
+    } else {
+      prev[pos % kWindowSize] = head[hash];
+      head[hash] = static_cast<int64_t>(pos);
+      ++pos;
+    }
+  }
+  EmitLiterals(out, input, literal_start, input.size());
+  return out;
+}
+
+Result<uint64_t> NymzipUncompressedSize(ByteSpan frame) {
+  if (frame.size() < 11 || std::memcmp(frame.data(), kMagic, 3) != 0) {
+    return DataLossError("not a nymzip frame");
+  }
+  size_t offset = 3;
+  return ReadU64(frame, offset);
+}
+
+Result<Bytes> NymzipDecompress(ByteSpan frame) {
+  NYMIX_ASSIGN_OR_RETURN(uint64_t raw_size, NymzipUncompressedSize(frame));
+  size_t offset = 11;
+  Bytes out;
+  out.reserve(static_cast<size_t>(raw_size));
+  while (offset < frame.size()) {
+    uint8_t op = frame[offset++];
+    if (op == kOpLiterals) {
+      NYMIX_ASSIGN_OR_RETURN(uint16_t count, ReadU16(frame, offset));
+      if (offset + count > frame.size()) {
+        return DataLossError("literal run past end of frame");
+      }
+      out.insert(out.end(), frame.begin() + offset, frame.begin() + offset + count);
+      offset += count;
+    } else if (op == kOpMatch) {
+      NYMIX_ASSIGN_OR_RETURN(uint16_t length, ReadU16(frame, offset));
+      NYMIX_ASSIGN_OR_RETURN(uint16_t distance, ReadU16(frame, offset));
+      if (distance == 0 || distance > out.size()) {
+        return DataLossError("match distance out of range");
+      }
+      // Byte-by-byte copy: matches may overlap their own output (RLE-style).
+      size_t from = out.size() - distance;
+      for (size_t i = 0; i < length; ++i) {
+        out.push_back(out[from + i]);
+      }
+    } else {
+      return DataLossError("unknown nymzip opcode");
+    }
+  }
+  if (out.size() != raw_size) {
+    return DataLossError("nymzip frame size mismatch");
+  }
+  return out;
+}
+
+}  // namespace nymix

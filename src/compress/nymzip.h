@@ -1,0 +1,25 @@
+// nymzip: a from-scratch LZ77-style compressor with a 64 KiB window and a
+// hash-chain matcher. The Nym Manager compresses writable disk images with
+// it before encryption (§3.5 workflow: "compresses and encrypts their
+// temporary file system disk images"), so Figure 6's archive sizes reflect a
+// real redundancy-removing pass.
+#ifndef SRC_COMPRESS_NYMZIP_H_
+#define SRC_COMPRESS_NYMZIP_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+// Self-delimiting: the frame records the uncompressed size.
+Bytes NymzipCompress(ByteSpan input);
+
+// Fails with DATA_LOSS on a corrupt or truncated frame.
+Result<Bytes> NymzipDecompress(ByteSpan frame);
+
+// Uncompressed size recorded in a frame header, without decompressing.
+Result<uint64_t> NymzipUncompressedSize(ByteSpan frame);
+
+}  // namespace nymix
+
+#endif  // SRC_COMPRESS_NYMZIP_H_

@@ -1,0 +1,197 @@
+#include "src/core/installed_os.h"
+
+#include "src/unionfs/serialize.h"
+
+namespace nymix {
+
+uint64_t DiskFingerprint(const MemFs& disk) {
+  // XOR of per-file digests: order-independent, sensitive to any content
+  // or path change.
+  uint64_t fingerprint = 0x9e3779b97f4a7c15ULL;
+  disk.ForEachFile([&fingerprint](const std::string& path, const Blob& blob) {
+    fingerprint ^= Mix64(Fnv1a64(path) ^ blob.ContentHash());
+  });
+  return fingerprint;
+}
+
+Result<CowSnapshot> SaveCowState(const Nym& os_nym, const InstalledOsMedia& media) {
+  if (os_nym.anon_vm() == nullptr) {
+    return FailedPreconditionError("installed-OS nym has no VM");
+  }
+  CowSnapshot snapshot;
+  snapshot.serialized_writable = SerializeMemFs(os_nym.anon_vm()->disk().fs().writable());
+  snapshot.base_fingerprint = DiskFingerprint(*media.disk);
+  return snapshot;
+}
+
+Status RestoreCowState(Nym& os_nym, const InstalledOsMedia& media,
+                       const CowSnapshot& snapshot) {
+  if (os_nym.anon_vm() == nullptr) {
+    return FailedPreconditionError("installed-OS nym has no VM");
+  }
+  if (DiskFingerprint(*media.disk) != snapshot.base_fingerprint) {
+    return DataLossError(
+        "underlying disk changed since the COW snapshot; refusing to restore "
+        "(§3.7: would lead to inconsistency or corruption)");
+  }
+  NYMIX_ASSIGN_OR_RETURN(auto restored, DeserializeMemFs(snapshot.serialized_writable));
+  restored->ForEachFile([&os_nym](const std::string& path, const Blob& blob) {
+    NYMIX_CHECK(
+        os_nym.anon_vm()->disk().fs().writable_mutable().WriteFile(path, blob).ok());
+  });
+  return OkStatus();
+}
+
+std::string_view InstalledOsKindName(InstalledOsKind kind) {
+  switch (kind) {
+    case InstalledOsKind::kWindowsVista:
+      return "Windows Vista";
+    case InstalledOsKind::kWindows7:
+      return "Windows 7";
+    case InstalledOsKind::kWindows8:
+      return "Windows 8";
+    case InstalledOsKind::kLinux:
+      return "Linux";
+  }
+  return "?";
+}
+
+InstalledOsProfile InstalledOsProfile::For(InstalledOsKind kind) {
+  InstalledOsProfile profile;
+  profile.kind = kind;
+  switch (kind) {
+    case InstalledOsKind::kWindowsVista:
+      profile.driver_count = 211;
+      profile.service_count = 60;
+      break;
+    case InstalledOsKind::kWindows7:
+      profile.driver_count = 198;
+      profile.service_count = 49;
+      break;
+    case InstalledOsKind::kWindows8:
+      profile.driver_count = 277;
+      profile.service_count = 123;
+      profile.resets_hiberfile = true;
+      break;
+    case InstalledOsKind::kLinux:
+      // "Linux usually boots without issue" (§3.7): no repair needed.
+      profile.driver_count = 0;
+      profile.service_count = 35;
+      break;
+  }
+  return profile;
+}
+
+double RepairSecondsFor(const InstalledOsProfile& profile) {
+  if (profile.driver_count == 0) {
+    return 0.0;
+  }
+  // Fixed analysis pass plus per-driver re-enumeration.
+  return 60.0 + 0.35 * profile.driver_count;
+}
+
+double BootSecondsFor(const InstalledOsProfile& profile) {
+  return 18.0 + 0.33 * profile.service_count;
+}
+
+uint64_t CowBytesFor(const InstalledOsProfile& profile) {
+  // Registry/driver-store rewrites, plus the hibernation-image reset.
+  uint64_t bytes = 700 * kKiB + static_cast<uint64_t>(profile.driver_count) * 20 * kKiB;
+  if (profile.resets_hiberfile) {
+    bytes += 8 * kMiB;
+  }
+  return bytes;
+}
+
+InstalledOsMedia MakeInstalledOsMedia(InstalledOsKind kind, uint64_t seed) {
+  InstalledOsMedia media;
+  media.profile = InstalledOsProfile::For(kind);
+  media.disk = std::make_shared<MemFs>();
+  Prng prng(seed);
+  MemFs& fs = *media.disk;
+  NYMIX_CHECK(fs.WriteFile("/Windows/System32/drivers/store.dat",
+                           Blob::Synthetic(media.profile.driver_count * 200 * kKiB,
+                                           prng.NextU64(), 0.5))
+                  .ok());
+  NYMIX_CHECK(
+      fs.WriteFile("/Windows/System32/config/SYSTEM",
+                   Blob::Synthetic(30 * kMiB, prng.NextU64(), 0.5))
+          .ok());
+  // The state §3.7 wants to reuse: WiFi credentials and user files.
+  NYMIX_CHECK(fs.WriteFile("/ProgramData/wifi/profiles.xml",
+                           Blob::FromString("<wifi ssid=\"HomeLAN\" psk=\"hunter2\"/>"))
+                  .ok());
+  NYMIX_CHECK(fs.WriteFile("/Users/user/Documents/protest-photo.jpg",
+                           Blob::Synthetic(3 * kMiB, prng.NextU64(), 0.95))
+                  .ok());
+  return media;
+}
+
+void InstalledOsNymService::BootAsNym(
+    InstalledOsMedia& media, std::function<void(Result<Nym*>, InstalledOsReport)> done) {
+  auto report = std::make_shared<InstalledOsReport>();
+  Simulation& sim = manager_.sim();
+
+  uint64_t disk_bytes_before = media.disk->TotalBytes();
+  double repair_seconds = media.repaired ? 0.0 : RepairSecondsFor(media.profile);
+
+  // Phase 1: the repair pass (a CPU-bound scan/reconfigure job).
+  auto after_repair = [this, &media, report, disk_bytes_before, done = std::move(done)](
+                          SimTime) mutable {
+    media.repaired = true;
+
+    // Phase 2: boot the installed OS in a nymbox. Installed-OS nyms are
+    // non-anonymous by design — incognito networking lets them reuse the
+    // machine's LAN access (§3.7).
+    NymManager::CreateOptions options;
+    options.anonymizer = AnonymizerKind::kIncognito;
+    options.mode = NymMode::kEphemeral;
+    std::string name = std::string("installed-") +
+                       std::string(InstalledOsKindName(media.profile.kind));
+    for (auto& c : name) {
+      if (c == ' ') {
+        c = '-';
+      }
+    }
+    SimTime boot_start = manager_.sim().now();
+    InstalledOsProfile profile = media.profile;
+    auto disk = media.disk;
+    manager_.CreateNym(
+        name, options,
+        [this, report, boot_start, profile, disk, disk_bytes_before,
+         done = std::move(done)](Result<Nym*> nym, NymStartupReport) mutable {
+          if (!nym.ok()) {
+            done(nym.status(), *report);
+            return;
+          }
+          // Extend the generic VM boot to the installed OS's measured cost.
+          double generic_boot = ToSeconds(manager_.sim().now() - boot_start);
+          double os_boot = BootSecondsFor(profile);
+          SimDuration extra = os_boot > generic_boot ? SecondsF(os_boot - generic_boot) : 0;
+          manager_.sim().loop().ScheduleAfter(extra, [this, report, profile, disk,
+                                                      disk_bytes_before, nym,
+                                                      done = std::move(done)]() mutable {
+            // COW semantics: the repair + boot writes land in the nym's
+            // writable layer; the physical disk is untouched.
+            uint64_t cow = CowBytesFor(profile);
+            (*nym)->anon_vm()->disk().fs().writable_mutable().WriteFile(
+                "/cow/installed-os-delta",
+                Blob::Synthetic(cow, Mix64(disk_bytes_before), 0.6));
+            report->boot_seconds = BootSecondsFor(profile);
+            report->cow_bytes = cow;
+            NYMIX_CHECK(disk->TotalBytes() == disk_bytes_before);
+            done(*nym, *report);
+          });
+        });
+  };
+
+  if (repair_seconds > 0) {
+    report->repair_seconds = repair_seconds;
+    sim.loop().ScheduleAfter(SecondsF(repair_seconds),
+                             [after_repair, &sim]() mutable { after_repair(sim.now()); });
+  } else {
+    sim.loop().ScheduleAfter(0, [after_repair, &sim]() mutable { after_repair(sim.now()); });
+  }
+}
+
+}  // namespace nymix

@@ -1,0 +1,93 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nymix {
+
+void IntersectionObserver::RecordRound(const std::set<std::string>& online_users,
+                                       bool pseudonym_posted) {
+  rounds_.push_back(Round{online_users, pseudonym_posted});
+  ever_seen_.insert(online_users.begin(), online_users.end());
+}
+
+std::set<std::string> IntersectionObserver::CandidateSet() const {
+  std::set<std::string> candidates = ever_seen_;
+  for (const Round& round : rounds_) {
+    if (!round.posted) {
+      continue;
+    }
+    std::set<std::string> narrowed;
+    std::set_intersection(candidates.begin(), candidates.end(), round.online.begin(),
+                          round.online.end(), std::inserter(narrowed, narrowed.begin()));
+    candidates = std::move(narrowed);
+  }
+  return candidates;
+}
+
+size_t IntersectionObserver::posting_rounds() const {
+  return static_cast<size_t>(
+      std::count_if(rounds_.begin(), rounds_.end(), [](const Round& r) { return r.posted; }));
+}
+
+size_t BuddiesPolicy::ProjectedSetSize(const IntersectionObserver& observer,
+                                       const std::set<std::string>& online_now) const {
+  std::set<std::string> candidates = observer.CandidateSet();
+  std::set<std::string> projected;
+  std::set_intersection(candidates.begin(), candidates.end(), online_now.begin(),
+                        online_now.end(), std::inserter(projected, projected.begin()));
+  return projected.size();
+}
+
+FingerprintSurface FingerprintOf(const VirtualMachine& vm) {
+  FingerprintSurface surface;
+  surface.cpu_model = vm.CpuModelString();
+  surface.resolution = vm.ScreenResolution();
+  surface.mac = vm.GuestMac().ToString();
+  surface.visible_cpus = vm.VisibleCpuCount();
+  return surface;
+}
+
+bool IndistinguishableFingerprints(const VirtualMachine& a, const VirtualMachine& b) {
+  return FingerprintOf(a) == FingerprintOf(b);
+}
+
+double FingerprintSurprisalBits(const std::vector<FingerprintSurface>& population,
+                                const FingerprintSurface& target) {
+  if (population.empty()) {
+    return 0.0;
+  }
+  size_t matches = static_cast<size_t>(std::count(population.begin(), population.end(), target));
+  if (matches == 0) {
+    // Not in the population at all: maximally surprising.
+    return std::log2(static_cast<double>(population.size() + 1));
+  }
+  double probability =
+      static_cast<double>(matches) / static_cast<double>(population.size());
+  return probability >= 1.0 ? 0.0 : -std::log2(probability);
+}
+
+std::vector<FingerprintSurface> SyntheticNativePopulation(size_t count, Prng& prng) {
+  static const char* kCpus[] = {"Intel(R) Core(TM) i7-4770", "Intel(R) Core(TM) i5-3210M",
+                                "AMD FX(tm)-8350", "Intel(R) Atom(TM) N2600",
+                                "Intel(R) Core(TM) i3-2100"};
+  static const char* kResolutions[] = {"1920x1080", "1366x768", "1280x800",
+                                       "1440x900",  "2560x1440", "1024x768"};
+  std::vector<FingerprintSurface> population;
+  population.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    FingerprintSurface surface;
+    surface.cpu_model = kCpus[prng.NextBelow(std::size(kCpus))];
+    surface.resolution = kResolutions[prng.NextBelow(std::size(kResolutions))];
+    MacAddress mac;
+    for (auto& octet : mac.octets) {
+      octet = static_cast<uint8_t>(prng.NextBelow(256));
+    }
+    surface.mac = mac.ToString();
+    surface.visible_cpus = static_cast<uint32_t>(1 + prng.NextBelow(8));
+    population.push_back(surface);
+  }
+  return population;
+}
+
+}  // namespace nymix

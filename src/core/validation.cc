@@ -1,0 +1,82 @@
+#include "src/core/validation.h"
+
+namespace nymix {
+
+LeakProbeResult ProbeAnonVmIsolation(Simulation& sim, HostMachine& host, Nym& from,
+                                     Nym* other) {
+  LeakProbeResult result;
+  uint64_t received_before = from.anon_vm()->packets_received();
+  uint64_t dropped_before = from.leak_packets_dropped();
+
+  std::vector<Ipv4Address> targets = {
+      kHostLanIp,                     // the physical host on its LAN
+      kLanRouterIp,                   // the LAN gateway
+      host.public_ip(),               // the host's public address
+      Ipv4Address(203, 0, 113, 250),  // arbitrary Internet host
+      kGuestCommVmIp,                 // this (and every) CommVM's address
+      kGuestAnonVmIp,                 // other AnonVMs share this address
+  };
+  (void)other;  // other nyms' VMs carry the same homogeneous addresses
+
+  for (Ipv4Address target : targets) {
+    for (IpProtocol protocol : {IpProtocol::kIcmp, IpProtocol::kUdp, IpProtocol::kTcp}) {
+      Packet probe;
+      probe.src_mac = MacAddress::StandardGuest();
+      probe.src_ip = kGuestAnonVmIp;
+      probe.src_port = 31337;
+      probe.dst_ip = target;
+      probe.dst_port = 7;
+      probe.protocol = protocol;
+      probe.payload = BytesFromString("probe");
+      probe.annotation = "Probe";
+      from.anon_vm()->SendPacket(from.wire(), std::move(probe));
+      ++result.probes_sent;
+    }
+  }
+  // A bounded listen window (not RunUntilIdle: periodic daemons such as
+  // KSM keep the loop permanently non-idle). Any reachable responder would
+  // answer within a couple of RTTs.
+  sim.RunFor(Seconds(5));
+
+  result.responses_received = from.anon_vm()->packets_received() - received_before;
+  result.dropped_by_commvm = from.leak_packets_dropped() - dropped_before;
+  return result;
+}
+
+void EchoResponder::OnPacket(const Packet& packet, Link& link, bool from_a) {
+  ++probes_heard_;
+  Packet reply;
+  reply.src_ip = packet.dst_ip;
+  reply.src_port = packet.dst_port;
+  reply.dst_ip = packet.src_ip;
+  reply.dst_port = packet.src_port;
+  reply.protocol = packet.protocol;
+  reply.payload = BytesFromString("ProbeReply");
+  reply.annotation = "ProbeReply";
+  if (from_a) {
+    link.SendFromB(std::move(reply));
+  } else {
+    link.SendFromA(std::move(reply));
+  }
+}
+
+CaptureAudit AuditUplinkCapture(const PacketCapture& capture) {
+  CaptureAudit audit;
+  audit.histogram = capture.AnnotationHistogram();
+  static const std::vector<std::string> kAllowed = {"DHCP",    "Tor",   "Dissent",
+                                                    "SWEET",   "Chained", "Incognito"};
+  audit.only_dhcp_and_anonymizers = capture.OnlyContains(kAllowed);
+  for (const auto& captured : capture.packets()) {
+    // DHCP legitimately uses local-segment addresses; everything else on
+    // the uplink must already be masqueraded (no 10.0.2.x guest leaks).
+    if (captured.packet.annotation == "DHCP") {
+      continue;
+    }
+    if (captured.packet.src_ip.IsPrivate()) {
+      audit.no_private_sources = false;
+    }
+  }
+  return audit;
+}
+
+}  // namespace nymix

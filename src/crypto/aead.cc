@@ -1,0 +1,50 @@
+#include "src/crypto/aead.h"
+
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+Poly1305Tag ComputeTag(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan ciphertext,
+                       ByteSpan aad) {
+  // One-time Poly1305 key = first 32 bytes of the counter-0 keystream block.
+  std::array<uint8_t, 64> block0 = ChaCha20Block(key, nonce, 0);
+  Poly1305Key otk;
+  std::memcpy(otk.data(), block0.data(), otk.size());
+
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  AppendU64(mac_data, aad.size());
+  AppendU64(mac_data, ciphertext.size());
+  return Poly1305Mac(otk, mac_data);
+}
+
+}  // namespace
+
+Bytes AeadSeal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan plaintext, ByteSpan aad) {
+  Bytes out = ChaCha20Xor(key, nonce, 1, plaintext);
+  Poly1305Tag tag = ComputeTag(key, nonce, out, aad);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Result<Bytes> AeadOpen(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan sealed,
+                       ByteSpan aad) {
+  if (sealed.size() < kPoly1305TagSize) {
+    return UnauthenticatedError("sealed box shorter than a tag");
+  }
+  ByteSpan ciphertext = sealed.subspan(0, sealed.size() - kPoly1305TagSize);
+  ByteSpan tag_span = sealed.subspan(sealed.size() - kPoly1305TagSize);
+  Poly1305Tag expected = ComputeTag(key, nonce, ciphertext, aad);
+  if (!ConstantTimeEquals(ByteSpan(expected.data(), expected.size()), tag_span)) {
+    return UnauthenticatedError("AEAD tag mismatch");
+  }
+  return ChaCha20Xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace nymix

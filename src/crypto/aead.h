@@ -1,0 +1,23 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). This is the cipher protecting
+// quasi-persistent nym archives at rest in cloud or local storage (§3.5).
+#ifndef SRC_CRYPTO_AEAD_H_
+#define SRC_CRYPTO_AEAD_H_
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/poly1305.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+// ciphertext || 16-byte tag.
+Bytes AeadSeal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan plaintext, ByteSpan aad);
+
+// Fails with UNAUTHENTICATED if the tag does not verify (tampering, wrong
+// key/password, truncation).
+Result<Bytes> AeadOpen(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan sealed,
+                       ByteSpan aad);
+
+}  // namespace nymix
+
+#endif  // SRC_CRYPTO_AEAD_H_

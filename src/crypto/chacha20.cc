@@ -1,0 +1,93 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                      uint32_t counter) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = LoadLe32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+  }
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    uint32_t word = working[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(word);
+    out[4 * i + 1] = static_cast<uint8_t>(word >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(word >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  return out;
+}
+
+void ChaCha20XorInPlace(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t initial_counter,
+                        Bytes& data) {
+  uint32_t counter = initial_counter;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    std::array<uint8_t, 64> keystream = ChaCha20Block(key, nonce, counter++);
+    size_t take = std::min<size_t>(64, data.size() - offset);
+    for (size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= keystream[i];
+    }
+    offset += take;
+  }
+}
+
+Bytes ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t initial_counter,
+                  ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20XorInPlace(key, nonce, initial_counter, out);
+  return out;
+}
+
+}  // namespace nymix

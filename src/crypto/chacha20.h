@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 8439). 256-bit key, 96-bit nonce, 32-bit
+// block counter. XOR-based, so Encrypt and Decrypt are the same operation.
+#ifndef SRC_CRYPTO_CHACHA20_H_
+#define SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace nymix {
+
+inline constexpr size_t kChaCha20KeySize = 32;
+inline constexpr size_t kChaCha20NonceSize = 12;
+
+using ChaChaKey = std::array<uint8_t, kChaCha20KeySize>;
+using ChaChaNonce = std::array<uint8_t, kChaCha20NonceSize>;
+
+// Produces the 64-byte keystream block for the given counter.
+std::array<uint8_t, 64> ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                      uint32_t counter);
+
+// XORs the keystream (starting at `initial_counter`) over `data` in place.
+void ChaCha20XorInPlace(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t initial_counter,
+                        Bytes& data);
+
+// Convenience copy variant.
+Bytes ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t initial_counter,
+                  ByteSpan data);
+
+}  // namespace nymix
+
+#endif  // SRC_CRYPTO_CHACHA20_H_

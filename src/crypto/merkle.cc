@@ -1,0 +1,104 @@
+#include "src/crypto/merkle.h"
+
+namespace nymix {
+
+Sha256Digest MerkleTree::HashLeaf(const Sha256Digest& block_digest) {
+  Sha256 hasher;
+  uint8_t prefix = 0x00;
+  hasher.Update(ByteSpan(&prefix, 1));
+  hasher.Update(ByteSpan(block_digest.data(), block_digest.size()));
+  return hasher.Finish();
+}
+
+Sha256Digest MerkleTree::HashInterior(const Sha256Digest& left, const Sha256Digest& right) {
+  Sha256 hasher;
+  uint8_t prefix = 0x01;
+  hasher.Update(ByteSpan(&prefix, 1));
+  hasher.Update(ByteSpan(left.data(), left.size()));
+  hasher.Update(ByteSpan(right.data(), right.size()));
+  return hasher.Finish();
+}
+
+MerkleTree MerkleTree::Build(const std::vector<Sha256Digest>& block_digests) {
+  MerkleTree tree;
+  tree.leaf_count_ = block_digests.size();
+  if (block_digests.empty()) {
+    tree.root_ = Sha256::Hash(ByteSpan());
+    return tree;
+  }
+
+  std::vector<Sha256Digest> level;
+  level.reserve(block_digests.size());
+  for (const auto& digest : block_digests) {
+    level.push_back(HashLeaf(digest));
+  }
+  tree.levels_.push_back(level);
+
+  while (tree.levels_.back().size() > 1) {
+    const auto& below = tree.levels_.back();
+    std::vector<Sha256Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i < below.size(); i += 2) {
+      const Sha256Digest& left = below[i];
+      const Sha256Digest& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      above.push_back(HashInterior(left, right));
+    }
+    tree.levels_.push_back(std::move(above));
+  }
+  tree.root_ = tree.levels_.back()[0];
+  return tree;
+}
+
+MerkleTree MerkleTree::BuildFromBlocks(const std::vector<Bytes>& blocks) {
+  std::vector<Sha256Digest> digests;
+  digests.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    digests.push_back(Sha256::Hash(block));
+  }
+  return Build(digests);
+}
+
+Result<MerkleProof> MerkleTree::ProveLeaf(uint64_t leaf_index) const {
+  if (leaf_index >= leaf_count_) {
+    return InvalidArgumentError("leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = leaf_index;
+  proof.leaf_count = leaf_count_;
+  uint64_t index = leaf_index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    uint64_t sibling = (index % 2 == 0) ? index + 1 : index - 1;
+    if (sibling >= nodes.size()) {
+      sibling = index;  // odd node pairs with itself
+    }
+    proof.siblings.push_back(nodes[sibling]);
+    index /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::VerifyProof(const Sha256Digest& root, const Sha256Digest& block_digest,
+                             const MerkleProof& proof) {
+  if (proof.leaf_index >= proof.leaf_count) {
+    return false;
+  }
+  Sha256Digest node = HashLeaf(block_digest);
+  uint64_t index = proof.leaf_index;
+  uint64_t level_count = proof.leaf_count;
+  for (const Sha256Digest& sibling : proof.siblings) {
+    if (index % 2 == 0) {
+      node = HashInterior(node, sibling);
+    } else {
+      node = HashInterior(sibling, node);
+    }
+    index /= 2;
+    level_count = (level_count + 1) / 2;
+  }
+  if (level_count != 1) {
+    return false;
+  }
+  return node == root;
+}
+
+}  // namespace nymix

@@ -1,0 +1,161 @@
+#include "src/crypto/poly1305.h"
+
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+// 26-bit limb implementation following the public-domain poly1305-donna-32.
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Poly1305Tag Poly1305Mac(const Poly1305Key& key, ByteSpan message) {
+  // r is clamped (RFC 8439 §2.5.1) and split into five 26-bit limbs.
+  uint32_t r0 = LoadLe32(key.data() + 0) & 0x3ffffff;
+  uint32_t r1 = (LoadLe32(key.data() + 3) >> 2) & 0x3ffff03;
+  uint32_t r2 = (LoadLe32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  uint32_t r3 = (LoadLe32(key.data() + 9) >> 6) & 0x3f03fff;
+  uint32_t r4 = (LoadLe32(key.data() + 12) >> 8) & 0x00fffff;
+
+  uint32_t s1 = r1 * 5;
+  uint32_t s2 = r2 * 5;
+  uint32_t s3 = r3 * 5;
+  uint32_t s4 = r4 * 5;
+
+  uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  size_t offset = 0;
+  while (offset < message.size()) {
+    uint8_t block[16];
+    size_t take = std::min<size_t>(16, message.size() - offset);
+    uint32_t hibit;
+    if (take == 16) {
+      std::memcpy(block, message.data() + offset, 16);
+      hibit = 1u << 24;
+    } else {
+      std::memset(block, 0, sizeof(block));
+      std::memcpy(block, message.data() + offset, take);
+      block[take] = 1;
+      hibit = 0;
+    }
+    offset += take;
+
+    h0 += LoadLe32(block + 0) & 0x3ffffff;
+    h1 += (LoadLe32(block + 3) >> 2) & 0x3ffffff;
+    h2 += (LoadLe32(block + 6) >> 4) & 0x3ffffff;
+    h3 += (LoadLe32(block + 9) >> 6) & 0x3ffffff;
+    h4 += (LoadLe32(block + 12) >> 8) | hibit;
+
+    uint64_t d0 = static_cast<uint64_t>(h0) * r0 + static_cast<uint64_t>(h1) * s4 +
+                  static_cast<uint64_t>(h2) * s3 + static_cast<uint64_t>(h3) * s2 +
+                  static_cast<uint64_t>(h4) * s1;
+    uint64_t d1 = static_cast<uint64_t>(h0) * r1 + static_cast<uint64_t>(h1) * r0 +
+                  static_cast<uint64_t>(h2) * s4 + static_cast<uint64_t>(h3) * s3 +
+                  static_cast<uint64_t>(h4) * s2;
+    uint64_t d2 = static_cast<uint64_t>(h0) * r2 + static_cast<uint64_t>(h1) * r1 +
+                  static_cast<uint64_t>(h2) * r0 + static_cast<uint64_t>(h3) * s4 +
+                  static_cast<uint64_t>(h4) * s3;
+    uint64_t d3 = static_cast<uint64_t>(h0) * r3 + static_cast<uint64_t>(h1) * r2 +
+                  static_cast<uint64_t>(h2) * r1 + static_cast<uint64_t>(h3) * r0 +
+                  static_cast<uint64_t>(h4) * s4;
+    uint64_t d4 = static_cast<uint64_t>(h0) * r4 + static_cast<uint64_t>(h1) * r3 +
+                  static_cast<uint64_t>(h2) * r2 + static_cast<uint64_t>(h3) * r1 +
+                  static_cast<uint64_t>(h4) * r0;
+
+    uint64_t carry = d0 >> 26;
+    h0 = static_cast<uint32_t>(d0) & 0x3ffffff;
+    d1 += carry;
+    carry = d1 >> 26;
+    h1 = static_cast<uint32_t>(d1) & 0x3ffffff;
+    d2 += carry;
+    carry = d2 >> 26;
+    h2 = static_cast<uint32_t>(d2) & 0x3ffffff;
+    d3 += carry;
+    carry = d3 >> 26;
+    h3 = static_cast<uint32_t>(d3) & 0x3ffffff;
+    d4 += carry;
+    carry = d4 >> 26;
+    h4 = static_cast<uint32_t>(d4) & 0x3ffffff;
+    h0 += static_cast<uint32_t>(carry) * 5;
+    carry = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += static_cast<uint32_t>(carry);
+  }
+
+  // Full carry propagation.
+  uint32_t carry = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += carry;
+  carry = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += carry;
+  carry = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += carry;
+  carry = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += carry * 5;
+  carry = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += carry;
+
+  // Compute h + -p and select h if h < p.
+  uint32_t g0 = h0 + 5;
+  carry = g0 >> 26;
+  g0 &= 0x3ffffff;
+  uint32_t g1 = h1 + carry;
+  carry = g1 >> 26;
+  g1 &= 0x3ffffff;
+  uint32_t g2 = h2 + carry;
+  carry = g2 >> 26;
+  g2 &= 0x3ffffff;
+  uint32_t g3 = h3 + carry;
+  carry = g3 >> 26;
+  g3 &= 0x3ffffff;
+  uint32_t g4 = h4 + carry - (1u << 26);
+
+  uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  g0 &= mask;
+  g1 &= mask;
+  g2 &= mask;
+  g3 &= mask;
+  g4 &= mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4;
+
+  // h %= 2^128, repacked into 32-bit words.
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  // tag = (h + s) mod 2^128 where s is the second key half.
+  uint64_t f = static_cast<uint64_t>(h0) + LoadLe32(key.data() + 16);
+  h0 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h1) + LoadLe32(key.data() + 20) + (f >> 32);
+  h1 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h2) + LoadLe32(key.data() + 24) + (f >> 32);
+  h2 = static_cast<uint32_t>(f);
+  f = static_cast<uint64_t>(h3) + LoadLe32(key.data() + 28) + (f >> 32);
+  h3 = static_cast<uint32_t>(f);
+
+  Poly1305Tag tag;
+  uint32_t words[4] = {h0, h1, h2, h3};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      tag[4 * w + i] = static_cast<uint8_t>(words[w] >> (8 * i));
+    }
+  }
+  return tag;
+}
+
+}  // namespace nymix

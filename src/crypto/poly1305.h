@@ -1,0 +1,22 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#ifndef SRC_CRYPTO_POLY1305_H_
+#define SRC_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace nymix {
+
+inline constexpr size_t kPoly1305KeySize = 32;
+inline constexpr size_t kPoly1305TagSize = 16;
+
+using Poly1305Key = std::array<uint8_t, kPoly1305KeySize>;
+using Poly1305Tag = std::array<uint8_t, kPoly1305TagSize>;
+
+Poly1305Tag Poly1305Mac(const Poly1305Key& key, ByteSpan message);
+
+}  // namespace nymix
+
+#endif  // SRC_CRYPTO_POLY1305_H_

@@ -1,0 +1,81 @@
+#include "src/hv/guest_memory.h"
+
+#include <algorithm>
+
+namespace nymix {
+
+GuestMemory::GuestMemory(uint64_t ram_bytes)
+    : total_pages_((ram_bytes + kPageSize - 1) / kPageSize),
+      zero_pages_(total_pages_),
+      next_unique_tag_(1) {
+  pages_by_content_[kZeroPageContent] = zero_pages_;
+}
+
+uint64_t GuestMemory::ImagePageCount() const {
+  uint64_t count = 0;
+  for (const auto& [content, pages] : image_contents_) {
+    (void)content;
+    count += pages;
+  }
+  return count;
+}
+
+void GuestMemory::MapImagePages(const BaseImage& image, uint64_t count) {
+  count = std::min(count, zero_pages_);
+  uint64_t blocks = image.block_count();
+  NYMIX_CHECK(blocks > 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t content = image.BlockContentId(i % blocks);
+    ++pages_by_content_[content];
+    ++image_contents_[content];
+  }
+  zero_pages_ -= count;
+  auto it = pages_by_content_.find(kZeroPageContent);
+  it->second = zero_pages_;
+  if (zero_pages_ == 0) {
+    pages_by_content_.erase(it);
+  }
+}
+
+void GuestMemory::DirtyPages(uint64_t count, Prng& prng) {
+  (void)prng;  // unique pages are count-only; no ids needed
+  count = std::min(count, zero_pages_ + ImagePageCount());
+
+  uint64_t from_zero = std::min(count, zero_pages_);
+  zero_pages_ -= from_zero;
+  if (from_zero > 0) {
+    auto it = pages_by_content_.find(kZeroPageContent);
+    it->second = zero_pages_;
+    if (zero_pages_ == 0) {
+      pages_by_content_.erase(it);
+    }
+  }
+
+  uint64_t remaining = count - from_zero;
+  while (remaining > 0 && !image_contents_.empty()) {
+    auto it = image_contents_.begin();
+    uint64_t take = std::min(remaining, it->second);
+    it->second -= take;
+    auto shared_it = pages_by_content_.find(it->first);
+    shared_it->second -= take;
+    if (shared_it->second == 0) {
+      pages_by_content_.erase(shared_it);
+    }
+    if (it->second == 0) {
+      image_contents_.erase(it);
+    }
+    remaining -= take;
+  }
+  unique_pages_ += count;
+  next_unique_tag_ += count;
+}
+
+void GuestMemory::Wipe() {
+  pages_by_content_.clear();
+  image_contents_.clear();
+  zero_pages_ = total_pages_;
+  unique_pages_ = 0;
+  pages_by_content_[kZeroPageContent] = zero_pages_;
+}
+
+}  // namespace nymix

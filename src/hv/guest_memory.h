@@ -1,0 +1,75 @@
+// GuestMemory: page-granular model of a VM's RAM. Pages carry 64-bit
+// content identities instead of 4 KiB buffers — enough for the kernel
+// samepage-merging (KSM) model to find duplicates within and across VMs
+// (§4.2, Figure 3) without materializing gigabytes.
+//
+// Page classes:
+//   zero        — untouched guest pages (all VMs share one zero page)
+//   image       — pages backed by base-image blocks; identical across every
+//                 VM booted from the same USB image
+//   unique      — dirtied pages (heaps, browser state); never mergeable
+#ifndef SRC_HV_GUEST_MEMORY_H_
+#define SRC_HV_GUEST_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/unionfs/disk_image.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+
+inline constexpr uint64_t kPageSize = 4096;
+
+// Content id 0 is reserved for the zero page.
+inline constexpr uint64_t kZeroPageContent = 0;
+
+class GuestMemory {
+ public:
+  // All pages are obtained from the host at initialization ("KVM obtains
+  // most of the requested memory for a VM at VM initialization", §5.2) and
+  // start as zero pages.
+  explicit GuestMemory(uint64_t ram_bytes);
+
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t total_bytes() const { return total_pages_ * kPageSize; }
+
+  uint64_t zero_pages() const { return zero_pages_; }
+  uint64_t image_pages() const { return ImagePageCount(); }
+  uint64_t unique_pages() const { return unique_pages_; }
+
+  // Boot: maps `count` pages to base-image block contents (page cache,
+  // text segments). Cycles deterministically through the image blocks so
+  // two VMs on the same image produce identical ids.
+  void MapImagePages(const BaseImage& image, uint64_t count);
+
+  // Dirties pages into unique content: first consumes zero pages, then
+  // converts image-backed pages (copy-on-write break), never un-dirties.
+  void DirtyPages(uint64_t count, Prng& prng);
+
+  // Shareable-content histogram merged by the KSM scanner: content id ->
+  // page count, covering zero and image-backed pages. Unique pages never
+  // merge, so they are tracked only as a count (unique_pages()) — this keeps
+  // an 8-nym scan cheap instead of carrying ~100k singleton entries per VM.
+  const std::map<uint64_t, uint64_t>& pages_by_content() const { return pages_by_content_; }
+
+  // Secure erase at nym termination: every page becomes zero again and the
+  // unique ids are discarded (§3.4 "securely erases the AnonVM's and
+  // CommVM's memory").
+  void Wipe();
+
+ private:
+  uint64_t ImagePageCount() const;
+
+  uint64_t total_pages_;
+  uint64_t zero_pages_;
+  uint64_t unique_pages_ = 0;
+  std::map<uint64_t, uint64_t> pages_by_content_;
+  // Image-backed content ids currently mapped (subset of pages_by_content_).
+  std::map<uint64_t, uint64_t> image_contents_;
+  uint64_t next_unique_tag_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_HV_GUEST_MEMORY_H_

@@ -1,0 +1,56 @@
+#include "src/hv/ksm.h"
+
+#include <map>
+
+namespace nymix {
+
+KsmDaemon::KsmDaemon(EventLoop& loop, std::function<std::vector<const GuestMemory*>()> memories)
+    : loop_(loop), memories_(std::move(memories)) {}
+
+KsmStats KsmDaemon::ScanNow() {
+  std::map<uint64_t, uint64_t> merged;
+  for (const GuestMemory* memory : memories_()) {
+    for (const auto& [content, count] : memory->pages_by_content()) {
+      merged[content] += count;
+    }
+  }
+  KsmStats stats;
+  for (const auto& [content, count] : merged) {
+    (void)content;
+    if (count > 1) {
+      stats.pages_shared += 1;
+      stats.pages_sharing += count;
+    }
+  }
+  stats_ = stats;
+  return stats;
+}
+
+void KsmDaemon::Start(SimDuration interval) {
+  NYMIX_CHECK(interval > 0);
+  interval_ = interval;
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Tick();
+}
+
+void KsmDaemon::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  loop_.Cancel(pending_event_);
+}
+
+void KsmDaemon::Tick() {
+  ScanNow();
+  pending_event_ = loop_.ScheduleAfter(interval_, [this] {
+    if (running_) {
+      Tick();
+    }
+  });
+}
+
+}  // namespace nymix

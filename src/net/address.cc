@@ -1,0 +1,62 @@
+#include "src/net/address.h"
+
+#include <cstdio>
+
+namespace nymix {
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+MacAddress MacAddress::StandardGuest() {
+  // QEMU's default OUI 52:54:00 with a fixed NIC id so every guest looks
+  // alike to fingerprinters.
+  return MacAddress{{0x52, 0x54, 0x00, 0x12, 0x34, 0x56}};
+}
+
+MacAddress MacAddress::Broadcast() {
+  return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+bool Ipv4Address::IsPrivate() const {
+  uint8_t a = (value >> 24) & 0xff;
+  uint8_t b = (value >> 16) & 0xff;
+  if (a == 10) {
+    return true;
+  }
+  if (a == 172 && b >= 16 && b < 32) {
+    return true;
+  }
+  if (a == 192 && b == 168) {
+    return true;
+  }
+  return false;
+}
+
+Result<Ipv4Address> ParseIpv4(std::string_view text) {
+  unsigned a, b, c, d;
+  char extra;
+  std::string copy(text);
+  if (std::sscanf(copy.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 || a > 255 ||
+      b > 255 || c > 255 || d > 255) {
+    return InvalidArgumentError("bad IPv4 address: " + copy);
+  }
+  return Ipv4Address(static_cast<uint8_t>(a), static_cast<uint8_t>(b), static_cast<uint8_t>(c),
+                     static_cast<uint8_t>(d));
+}
+
+std::string Endpoint::ToString() const {
+  return ip.ToString() + ":" + std::to_string(port);
+}
+
+}  // namespace nymix

@@ -1,0 +1,63 @@
+// Network addressing for the virtual network substrate: Ethernet MACs,
+// IPv4 addresses, transport endpoints. Nymix deliberately gives every
+// AnonVM/CommVM pair the *same* MAC and IP (§4.2 fingerprint reduction);
+// these types make that explicit and testable.
+#ifndef SRC_NET_ADDRESS_H_
+#define SRC_NET_ADDRESS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace nymix {
+
+struct MacAddress {
+  std::array<uint8_t, 6> octets = {};
+
+  std::string ToString() const;
+  bool operator==(const MacAddress&) const = default;
+
+  // The fixed QEMU-style MAC every AnonVM advertises (homogeneity).
+  static MacAddress StandardGuest();
+  static MacAddress Broadcast();
+};
+
+struct Ipv4Address {
+  uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t v) : value(v) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) | d) {}
+
+  std::string ToString() const;
+  bool operator==(const Ipv4Address&) const = default;
+  auto operator<=>(const Ipv4Address&) const = default;
+
+  bool IsPrivate() const;
+};
+
+Result<Ipv4Address> ParseIpv4(std::string_view text);
+
+using Port = uint16_t;
+
+struct Endpoint {
+  Ipv4Address ip;
+  Port port = 0;
+
+  std::string ToString() const;
+  bool operator==(const Endpoint&) const = default;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+// Well-known addresses of the simulated topology.
+inline constexpr Ipv4Address kGuestAnonVmIp(10, 0, 2, 15);   // every AnonVM
+inline constexpr Ipv4Address kGuestCommVmIp(10, 0, 2, 2);    // every CommVM (wire side)
+inline constexpr Ipv4Address kHostLanIp(192, 168, 1, 100);
+inline constexpr Ipv4Address kLanRouterIp(192, 168, 1, 1);
+
+}  // namespace nymix
+
+#endif  // SRC_NET_ADDRESS_H_

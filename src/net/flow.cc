@@ -1,0 +1,173 @@
+#include "src/net/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nymix {
+
+Route Route::Through(std::vector<Link*> links) {
+  Route route;
+  route.links = std::move(links);
+  for (const Link* link : route.links) {
+    route.one_way_latency += link->latency();
+  }
+  return route;
+}
+
+FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
+                                std::function<void(SimTime)> done) {
+  NYMIX_CHECK(overhead_factor >= 1.0);
+  Settle();
+  FlowId id = next_id_++;
+  Flow flow;
+  flow.links = route.links;
+  flow.remaining_bytes = static_cast<double>(bytes) * overhead_factor;
+  flow.done = std::move(done);
+  flow.started = false;
+  flows_.emplace(id, std::move(flow));
+
+  // Connection setup + request takes one round trip; then the flow joins
+  // the fair-share competition.
+  loop_.ScheduleAfter(2 * route.one_way_latency, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) {
+      return;  // cancelled during setup
+    }
+    Settle();
+    it->second.started = true;
+    Reschedule();
+  });
+  Reschedule();
+  return id;
+}
+
+bool FlowScheduler::CancelFlow(FlowId id) {
+  Settle();
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return false;
+  }
+  flows_.erase(it);
+  Reschedule();
+  return true;
+}
+
+uint64_t FlowScheduler::FlowRateBps(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return 0;
+  }
+  return static_cast<uint64_t>(it->second.rate_bytes_per_us * 8e6);
+}
+
+void FlowScheduler::Settle() {
+  SimTime now = loop_.now();
+  if (now == last_settle_) {
+    return;
+  }
+  double elapsed_us = static_cast<double>(now - last_settle_);
+  last_settle_ = now;
+
+  std::vector<FlowId> finished;
+  for (auto& [id, flow] : flows_) {
+    if (!flow.started) {
+      continue;
+    }
+    flow.remaining_bytes -= flow.rate_bytes_per_us * elapsed_us;
+    if (flow.remaining_bytes <= 1e-6) {
+      flow.remaining_bytes = 0;
+      finished.push_back(id);
+    }
+  }
+  for (FlowId id : finished) {
+    auto node = flows_.extract(id);
+    if (node.mapped().done) {
+      node.mapped().done(now);
+    }
+  }
+}
+
+void FlowScheduler::Reschedule() {
+  if (has_pending_event_) {
+    loop_.Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+
+  // Max-min fair allocation by progressive filling over links.
+  std::map<Link*, double> capacity;        // bytes/us remaining per link
+  std::map<Link*, int> unfixed_count;      // unfixed flows per link
+  std::vector<Flow*> unfixed;
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    flow.rate_bytes_per_us = 0;
+    if (!flow.started) {
+      continue;
+    }
+    unfixed.push_back(&flow);
+    for (Link* link : flow.links) {
+      capacity.emplace(link, static_cast<double>(link->bandwidth_bps()) / 8e6);
+      ++unfixed_count[link];
+    }
+  }
+
+  while (!unfixed.empty()) {
+    // Find the most contended link's per-flow share.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (const auto& [link, count] : unfixed_count) {
+      if (count > 0) {
+        min_share = std::min(min_share, capacity[link] / count);
+      }
+    }
+    if (!std::isfinite(min_share)) {
+      // Flows with empty routes (loopback): unconstrained, finish "instantly"
+      // at a very high nominal rate.
+      for (Flow* flow : unfixed) {
+        flow->rate_bytes_per_us = 1e9;
+      }
+      break;
+    }
+    // Fix every flow bottlenecked at that share.
+    std::vector<Flow*> still_unfixed;
+    for (Flow* flow : unfixed) {
+      bool bottlenecked = flow->links.empty();
+      for (Link* link : flow->links) {
+        if (capacity[link] / unfixed_count[link] <= min_share + 1e-12) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        flow->rate_bytes_per_us = min_share;
+        for (Link* link : flow->links) {
+          capacity[link] -= min_share;
+          --unfixed_count[link];
+        }
+      } else {
+        still_unfixed.push_back(flow);
+      }
+    }
+    NYMIX_CHECK_MSG(still_unfixed.size() < unfixed.size(), "waterfilling did not progress");
+    unfixed = std::move(still_unfixed);
+  }
+
+  // Schedule the earliest completion.
+  double min_eta_us = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    (void)id;
+    if (flow.started && flow.rate_bytes_per_us > 0) {
+      min_eta_us = std::min(min_eta_us, flow.remaining_bytes / flow.rate_bytes_per_us);
+    }
+  }
+  if (std::isfinite(min_eta_us)) {
+    SimDuration delay = static_cast<SimDuration>(min_eta_us) + 1;
+    pending_event_ = loop_.ScheduleAfter(delay, [this] {
+      has_pending_event_ = false;
+      Settle();
+      Reschedule();
+    });
+    has_pending_event_ = true;
+  }
+}
+
+}  // namespace nymix

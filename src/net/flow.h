@@ -1,0 +1,80 @@
+// Flow-level bulk transfers with max-min fair bandwidth sharing.
+//
+// Packet-level simulation of a 77 MB kernel download would be pointless
+// detail; instead a Flow claims capacity on every Link along its Route and
+// the scheduler waterfills rates across competing flows, recomputing
+// whenever a flow starts or finishes. This reproduces Figure 5's behaviour:
+// N nyms share the 10 Mbit bottleneck almost exactly N-ways, and the Tor
+// cell overhead appears as a per-flow byte inflation factor.
+//
+// Model notes (documented substitutions): transfers begin after one route
+// RTT (connection + request); TCP slow-start and congestion dynamics are
+// abstracted away, which is faithful to the paper's rate-limited DeterLab
+// setup where flows are long and the bottleneck is a hard shaper.
+#ifndef SRC_NET_FLOW_H_
+#define SRC_NET_FLOW_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/util/event_loop.h"
+
+namespace nymix {
+
+struct Route {
+  std::vector<Link*> links;
+  // One-way propagation for the whole path; the flow starts after 2x this
+  // (connection setup + request).
+  SimDuration one_way_latency = 0;
+
+  static Route Through(std::vector<Link*> links);
+};
+
+using FlowId = uint64_t;
+
+class FlowScheduler {
+ public:
+  explicit FlowScheduler(EventLoop& loop) : loop_(loop) {}
+
+  // Transfers `bytes * overhead_factor` wire bytes along `route`; calls
+  // `done` with the completion time. `overhead_factor` >= 1 models protocol
+  // framing (Tor cells ~1.12, Dissent DC-net much higher).
+  FlowId StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
+                   std::function<void(SimTime)> done);
+
+  // Cancels an in-progress flow (nym terminated mid-download). False if the
+  // flow already completed.
+  bool CancelFlow(FlowId id);
+
+  size_t active_flows() const { return flows_.size(); }
+
+  // Current fair-share rate of a flow in bits/s (0 if unknown/not started).
+  uint64_t FlowRateBps(FlowId id) const;
+
+ private:
+  struct Flow {
+    std::vector<Link*> links;
+    double remaining_bytes = 0;
+    double rate_bytes_per_us = 0;
+    bool started = false;  // becomes true after the setup RTT
+    std::function<void(SimTime)> done;
+  };
+
+  // Advances all running flows to now, completing any that finished.
+  void Settle();
+  // Recomputes max-min fair rates and schedules the next completion event.
+  void Reschedule();
+
+  EventLoop& loop_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  SimTime last_settle_ = 0;
+  uint64_t pending_event_ = 0;
+  bool has_pending_event_ = false;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_NET_FLOW_H_

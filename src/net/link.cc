@@ -1,0 +1,28 @@
+#include "src/net/link.h"
+
+namespace nymix {
+
+Link::Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps)
+    : loop_(loop), name_(std::move(name)), latency_(latency), bandwidth_bps_(bandwidth_bps) {
+  NYMIX_CHECK(bandwidth_bps_ > 0);
+}
+
+void Link::Send(Packet packet, bool from_a) {
+  if (capture_ != nullptr) {
+    capture_->Record(loop_.now(), packet);
+  }
+  SimDuration serialization =
+      static_cast<SimDuration>(packet.WireSize() * 8 * 1'000'000 / bandwidth_bps_);
+  SimDuration delay = latency_ + serialization;
+  loop_.ScheduleAfter(delay, [this, packet = std::move(packet), from_a]() mutable {
+    PacketSink* sink = from_a ? b_ : a_;
+    if (sink == nullptr) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    sink->OnPacket(packet, *this, from_a);
+  });
+}
+
+}  // namespace nymix

@@ -1,0 +1,67 @@
+// Link: a point-to-point virtual wire between two packet sinks, with
+// propagation latency and serialization bandwidth. The AnonVM<->CommVM
+// "virtual wire" (§4.2), the CommVM's NAT uplink, the host's 10 Mbit
+// DeterLab-style uplink, and inter-relay links are all Links. A Link with a
+// missing sink silently drops — that is the mechanism behind the §5.1
+// observation that probes to nonexistent neighbors "fail with no-response,
+// as if the host did not exist."
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <string>
+
+#include "src/net/capture.h"
+#include "src/net/packet.h"
+#include "src/util/event_loop.h"
+
+namespace nymix {
+
+class Link;
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  // `link` is the wire the packet arrived on; `from_a` tells which side sent.
+  virtual void OnPacket(const Packet& packet, Link& link, bool from_a) = 0;
+};
+
+class Link {
+ public:
+  Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps);
+
+  const std::string& name() const { return name_; }
+  SimDuration latency() const { return latency_; }
+  uint64_t bandwidth_bps() const { return bandwidth_bps_; }
+
+  void AttachA(PacketSink* sink) { a_ = sink; }
+  void AttachB(PacketSink* sink) { b_ = sink; }
+  PacketSink* side_a() const { return a_; }
+  PacketSink* side_b() const { return b_; }
+
+  // Taps observe both directions (the §5.1 Wireshark position).
+  void AttachCapture(PacketCapture* capture) { capture_ = capture; }
+
+  // Schedules delivery to the opposite side after latency + serialization.
+  void SendFromA(Packet packet) { Send(std::move(packet), /*from_a=*/true); }
+  void SendFromB(Packet packet) { Send(std::move(packet), /*from_a=*/false); }
+
+  uint64_t packets_delivered() const { return delivered_; }
+  uint64_t packets_dropped() const { return dropped_; }
+
+ private:
+  void Send(Packet packet, bool from_a);
+
+  EventLoop& loop_;
+  std::string name_;
+  SimDuration latency_;
+  uint64_t bandwidth_bps_;
+  PacketSink* a_ = nullptr;
+  PacketSink* b_ = nullptr;
+  PacketCapture* capture_ = nullptr;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,33 @@
+#include "src/net/packet.h"
+
+namespace nymix {
+
+std::string_view IpProtocolName(IpProtocol protocol) {
+  switch (protocol) {
+    case IpProtocol::kUdp:
+      return "UDP";
+    case IpProtocol::kTcp:
+      return "TCP";
+    case IpProtocol::kIcmp:
+      return "ICMP";
+    case IpProtocol::kArp:
+      return "ARP";
+  }
+  return "?";
+}
+
+std::string Packet::Summary() const {
+  std::string out;
+  out += src_ip.ToString() + ":" + std::to_string(src_port);
+  out += " -> ";
+  out += dst_ip.ToString() + ":" + std::to_string(dst_port);
+  out += " ";
+  out += IpProtocolName(protocol);
+  out += " len=" + std::to_string(WireSize());
+  if (!annotation.empty()) {
+    out += " [" + annotation + "]";
+  }
+  return out;
+}
+
+}  // namespace nymix

@@ -1,0 +1,38 @@
+// Datagram-level packets. Bulk data moves as flows (src/net/flow.h); packets
+// carry control traffic (DHCP, DNS, probes, anonymizer cells) and are the
+// unit observed by the §5.1 leak-validation capture.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <string>
+
+#include "src/net/address.h"
+#include "src/util/bytes.h"
+
+namespace nymix {
+
+enum class IpProtocol { kUdp, kTcp, kIcmp, kArp };
+
+std::string_view IpProtocolName(IpProtocol protocol);
+
+struct Packet {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  Port src_port = 0;
+  Port dst_port = 0;
+  IpProtocol protocol = IpProtocol::kUdp;
+  Bytes payload;
+  // Human-readable tag used by the capture ("DHCP", "TorCell", "Probe"...).
+  std::string annotation;
+
+  uint64_t WireSize() const { return 14 + 20 + 8 + payload.size(); }
+
+  // One-line rendering as a Wireshark-style capture row.
+  std::string Summary() const;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_NET_PACKET_H_

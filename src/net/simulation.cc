@@ -1,0 +1,17 @@
+#include "src/net/simulation.h"
+
+namespace nymix {
+
+Simulation::Simulation(uint64_t seed) : flows_(loop_), internet_(loop_), prng_(seed) {}
+
+Link* Simulation::CreateLink(std::string name, SimDuration latency, uint64_t bandwidth_bps) {
+  links_.push_back(std::make_unique<Link>(loop_, std::move(name), latency, bandwidth_bps));
+  return links_.back().get();
+}
+
+void Simulation::RunUntil(const std::function<bool()>& done) {
+  bool reached = loop_.RunUntilCondition(done);
+  NYMIX_CHECK_MSG(reached, "simulation went idle before the condition held");
+}
+
+}  // namespace nymix

@@ -1,0 +1,84 @@
+// Document models for the SaniVM's "reconstruct the document completely as
+// a series of bitmaps" mode (§3.6/§4.3).
+//
+// PdfLite: a text-based, genuinely parseable subset of PDF — header,
+// numbered objects, an /Info dictionary (Author, Creator, Producer,
+// CreationDate, Title), page objects with visible-text content streams,
+// and a trailer. Hidden payloads can ride in unreferenced objects, which
+// metadata scrubbing alone does NOT remove — the rasterize mode does.
+//
+// DocLite: a binary word-processor container with core properties
+// (creator, company, last-modified-by, revision count, total editing
+// time) plus visible paragraphs and *hidden* runs (tracked changes,
+// deleted text) — Byers' classic Word-leak scenario.
+#ifndef SRC_SANITIZE_DOCUMENT_H_
+#define SRC_SANITIZE_DOCUMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sanitize/image.h"
+
+namespace nymix {
+
+// ------------------------------------------------------------------ PDF
+
+struct PdfInfo {
+  std::optional<std::string> title;
+  std::optional<std::string> author;
+  std::optional<std::string> creator;
+  std::optional<std::string> producer;
+  std::optional<std::string> creation_date;
+
+  bool Empty() const { return !title && !author && !creator && !producer && !creation_date; }
+};
+
+struct PdfFile {
+  PdfInfo info;
+  std::vector<std::string> pages;          // visible text per page
+  std::vector<std::string> hidden_objects; // unreferenced object payloads
+};
+
+Bytes EncodePdf(const PdfFile& pdf);
+Result<PdfFile> DecodePdf(ByteSpan data);
+bool LooksLikePdf(ByteSpan data);
+
+// Renders each page's visible text to a bitmap (deterministic glyph
+// hashing, not typography). Only visible text survives — hidden objects
+// and Info never reach the raster.
+std::vector<Image> RasterizePdf(const PdfFile& pdf);
+
+// ------------------------------------------------------------------ DOC
+
+struct DocProperties {
+  std::optional<std::string> creator;
+  std::optional<std::string> company;
+  std::optional<std::string> last_modified_by;
+  uint32_t revision = 0;
+  uint32_t editing_minutes = 0;
+
+  bool Empty() const {
+    return !creator && !company && !last_modified_by && revision == 0 && editing_minutes == 0;
+  }
+};
+
+struct DocFile {
+  DocProperties properties;
+  std::vector<std::string> paragraphs;    // visible body text
+  std::vector<std::string> hidden_runs;   // tracked changes / deleted text
+};
+
+Bytes EncodeDoc(const DocFile& doc);
+Result<DocFile> DecodeDoc(ByteSpan data);
+bool LooksLikeDoc(ByteSpan data);
+
+std::vector<Image> RasterizeDoc(const DocFile& doc);
+
+// Shared text-to-bitmap renderer (one image per text block).
+Image RasterizeTextBlock(const std::string& text);
+
+}  // namespace nymix
+
+#endif  // SRC_SANITIZE_DOCUMENT_H_

@@ -1,0 +1,288 @@
+#include "src/sanitize/exif.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace nymix {
+
+namespace {
+
+constexpr uint16_t kTypeAscii = 2;
+constexpr uint16_t kTypeLong = 4;
+constexpr uint16_t kTypeRational = 5;
+
+struct RawEntry {
+  uint16_t tag = 0;
+  uint16_t type = 0;
+  uint32_t count = 0;
+  Bytes value;  // raw little-endian value bytes
+};
+
+RawEntry AsciiEntry(uint16_t tag, const std::string& text) {
+  RawEntry entry;
+  entry.tag = tag;
+  entry.type = kTypeAscii;
+  entry.count = static_cast<uint32_t>(text.size() + 1);
+  entry.value = BytesFromString(text);
+  entry.value.push_back(0);
+  return entry;
+}
+
+RawEntry LongEntry(uint16_t tag, uint32_t value) {
+  RawEntry entry;
+  entry.tag = tag;
+  entry.type = kTypeLong;
+  entry.count = 1;
+  AppendU32(entry.value, value);
+  return entry;
+}
+
+void AppendRational(Bytes& out, uint32_t numerator, uint32_t denominator) {
+  AppendU32(out, numerator);
+  AppendU32(out, denominator);
+}
+
+// Degrees/minutes/seconds as three rationals (EXIF GPS convention).
+RawEntry DmsEntry(uint16_t tag, double degrees_abs) {
+  RawEntry entry;
+  entry.tag = tag;
+  entry.type = kTypeRational;
+  entry.count = 3;
+  uint32_t deg = static_cast<uint32_t>(degrees_abs);
+  double rem_minutes = (degrees_abs - deg) * 60.0;
+  uint32_t minutes = static_cast<uint32_t>(rem_minutes);
+  double seconds = (rem_minutes - minutes) * 60.0;
+  AppendRational(entry.value, deg, 1);
+  AppendRational(entry.value, minutes, 1);
+  AppendRational(entry.value, static_cast<uint32_t>(std::lround(seconds * 10000)), 10000);
+  return entry;
+}
+
+// Serializes one IFD (entry table + out-of-line data) assuming the IFD
+// starts at absolute offset `base` within the TIFF stream.
+Bytes BuildIfd(const std::vector<RawEntry>& entries, uint32_t base) {
+  size_t table_size = 2 + entries.size() * 12 + 4;
+  Bytes out;
+  AppendU16(out, static_cast<uint16_t>(entries.size()));
+  Bytes data_area;
+  for (const RawEntry& entry : entries) {
+    AppendU16(out, entry.tag);
+    AppendU16(out, entry.type);
+    AppendU32(out, entry.count);
+    if (entry.value.size() <= 4) {
+      Bytes inline_value = entry.value;
+      inline_value.resize(4, 0);
+      out.insert(out.end(), inline_value.begin(), inline_value.end());
+    } else {
+      uint32_t offset = static_cast<uint32_t>(base + table_size + data_area.size());
+      AppendU32(out, offset);
+      data_area.insert(data_area.end(), entry.value.begin(), entry.value.end());
+    }
+  }
+  AppendU32(out, 0);  // next IFD
+  out.insert(out.end(), data_area.begin(), data_area.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes EncodeExif(const ExifData& exif) {
+  std::vector<RawEntry> ifd0;
+  if (exif.camera_make) {
+    ifd0.push_back(AsciiEntry(kTagMake, *exif.camera_make));
+  }
+  if (exif.camera_model) {
+    ifd0.push_back(AsciiEntry(kTagModel, *exif.camera_model));
+  }
+  if (exif.software) {
+    ifd0.push_back(AsciiEntry(kTagSoftware, *exif.software));
+  }
+  if (exif.datetime_original) {
+    ifd0.push_back(AsciiEntry(kTagDateTime, *exif.datetime_original));
+  }
+  if (exif.body_serial_number) {
+    ifd0.push_back(AsciiEntry(kTagBodySerial, *exif.body_serial_number));
+  }
+  if (exif.gps) {
+    ifd0.push_back(LongEntry(kTagGpsIfdPointer, 0));  // patched below
+  }
+
+  // Header is 8 bytes; IFD0 starts right after it.
+  Bytes ifd0_bytes = BuildIfd(ifd0, 8);
+  if (exif.gps) {
+    uint32_t gps_offset = static_cast<uint32_t>(8 + ifd0_bytes.size());
+    for (auto& entry : ifd0) {
+      if (entry.tag == kTagGpsIfdPointer) {
+        entry.value.clear();
+        AppendU32(entry.value, gps_offset);
+      }
+    }
+    ifd0_bytes = BuildIfd(ifd0, 8);
+
+    std::vector<RawEntry> gps_ifd;
+    gps_ifd.push_back(AsciiEntry(kGpsTagLatitudeRef, exif.gps->latitude >= 0 ? "N" : "S"));
+    gps_ifd.push_back(DmsEntry(kGpsTagLatitude, std::abs(exif.gps->latitude)));
+    gps_ifd.push_back(AsciiEntry(kGpsTagLongitudeRef, exif.gps->longitude >= 0 ? "E" : "W"));
+    gps_ifd.push_back(DmsEntry(kGpsTagLongitude, std::abs(exif.gps->longitude)));
+    Bytes gps_bytes = BuildIfd(gps_ifd, gps_offset);
+    ifd0_bytes.insert(ifd0_bytes.end(), gps_bytes.begin(), gps_bytes.end());
+  }
+
+  Bytes tiff;
+  tiff.push_back('I');
+  tiff.push_back('I');
+  AppendU16(tiff, 42);
+  AppendU32(tiff, 8);
+  tiff.insert(tiff.end(), ifd0_bytes.begin(), ifd0_bytes.end());
+  return tiff;
+}
+
+namespace {
+
+struct ParsedEntry {
+  uint16_t tag = 0;
+  uint16_t type = 0;
+  uint32_t count = 0;
+  Bytes value;
+};
+
+Result<std::vector<ParsedEntry>> ParseIfd(ByteSpan tiff, uint32_t ifd_offset) {
+  size_t offset = ifd_offset;
+  NYMIX_ASSIGN_OR_RETURN(uint16_t entry_count, ReadU16(tiff, offset));
+  std::vector<ParsedEntry> entries;
+  for (uint16_t i = 0; i < entry_count; ++i) {
+    ParsedEntry entry;
+    NYMIX_ASSIGN_OR_RETURN(entry.tag, ReadU16(tiff, offset));
+    NYMIX_ASSIGN_OR_RETURN(entry.type, ReadU16(tiff, offset));
+    NYMIX_ASSIGN_OR_RETURN(entry.count, ReadU32(tiff, offset));
+    size_t value_size = entry.count;
+    if (entry.type == kTypeLong) {
+      value_size = entry.count * 4;
+    } else if (entry.type == kTypeRational) {
+      value_size = entry.count * 8;
+    }
+    if (value_size <= 4) {
+      if (offset + 4 > tiff.size()) {
+        return DataLossError("truncated inline IFD value");
+      }
+      entry.value.assign(tiff.begin() + offset, tiff.begin() + offset + value_size);
+      offset += 4;
+    } else {
+      size_t here = offset;
+      NYMIX_ASSIGN_OR_RETURN(uint32_t value_offset, ReadU32(tiff, here));
+      offset = here;
+      if (static_cast<size_t>(value_offset) + value_size > tiff.size()) {
+        return DataLossError("IFD value offset out of range");
+      }
+      entry.value.assign(tiff.begin() + value_offset,
+                         tiff.begin() + value_offset + value_size);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string AsciiValue(const ParsedEntry& entry) {
+  std::string text(entry.value.begin(), entry.value.end());
+  while (!text.empty() && text.back() == '\0') {
+    text.pop_back();
+  }
+  return text;
+}
+
+Result<double> DmsValue(const ParsedEntry& entry) {
+  if (entry.type != kTypeRational || entry.count != 3 || entry.value.size() != 24) {
+    return DataLossError("bad GPS coordinate entry");
+  }
+  double parts[3];
+  size_t offset = 0;
+  for (double& part : parts) {
+    NYMIX_ASSIGN_OR_RETURN(uint32_t numerator, ReadU32(entry.value, offset));
+    NYMIX_ASSIGN_OR_RETURN(uint32_t denominator, ReadU32(entry.value, offset));
+    if (denominator == 0) {
+      return DataLossError("zero denominator in GPS rational");
+    }
+    part = static_cast<double>(numerator) / denominator;
+  }
+  return parts[0] + parts[1] / 60.0 + parts[2] / 3600.0;
+}
+
+}  // namespace
+
+Result<ExifData> DecodeExif(ByteSpan tiff) {
+  if (tiff.size() < 8 || tiff[0] != 'I' || tiff[1] != 'I') {
+    return DataLossError("not a little-endian TIFF stream");
+  }
+  size_t offset = 2;
+  NYMIX_ASSIGN_OR_RETURN(uint16_t magic, ReadU16(tiff, offset));
+  if (magic != 42) {
+    return DataLossError("bad TIFF magic");
+  }
+  NYMIX_ASSIGN_OR_RETURN(uint32_t ifd0_offset, ReadU32(tiff, offset));
+  NYMIX_ASSIGN_OR_RETURN(auto entries, ParseIfd(tiff, ifd0_offset));
+
+  ExifData exif;
+  std::optional<uint32_t> gps_offset;
+  for (const ParsedEntry& entry : entries) {
+    switch (entry.tag) {
+      case kTagMake:
+        exif.camera_make = AsciiValue(entry);
+        break;
+      case kTagModel:
+        exif.camera_model = AsciiValue(entry);
+        break;
+      case kTagSoftware:
+        exif.software = AsciiValue(entry);
+        break;
+      case kTagDateTime:
+        exif.datetime_original = AsciiValue(entry);
+        break;
+      case kTagBodySerial:
+        exif.body_serial_number = AsciiValue(entry);
+        break;
+      case kTagGpsIfdPointer: {
+        size_t value_offset = 0;
+        NYMIX_ASSIGN_OR_RETURN(uint32_t pointer, ReadU32(entry.value, value_offset));
+        gps_offset = pointer;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (gps_offset.has_value()) {
+    NYMIX_ASSIGN_OR_RETURN(auto gps_entries, ParseIfd(tiff, *gps_offset));
+    GpsCoordinate gps;
+    double lat_sign = 1.0, lon_sign = 1.0;
+    for (const ParsedEntry& entry : gps_entries) {
+      switch (entry.tag) {
+        case kGpsTagLatitudeRef:
+          lat_sign = AsciiValue(entry) == "S" ? -1.0 : 1.0;
+          break;
+        case kGpsTagLongitudeRef:
+          lon_sign = AsciiValue(entry) == "W" ? -1.0 : 1.0;
+          break;
+        case kGpsTagLatitude: {
+          NYMIX_ASSIGN_OR_RETURN(double value, DmsValue(entry));
+          gps.latitude = value;
+          break;
+        }
+        case kGpsTagLongitude: {
+          NYMIX_ASSIGN_OR_RETURN(double value, DmsValue(entry));
+          gps.longitude = value;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    gps.latitude *= lat_sign;
+    gps.longitude *= lon_sign;
+    exif.gps = gps;
+  }
+  return exif;
+}
+
+}  // namespace nymix

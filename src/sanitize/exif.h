@@ -1,0 +1,57 @@
+// EXIF/TIFF metadata codec. Real structure: a TIFF header ("II", 42, IFD
+// offset), IFD0 with ASCII/rational entries, and a GPS sub-IFD reached via
+// tag 0x8825 — the exact bytes that leak "GPS coordinates and his
+// smartphone's serial number" in the paper's Bob scenario (§2, §3.6).
+#ifndef SRC_SANITIZE_EXIF_H_
+#define SRC_SANITIZE_EXIF_H_
+
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+struct GpsCoordinate {
+  double latitude = 0.0;   // positive north
+  double longitude = 0.0;  // positive east
+
+  bool operator==(const GpsCoordinate&) const = default;
+};
+
+struct ExifData {
+  std::optional<std::string> camera_make;
+  std::optional<std::string> camera_model;
+  std::optional<std::string> body_serial_number;
+  std::optional<std::string> datetime_original;  // "YYYY:MM:DD HH:MM:SS"
+  std::optional<std::string> software;
+  std::optional<GpsCoordinate> gps;
+
+  bool Empty() const {
+    return !camera_make && !camera_model && !body_serial_number && !datetime_original &&
+           !software && !gps;
+  }
+};
+
+// TIFF tags used (subset of the EXIF 2.3 standard).
+inline constexpr uint16_t kTagMake = 0x010F;
+inline constexpr uint16_t kTagModel = 0x0110;
+inline constexpr uint16_t kTagSoftware = 0x0131;
+inline constexpr uint16_t kTagDateTime = 0x0132;
+inline constexpr uint16_t kTagGpsIfdPointer = 0x8825;
+inline constexpr uint16_t kTagBodySerial = 0xA431;
+inline constexpr uint16_t kGpsTagLatitudeRef = 0x0001;
+inline constexpr uint16_t kGpsTagLatitude = 0x0002;
+inline constexpr uint16_t kGpsTagLongitudeRef = 0x0003;
+inline constexpr uint16_t kGpsTagLongitude = 0x0004;
+
+// Serializes to a little-endian TIFF byte stream (IFD0 + optional GPS IFD).
+Bytes EncodeExif(const ExifData& exif);
+
+// Parses a TIFF stream produced by EncodeExif or a compatible writer.
+Result<ExifData> DecodeExif(ByteSpan tiff);
+
+}  // namespace nymix
+
+#endif  // SRC_SANITIZE_EXIF_H_

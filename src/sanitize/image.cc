@@ -1,0 +1,296 @@
+#include "src/sanitize/image.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+constexpr int kWatermarkRepeats = 32;
+
+int Luminance(const uint8_t* pixel) {
+  return (2 * pixel[0] + 3 * pixel[1] + pixel[2]) / 6;
+}
+
+bool IsSkinTone(int r, int g, int b) {
+  return r > 160 && r > g && g > b && g > 90 && g < 190 && b > 60;
+}
+
+uint16_t WatermarkChecksum(uint32_t payload) {
+  return static_cast<uint16_t>(Mix64(payload) >> 48);
+}
+
+}  // namespace
+
+Image Image::Solid(uint32_t width, uint32_t height, uint8_t r, uint8_t g, uint8_t b) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.rgb.resize(static_cast<size_t>(width) * height * 3);
+  for (size_t i = 0; i < image.rgb.size(); i += 3) {
+    image.rgb[i] = r;
+    image.rgb[i + 1] = g;
+    image.rgb[i + 2] = b;
+  }
+  return image;
+}
+
+bool FaceRegion::Overlaps(const FaceRegion& other) const {
+  return x < other.x + other.width && other.x < x + width && y < other.y + other.height &&
+         other.y < y + height;
+}
+
+Image GeneratePhoto(uint32_t width, uint32_t height, uint64_t seed,
+                    const std::vector<FaceRegion>& faces) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.rgb.resize(static_cast<size_t>(width) * height * 3);
+  // Textured background: greens/browns with deterministic per-pixel noise.
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      uint64_t h = Mix64(seed ^ (static_cast<uint64_t>(y) << 32 | x));
+      uint8_t* pixel = image.PixelAt(x, y);
+      pixel[0] = static_cast<uint8_t>(80 + (h & 31));
+      pixel[1] = static_cast<uint8_t>(100 + ((h >> 5) & 31));
+      pixel[2] = static_cast<uint8_t>(70 + ((h >> 10) & 31));
+    }
+  }
+  for (const FaceRegion& face : faces) {
+    // Skin base with light texture.
+    for (uint32_t y = face.y; y < std::min(height, face.y + face.height); ++y) {
+      for (uint32_t x = face.x; x < std::min(width, face.x + face.width); ++x) {
+        uint64_t h = Mix64(seed ^ 0x1234 ^ (static_cast<uint64_t>(y) << 32 | x));
+        uint8_t* pixel = image.PixelAt(x, y);
+        pixel[0] = static_cast<uint8_t>(200 + (h & 15));
+        pixel[1] = static_cast<uint8_t>(145 + ((h >> 4) & 15));
+        pixel[2] = static_cast<uint8_t>(110 + ((h >> 8) & 15));
+      }
+    }
+    // High-contrast features: two eyes and a mouth (dark pixels).
+    auto draw_dark = [&](uint32_t fx, uint32_t fy, uint32_t fw, uint32_t fh) {
+      for (uint32_t y = fy; y < std::min(height, fy + fh); ++y) {
+        for (uint32_t x = fx; x < std::min(width, fx + fw); ++x) {
+          uint8_t* pixel = image.PixelAt(x, y);
+          pixel[0] = 25;
+          pixel[1] = 20;
+          pixel[2] = 20;
+        }
+      }
+    };
+    uint32_t eye_w = std::max<uint32_t>(2, face.width / 6);
+    uint32_t eye_h = std::max<uint32_t>(2, face.height / 8);
+    draw_dark(face.x + face.width / 4, face.y + face.height / 3, eye_w, eye_h);
+    draw_dark(face.x + 2 * face.width / 3, face.y + face.height / 3, eye_w, eye_h);
+    draw_dark(face.x + face.width / 3, face.y + 3 * face.height / 4, face.width / 3,
+              std::max<uint32_t>(1, face.height / 12));
+  }
+  return image;
+}
+
+std::vector<FaceRegion> DetectFaces(const Image& image) {
+  constexpr uint32_t kBlock = 8;
+  uint32_t blocks_x = image.width / kBlock;
+  uint32_t blocks_y = image.height / kBlock;
+  std::vector<uint8_t> is_face_block(blocks_x * blocks_y, 0);
+
+  for (uint32_t by = 0; by < blocks_y; ++by) {
+    for (uint32_t bx = 0; bx < blocks_x; ++bx) {
+      int64_t sum_r = 0, sum_g = 0, sum_b = 0;
+      int64_t sum_lum = 0;
+      for (uint32_t y = by * kBlock; y < (by + 1) * kBlock; ++y) {
+        for (uint32_t x = bx * kBlock; x < (bx + 1) * kBlock; ++x) {
+          const uint8_t* pixel = image.PixelAt(x, y);
+          sum_r += pixel[0];
+          sum_g += pixel[1];
+          sum_b += pixel[2];
+          sum_lum += Luminance(pixel);
+        }
+      }
+      const int n = kBlock * kBlock;
+      int mean_r = static_cast<int>(sum_r / n);
+      int mean_g = static_cast<int>(sum_g / n);
+      int mean_b = static_cast<int>(sum_b / n);
+      if (!IsSkinTone(mean_r, mean_g, mean_b)) {
+        continue;
+      }
+      // Feature requirement: near-skin blocks only count when the face's
+      // dark features (eyes/mouth) are nearby. Look for strong darkness in
+      // the surrounding 3x3 block neighbourhood.
+      int mean_lum = static_cast<int>(sum_lum / n);
+      int dark_pixels = 0;
+      uint32_t x0 = bx > 0 ? (bx - 1) * kBlock : 0;
+      uint32_t y0 = by > 0 ? (by - 1) * kBlock : 0;
+      uint32_t x1 = std::min(image.width, (bx + 2) * kBlock);
+      uint32_t y1 = std::min(image.height, (by + 2) * kBlock);
+      for (uint32_t y = y0; y < y1; ++y) {
+        for (uint32_t x = x0; x < x1; ++x) {
+          if (Luminance(image.PixelAt(x, y)) < mean_lum - 60) {
+            ++dark_pixels;
+          }
+        }
+      }
+      if (dark_pixels >= 4) {
+        is_face_block[by * blocks_x + bx] = 1;
+      }
+    }
+  }
+
+  // Cluster marked blocks into bounding boxes with a simple flood fill.
+  std::vector<FaceRegion> faces;
+  std::vector<uint8_t> visited(is_face_block.size(), 0);
+  for (uint32_t by = 0; by < blocks_y; ++by) {
+    for (uint32_t bx = 0; bx < blocks_x; ++bx) {
+      uint32_t index = by * blocks_x + bx;
+      if (!is_face_block[index] || visited[index]) {
+        continue;
+      }
+      uint32_t min_x = bx, max_x = bx, min_y = by, max_y = by;
+      std::vector<uint32_t> stack = {index};
+      visited[index] = 1;
+      size_t count = 0;
+      while (!stack.empty()) {
+        uint32_t current = stack.back();
+        stack.pop_back();
+        ++count;
+        uint32_t cx = current % blocks_x;
+        uint32_t cy = current / blocks_x;
+        min_x = std::min(min_x, cx);
+        max_x = std::max(max_x, cx);
+        min_y = std::min(min_y, cy);
+        max_y = std::max(max_y, cy);
+        const int dx[] = {1, -1, 0, 0};
+        const int dy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          int64_t nx = static_cast<int64_t>(cx) + dx[d];
+          int64_t ny = static_cast<int64_t>(cy) + dy[d];
+          if (nx < 0 || ny < 0 || nx >= blocks_x || ny >= blocks_y) {
+            continue;
+          }
+          uint32_t neighbor = static_cast<uint32_t>(ny) * blocks_x + static_cast<uint32_t>(nx);
+          if (is_face_block[neighbor] && !visited[neighbor]) {
+            visited[neighbor] = 1;
+            stack.push_back(neighbor);
+          }
+        }
+      }
+      if (count >= 2) {
+        faces.push_back(FaceRegion{min_x * kBlock, min_y * kBlock,
+                                   (max_x - min_x + 1) * kBlock, (max_y - min_y + 1) * kBlock});
+      }
+    }
+  }
+  return faces;
+}
+
+void BlurRegion(Image& image, const FaceRegion& region, int radius) {
+  uint32_t x1 = std::min(image.width, region.x + region.width);
+  uint32_t y1 = std::min(image.height, region.y + region.height);
+  Image source = image;  // read from the unblurred copy
+  for (uint32_t y = region.y; y < y1; ++y) {
+    for (uint32_t x = region.x; x < x1; ++x) {
+      int64_t sum[3] = {0, 0, 0};
+      int count = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          int64_t sx = static_cast<int64_t>(x) + dx;
+          int64_t sy = static_cast<int64_t>(y) + dy;
+          if (sx < 0 || sy < 0 || sx >= image.width || sy >= image.height) {
+            continue;
+          }
+          const uint8_t* pixel = source.PixelAt(static_cast<uint32_t>(sx),
+                                                static_cast<uint32_t>(sy));
+          sum[0] += pixel[0];
+          sum[1] += pixel[1];
+          sum[2] += pixel[2];
+          ++count;
+        }
+      }
+      uint8_t* out = image.PixelAt(x, y);
+      for (int c = 0; c < 3; ++c) {
+        out[c] = static_cast<uint8_t>(sum[c] / count);
+      }
+    }
+  }
+}
+
+Image Downscale(const Image& image, uint32_t factor) {
+  NYMIX_CHECK(factor > 0);
+  Image out;
+  out.width = std::max<uint32_t>(1, image.width / factor);
+  out.height = std::max<uint32_t>(1, image.height / factor);
+  out.rgb.resize(static_cast<size_t>(out.width) * out.height * 3);
+  for (uint32_t y = 0; y < out.height; ++y) {
+    for (uint32_t x = 0; x < out.width; ++x) {
+      int64_t sum[3] = {0, 0, 0};
+      int count = 0;
+      for (uint32_t sy = y * factor; sy < std::min(image.height, (y + 1) * factor); ++sy) {
+        for (uint32_t sx = x * factor; sx < std::min(image.width, (x + 1) * factor); ++sx) {
+          const uint8_t* pixel = image.PixelAt(sx, sy);
+          sum[0] += pixel[0];
+          sum[1] += pixel[1];
+          sum[2] += pixel[2];
+          ++count;
+        }
+      }
+      uint8_t* out_pixel = out.PixelAt(x, y);
+      for (int c = 0; c < 3; ++c) {
+        out_pixel[c] = static_cast<uint8_t>(sum[c] / std::max(count, 1));
+      }
+    }
+  }
+  return out;
+}
+
+void AddNoise(Image& image, int amplitude, Prng& prng) {
+  NYMIX_CHECK(amplitude >= 0);
+  for (auto& byte : image.rgb) {
+    int delta = static_cast<int>(prng.NextBelow(2 * amplitude + 1)) - amplitude;
+    byte = static_cast<uint8_t>(std::clamp(static_cast<int>(byte) + delta, 0, 255));
+  }
+}
+
+Status EmbedWatermark(Image& image, uint32_t payload) {
+  uint64_t message = (static_cast<uint64_t>(WatermarkChecksum(payload)) << 32) | payload;
+  constexpr int kMessageBits = 48;
+  uint64_t pixels = static_cast<uint64_t>(image.width) * image.height;
+  if (pixels < static_cast<uint64_t>(kMessageBits) * kWatermarkRepeats) {
+    return InvalidArgumentError("image too small for watermark");
+  }
+  for (int repeat = 0; repeat < kWatermarkRepeats; ++repeat) {
+    for (int bit = 0; bit < kMessageBits; ++bit) {
+      size_t pixel_index = static_cast<size_t>(repeat) * kMessageBits + bit;
+      uint8_t& red = image.rgb[pixel_index * 3];
+      red = static_cast<uint8_t>((red & 0xfe) | ((message >> bit) & 1));
+    }
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> DetectWatermark(const Image& image) {
+  constexpr int kMessageBits = 48;
+  uint64_t pixels = static_cast<uint64_t>(image.width) * image.height;
+  if (pixels < static_cast<uint64_t>(kMessageBits) * kWatermarkRepeats) {
+    return NotFoundError("image too small to carry a watermark");
+  }
+  uint64_t message = 0;
+  for (int bit = 0; bit < kMessageBits; ++bit) {
+    int votes = 0;
+    for (int repeat = 0; repeat < kWatermarkRepeats; ++repeat) {
+      size_t pixel_index = static_cast<size_t>(repeat) * kMessageBits + bit;
+      votes += image.rgb[pixel_index * 3] & 1;
+    }
+    if (votes * 2 > kWatermarkRepeats) {
+      message |= uint64_t{1} << bit;
+    }
+  }
+  uint32_t payload = static_cast<uint32_t>(message);
+  uint16_t checksum = static_cast<uint16_t>(message >> 32);
+  if (checksum != WatermarkChecksum(payload)) {
+    return NotFoundError("no watermark present");
+  }
+  return payload;
+}
+
+}  // namespace nymix

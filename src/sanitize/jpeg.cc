@@ -1,0 +1,126 @@
+#include "src/sanitize/jpeg.h"
+
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+constexpr uint8_t kMarkerPrefix = 0xFF;
+constexpr uint8_t kSoi = 0xD8;
+constexpr uint8_t kEoi = 0xD9;
+constexpr uint8_t kApp1 = 0xE1;
+constexpr uint8_t kCom = 0xFE;
+constexpr uint8_t kSos = 0xDA;
+constexpr char kExifHeader[6] = {'E', 'x', 'i', 'f', 0, 0};
+
+void AppendSegment(Bytes& out, uint8_t marker, ByteSpan payload) {
+  out.push_back(kMarkerPrefix);
+  out.push_back(marker);
+  uint16_t length = static_cast<uint16_t>(payload.size() + 2);  // includes the length field
+  out.push_back(static_cast<uint8_t>(length >> 8));             // JPEG lengths are big-endian
+  out.push_back(static_cast<uint8_t>(length));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+bool LooksLikeJpeg(ByteSpan data) {
+  return data.size() >= 2 && data[0] == kMarkerPrefix && data[1] == kSoi;
+}
+
+Bytes EncodeJpeg(const JpegFile& jpeg) {
+  Bytes out;
+  out.push_back(kMarkerPrefix);
+  out.push_back(kSoi);
+
+  if (jpeg.exif.has_value() && !jpeg.exif->Empty()) {
+    Bytes payload(kExifHeader, kExifHeader + sizeof(kExifHeader));
+    Bytes tiff = EncodeExif(*jpeg.exif);
+    payload.insert(payload.end(), tiff.begin(), tiff.end());
+    AppendSegment(out, kApp1, payload);
+  }
+  if (jpeg.comment.has_value()) {
+    AppendSegment(out, kCom, BytesFromString(*jpeg.comment));
+  }
+
+  // SOS header carries our dimensions; scan data follows with 0xFF bytes
+  // stuffed as FF 00 (real JPEG byte stuffing) until EOI.
+  Bytes sos_header;
+  AppendU32(sos_header, jpeg.image.width);
+  AppendU32(sos_header, jpeg.image.height);
+  AppendSegment(out, kSos, sos_header);
+  for (uint8_t byte : jpeg.image.rgb) {
+    out.push_back(byte);
+    if (byte == kMarkerPrefix) {
+      out.push_back(0x00);
+    }
+  }
+  out.push_back(kMarkerPrefix);
+  out.push_back(kEoi);
+  return out;
+}
+
+Result<JpegFile> DecodeJpeg(ByteSpan data) {
+  if (!LooksLikeJpeg(data)) {
+    return DataLossError("missing SOI marker");
+  }
+  JpegFile jpeg;
+  size_t offset = 2;
+  while (offset + 4 <= data.size()) {
+    if (data[offset] != kMarkerPrefix) {
+      return DataLossError("expected marker prefix");
+    }
+    uint8_t marker = data[offset + 1];
+    uint16_t length = static_cast<uint16_t>((data[offset + 2] << 8) | data[offset + 3]);
+    if (length < 2 || offset + 2 + length > data.size()) {
+      return DataLossError("truncated JPEG segment");
+    }
+    ByteSpan payload = data.subspan(offset + 4, length - 2);
+    offset += 2 + length;
+
+    if (marker == kApp1 && payload.size() > sizeof(kExifHeader) &&
+        std::memcmp(payload.data(), kExifHeader, sizeof(kExifHeader)) == 0) {
+      NYMIX_ASSIGN_OR_RETURN(ExifData exif, DecodeExif(payload.subspan(sizeof(kExifHeader))));
+      jpeg.exif = exif;
+    } else if (marker == kCom) {
+      jpeg.comment = StringFromBytes(payload);
+    } else if (marker == kSos) {
+      size_t header_offset = 0;
+      NYMIX_ASSIGN_OR_RETURN(jpeg.image.width, ReadU32(payload, header_offset));
+      NYMIX_ASSIGN_OR_RETURN(jpeg.image.height, ReadU32(payload, header_offset));
+      // Scan data: unstuff FF 00, stop at FF D9.
+      jpeg.image.rgb.clear();
+      jpeg.image.rgb.reserve(static_cast<size_t>(jpeg.image.width) * jpeg.image.height * 3);
+      while (offset < data.size()) {
+        uint8_t byte = data[offset];
+        if (byte == kMarkerPrefix) {
+          if (offset + 1 >= data.size()) {
+            return DataLossError("truncated scan data");
+          }
+          uint8_t next = data[offset + 1];
+          if (next == 0x00) {
+            jpeg.image.rgb.push_back(kMarkerPrefix);
+            offset += 2;
+            continue;
+          }
+          if (next == kEoi) {
+            if (jpeg.image.rgb.size() !=
+                static_cast<size_t>(jpeg.image.width) * jpeg.image.height * 3) {
+              return DataLossError("scan data does not match dimensions");
+            }
+            return jpeg;
+          }
+          return DataLossError("unexpected marker in scan data");
+        }
+        jpeg.image.rgb.push_back(byte);
+        ++offset;
+      }
+      return DataLossError("missing EOI");
+    }
+    // Unknown segments (APP0 etc.) are skipped.
+  }
+  return DataLossError("no SOS segment");
+}
+
+}  // namespace nymix

@@ -1,0 +1,32 @@
+// JPEG-lite container: authentic JPEG marker framing (SOI, APP1/Exif, COM,
+// SOS with 0xFF byte stuffing, EOI) around an uncompressed pixel payload.
+// Entropy coding is out of scope — what the SaniVM scrubs and the tests
+// exercise is the metadata structure, which is byte-for-byte EXIF.
+#ifndef SRC_SANITIZE_JPEG_H_
+#define SRC_SANITIZE_JPEG_H_
+
+#include <optional>
+
+#include "src/sanitize/exif.h"
+#include "src/sanitize/image.h"
+
+namespace nymix {
+
+struct JpegFile {
+  Image image;
+  std::optional<ExifData> exif;
+  std::optional<std::string> comment;  // COM segment
+};
+
+// Serializes to bytes with real marker framing.
+Bytes EncodeJpeg(const JpegFile& jpeg);
+
+// Parses EncodeJpeg output (and tolerates unknown APPn segments).
+Result<JpegFile> DecodeJpeg(ByteSpan data);
+
+// True if the byte stream starts with SOI (FF D8).
+bool LooksLikeJpeg(ByteSpan data);
+
+}  // namespace nymix
+
+#endif  // SRC_SANITIZE_JPEG_H_

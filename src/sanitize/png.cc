@@ -1,0 +1,143 @@
+#include "src/sanitize/png.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace nymix {
+
+namespace {
+
+constexpr uint8_t kSignature[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'};
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table;
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+void AppendU32Be(Bytes& out, uint32_t value) {
+  out.push_back(static_cast<uint8_t>(value >> 24));
+  out.push_back(static_cast<uint8_t>(value >> 16));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t ReadU32Be(ByteSpan data, size_t offset) {
+  return (static_cast<uint32_t>(data[offset]) << 24) |
+         (static_cast<uint32_t>(data[offset + 1]) << 16) |
+         (static_cast<uint32_t>(data[offset + 2]) << 8) | data[offset + 3];
+}
+
+void AppendChunk(Bytes& out, const char type[4], ByteSpan payload) {
+  AppendU32Be(out, static_cast<uint32_t>(payload.size()));
+  Bytes crc_input(type, type + 4);
+  crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+  out.insert(out.end(), type, type + 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  AppendU32Be(out, Crc32(crc_input));
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteSpan data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+bool LooksLikePng(ByteSpan data) {
+  return data.size() >= 8 && std::memcmp(data.data(), kSignature, 8) == 0;
+}
+
+Bytes EncodePng(const PngFile& png) {
+  Bytes out(kSignature, kSignature + 8);
+
+  Bytes ihdr;
+  AppendU32Be(ihdr, png.image.width);
+  AppendU32Be(ihdr, png.image.height);
+  ihdr.push_back(8);  // bit depth
+  ihdr.push_back(2);  // color type: truecolor
+  ihdr.push_back(0);  // compression
+  ihdr.push_back(0);  // filter
+  ihdr.push_back(0);  // interlace
+  AppendChunk(out, "IHDR", ihdr);
+
+  for (const auto& [keyword, text] : png.text_entries) {
+    Bytes payload = BytesFromString(keyword);
+    payload.push_back(0);
+    Bytes value = BytesFromString(text);
+    payload.insert(payload.end(), value.begin(), value.end());
+    AppendChunk(out, "tEXt", payload);
+  }
+  if (png.exif.has_value() && !png.exif->Empty()) {
+    AppendChunk(out, "eXIf", EncodeExif(*png.exif));
+  }
+  AppendChunk(out, "IDAT", png.image.rgb);
+  AppendChunk(out, "IEND", {});
+  return out;
+}
+
+Result<PngFile> DecodePng(ByteSpan data) {
+  if (!LooksLikePng(data)) {
+    return DataLossError("missing PNG signature");
+  }
+  PngFile png;
+  size_t offset = 8;
+  bool saw_end = false;
+  while (offset + 12 <= data.size() && !saw_end) {
+    uint32_t length = ReadU32Be(data, offset);
+    if (offset + 12 + length > data.size()) {
+      return DataLossError("truncated PNG chunk");
+    }
+    const char* type = reinterpret_cast<const char*>(data.data() + offset + 4);
+    ByteSpan payload = data.subspan(offset + 8, length);
+    uint32_t stored_crc = ReadU32Be(data, offset + 8 + length);
+    Bytes crc_input(data.begin() + offset + 4, data.begin() + offset + 8 + length);
+    if (Crc32(crc_input) != stored_crc) {
+      return DataLossError(std::string("PNG chunk CRC mismatch: ") + std::string(type, 4));
+    }
+
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      if (length != 13) {
+        return DataLossError("bad IHDR length");
+      }
+      png.image.width = ReadU32Be(payload, 0);
+      png.image.height = ReadU32Be(payload, 4);
+    } else if (std::memcmp(type, "tEXt", 4) == 0) {
+      auto separator = std::find(payload.begin(), payload.end(), 0);
+      if (separator == payload.end()) {
+        return DataLossError("tEXt missing separator");
+      }
+      std::string keyword(payload.begin(), separator);
+      std::string text(separator + 1, payload.end());
+      png.text_entries[keyword] = text;
+    } else if (std::memcmp(type, "eXIf", 4) == 0) {
+      NYMIX_ASSIGN_OR_RETURN(ExifData exif, DecodeExif(payload));
+      png.exif = exif;
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      png.image.rgb.assign(payload.begin(), payload.end());
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      saw_end = true;
+    }
+    offset += 12 + length;
+  }
+  if (!saw_end) {
+    return DataLossError("missing IEND");
+  }
+  if (png.image.rgb.size() != static_cast<size_t>(png.image.width) * png.image.height * 3) {
+    return DataLossError("IDAT does not match IHDR dimensions");
+  }
+  return png;
+}
+
+}  // namespace nymix

@@ -1,0 +1,32 @@
+// PNG-lite container: real PNG framing — 8-byte signature, length/type/
+// data/CRC32 chunks, IHDR, textual metadata (tEXt), EXIF (eXIf chunk,
+// PNG 1.6 extension), raw IDAT payload, IEND. CRCs are genuine CRC32 and
+// are verified on parse, so corruption and truncation are detected.
+#ifndef SRC_SANITIZE_PNG_H_
+#define SRC_SANITIZE_PNG_H_
+
+#include <map>
+#include <optional>
+
+#include "src/sanitize/exif.h"
+#include "src/sanitize/image.h"
+
+namespace nymix {
+
+// CRC-32 (ISO 3309 / PNG polynomial); exposed for reuse and direct tests.
+uint32_t Crc32(ByteSpan data);
+
+struct PngFile {
+  Image image;
+  // tEXt entries: "Author", "Comment", "Software", location strings...
+  std::map<std::string, std::string> text_entries;
+  std::optional<ExifData> exif;  // eXIf chunk
+};
+
+Bytes EncodePng(const PngFile& png);
+Result<PngFile> DecodePng(ByteSpan data);
+bool LooksLikePng(ByteSpan data);
+
+}  // namespace nymix
+
+#endif  // SRC_SANITIZE_PNG_H_

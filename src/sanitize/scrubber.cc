@@ -1,0 +1,338 @@
+#include "src/sanitize/scrubber.h"
+
+#include <algorithm>
+
+namespace nymix {
+
+std::string_view FileKindName(FileKind kind) {
+  switch (kind) {
+    case FileKind::kJpeg:
+      return "JPEG";
+    case FileKind::kPng:
+      return "PNG";
+    case FileKind::kPdf:
+      return "PDF";
+    case FileKind::kDoc:
+      return "DOC";
+    case FileKind::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string_view RiskTypeName(RiskType type) {
+  switch (type) {
+    case RiskType::kGpsLocation:
+      return "gps-location";
+    case RiskType::kDeviceSerial:
+      return "device-serial";
+    case RiskType::kCameraModel:
+      return "camera-model";
+    case RiskType::kAuthorIdentity:
+      return "author-identity";
+    case RiskType::kTimestamp:
+      return "timestamp";
+    case RiskType::kSoftwareVersion:
+      return "software-version";
+    case RiskType::kComment:
+      return "comment";
+    case RiskType::kFace:
+      return "visible-face";
+    case RiskType::kHiddenContent:
+      return "hidden-content";
+    case RiskType::kRevisionHistory:
+      return "revision-history";
+  }
+  return "?";
+}
+
+FileKind DetectFileKind(ByteSpan data) {
+  if (LooksLikeJpeg(data)) {
+    return FileKind::kJpeg;
+  }
+  if (LooksLikePng(data)) {
+    return FileKind::kPng;
+  }
+  if (LooksLikePdf(data)) {
+    return FileKind::kPdf;
+  }
+  if (LooksLikeDoc(data)) {
+    return FileKind::kDoc;
+  }
+  return FileKind::kUnknown;
+}
+
+bool RiskReport::Has(RiskType type) const {
+  return std::any_of(risks.begin(), risks.end(),
+                     [type](const Risk& risk) { return risk.type == type; });
+}
+
+std::string RiskReport::Summary() const {
+  std::string out(FileKindName(kind));
+  out += ": ";
+  if (risks.empty()) {
+    out += "clean";
+    return out;
+  }
+  for (size_t i = 0; i < risks.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += RiskTypeName(risks[i].type);
+    if (!risks[i].detail.empty()) {
+      out += " (" + risks[i].detail + ")";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AnalyzeExif(const ExifData& exif, RiskReport& report) {
+  if (exif.gps.has_value()) {
+    report.risks.push_back(
+        Risk{RiskType::kGpsLocation, std::to_string(exif.gps->latitude) + "," +
+                                         std::to_string(exif.gps->longitude)});
+  }
+  if (exif.body_serial_number.has_value()) {
+    report.risks.push_back(Risk{RiskType::kDeviceSerial, *exif.body_serial_number});
+  }
+  if (exif.camera_make.has_value() || exif.camera_model.has_value()) {
+    report.risks.push_back(
+        Risk{RiskType::kCameraModel, exif.camera_model.value_or(exif.camera_make.value_or(""))});
+  }
+  if (exif.datetime_original.has_value()) {
+    report.risks.push_back(Risk{RiskType::kTimestamp, *exif.datetime_original});
+  }
+  if (exif.software.has_value()) {
+    report.risks.push_back(Risk{RiskType::kSoftwareVersion, *exif.software});
+  }
+}
+
+void AnalyzeFaces(const Image& image, RiskReport& report) {
+  auto faces = DetectFaces(image);
+  for (const FaceRegion& face : faces) {
+    report.risks.push_back(Risk{RiskType::kFace, std::to_string(face.width) + "x" +
+                                                     std::to_string(face.height) + "@" +
+                                                     std::to_string(face.x) + "," +
+                                                     std::to_string(face.y)});
+  }
+}
+
+}  // namespace
+
+Result<RiskReport> AnalyzeFile(ByteSpan data) {
+  RiskReport report;
+  report.kind = DetectFileKind(data);
+  switch (report.kind) {
+    case FileKind::kJpeg: {
+      NYMIX_ASSIGN_OR_RETURN(JpegFile jpeg, DecodeJpeg(data));
+      if (jpeg.exif.has_value()) {
+        AnalyzeExif(*jpeg.exif, report);
+      }
+      if (jpeg.comment.has_value()) {
+        report.risks.push_back(Risk{RiskType::kComment, *jpeg.comment});
+      }
+      AnalyzeFaces(jpeg.image, report);
+      return report;
+    }
+    case FileKind::kPng: {
+      NYMIX_ASSIGN_OR_RETURN(PngFile png, DecodePng(data));
+      if (png.exif.has_value()) {
+        AnalyzeExif(*png.exif, report);
+      }
+      for (const auto& [keyword, text] : png.text_entries) {
+        if (keyword == "Author" || keyword == "Artist") {
+          report.risks.push_back(Risk{RiskType::kAuthorIdentity, text});
+        } else if (keyword == "Software") {
+          report.risks.push_back(Risk{RiskType::kSoftwareVersion, text});
+        } else {
+          report.risks.push_back(Risk{RiskType::kComment, keyword + "=" + text});
+        }
+      }
+      AnalyzeFaces(png.image, report);
+      return report;
+    }
+    case FileKind::kPdf: {
+      NYMIX_ASSIGN_OR_RETURN(PdfFile pdf, DecodePdf(data));
+      if (pdf.info.author.has_value()) {
+        report.risks.push_back(Risk{RiskType::kAuthorIdentity, *pdf.info.author});
+      }
+      if (pdf.info.creator.has_value() || pdf.info.producer.has_value()) {
+        report.risks.push_back(Risk{RiskType::kSoftwareVersion,
+                                    pdf.info.creator.value_or("") + "/" +
+                                        pdf.info.producer.value_or("")});
+      }
+      if (pdf.info.creation_date.has_value()) {
+        report.risks.push_back(Risk{RiskType::kTimestamp, *pdf.info.creation_date});
+      }
+      for (const std::string& hidden : pdf.hidden_objects) {
+        report.risks.push_back(
+            Risk{RiskType::kHiddenContent, std::to_string(hidden.size()) + " hidden bytes"});
+      }
+      return report;
+    }
+    case FileKind::kDoc: {
+      NYMIX_ASSIGN_OR_RETURN(DocFile doc, DecodeDoc(data));
+      if (doc.properties.creator.has_value() || doc.properties.last_modified_by.has_value()) {
+        report.risks.push_back(Risk{RiskType::kAuthorIdentity,
+                                    doc.properties.creator.value_or("") + "/" +
+                                        doc.properties.last_modified_by.value_or("")});
+      }
+      if (doc.properties.company.has_value()) {
+        report.risks.push_back(Risk{RiskType::kAuthorIdentity, *doc.properties.company});
+      }
+      if (doc.properties.revision > 0 || doc.properties.editing_minutes > 0) {
+        report.risks.push_back(Risk{RiskType::kRevisionHistory,
+                                    "rev " + std::to_string(doc.properties.revision)});
+      }
+      for (const std::string& hidden : doc.hidden_runs) {
+        report.risks.push_back(
+            Risk{RiskType::kHiddenContent, std::to_string(hidden.size()) + " hidden chars"});
+      }
+      return report;
+    }
+    case FileKind::kUnknown:
+      return InvalidArgumentError("unrecognized file type");
+  }
+  return InternalError("unreachable");
+}
+
+Bytes BundleRasterPages(const std::vector<Image>& pages) {
+  Bytes out = {'N', 'R', 'B', '1'};
+  AppendU32(out, static_cast<uint32_t>(pages.size()));
+  for (const Image& page : pages) {
+    PngFile png;
+    png.image = page;
+    AppendLengthPrefixed(out, EncodePng(png));
+  }
+  return out;
+}
+
+Result<std::vector<Image>> UnbundleRasterPages(ByteSpan bundle) {
+  if (bundle.size() < 8 || bundle[0] != 'N' || bundle[1] != 'R' || bundle[2] != 'B' ||
+      bundle[3] != '1') {
+    return DataLossError("not a raster bundle");
+  }
+  size_t offset = 4;
+  NYMIX_ASSIGN_OR_RETURN(uint32_t count, ReadU32(bundle, offset));
+  std::vector<Image> pages;
+  for (uint32_t i = 0; i < count; ++i) {
+    NYMIX_ASSIGN_OR_RETURN(Bytes png_bytes, ReadLengthPrefixed(bundle, offset));
+    NYMIX_ASSIGN_OR_RETURN(PngFile png, DecodePng(png_bytes));
+    pages.push_back(std::move(png.image));
+  }
+  return pages;
+}
+
+namespace {
+
+FaceRegion ExpandRegion(const FaceRegion& region, uint32_t margin, const Image& image) {
+  FaceRegion out;
+  out.x = region.x > margin ? region.x - margin : 0;
+  out.y = region.y > margin ? region.y - margin : 0;
+  out.width = std::min<uint32_t>(image.width - out.x, region.width + 2 * margin);
+  out.height = std::min<uint32_t>(image.height - out.y, region.height + 2 * margin);
+  return out;
+}
+
+void ApplyVisualScrub(Image& image, const ScrubOptions& options, Prng& prng,
+                      std::vector<std::string>& actions) {
+  // Blur detected faces, then re-run the detector: a bounding box can clip
+  // a feature (mouth at the box edge), so iterate until the detector goes
+  // silent. Regions are expanded by the blur radius so edge pixels cannot
+  // pull unblurred features back in.
+  size_t total_blurred = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    auto faces = DetectFaces(image);
+    if (faces.empty()) {
+      break;
+    }
+    for (const FaceRegion& face : faces) {
+      BlurRegion(image, ExpandRegion(face, 2 * options.face_blur_radius, image),
+                 options.face_blur_radius);
+    }
+    total_blurred += faces.size();
+  }
+  if (total_blurred > 0) {
+    actions.push_back("blurred " + std::to_string(total_blurred) + " face region(s)");
+  }
+  if (options.downscale_factor > 1) {
+    image = Downscale(image, options.downscale_factor);
+    actions.push_back("downscaled by " + std::to_string(options.downscale_factor));
+  }
+  if (options.noise_amplitude > 0) {
+    AddNoise(image, options.noise_amplitude, prng);
+    actions.push_back("added +-" + std::to_string(options.noise_amplitude) + " noise");
+  }
+}
+
+}  // namespace
+
+Result<ScrubResult> ScrubFile(ByteSpan data, const ScrubOptions& options, Prng& prng) {
+  ScrubResult result;
+  NYMIX_ASSIGN_OR_RETURN(result.before, AnalyzeFile(data));
+
+  switch (result.before.kind) {
+    case FileKind::kJpeg: {
+      NYMIX_ASSIGN_OR_RETURN(JpegFile jpeg, DecodeJpeg(data));
+      jpeg.exif.reset();
+      jpeg.comment.reset();
+      result.actions.push_back("stripped EXIF and comments");
+      if (options.level != ParanoiaLevel::kMetadataOnly) {
+        ApplyVisualScrub(jpeg.image, options, prng, result.actions);
+      }
+      result.data = EncodeJpeg(jpeg);
+      break;
+    }
+    case FileKind::kPng: {
+      NYMIX_ASSIGN_OR_RETURN(PngFile png, DecodePng(data));
+      png.exif.reset();
+      png.text_entries.clear();
+      result.actions.push_back("stripped eXIf and tEXt chunks");
+      if (options.level != ParanoiaLevel::kMetadataOnly) {
+        ApplyVisualScrub(png.image, options, prng, result.actions);
+      }
+      result.data = EncodePng(png);
+      break;
+    }
+    case FileKind::kPdf: {
+      NYMIX_ASSIGN_OR_RETURN(PdfFile pdf, DecodePdf(data));
+      if (options.level == ParanoiaLevel::kRasterize) {
+        result.data = BundleRasterPages(RasterizePdf(pdf));
+        result.actions.push_back("rasterized PDF to bitmaps");
+        result.after.kind = FileKind::kUnknown;
+        result.after.risks.clear();
+        return result;
+      }
+      pdf.info = PdfInfo{};
+      result.actions.push_back("cleared /Info dictionary");
+      // Note: hidden unreferenced objects survive metadata-only scrubbing —
+      // this is the documented limitation that motivates rasterize mode.
+      result.data = EncodePdf(pdf);
+      break;
+    }
+    case FileKind::kDoc: {
+      NYMIX_ASSIGN_OR_RETURN(DocFile doc, DecodeDoc(data));
+      if (options.level == ParanoiaLevel::kRasterize) {
+        result.data = BundleRasterPages(RasterizeDoc(doc));
+        result.actions.push_back("rasterized DOC to bitmaps");
+        result.after.kind = FileKind::kUnknown;
+        result.after.risks.clear();
+        return result;
+      }
+      doc.properties = DocProperties{};
+      doc.hidden_runs.clear();
+      result.actions.push_back("cleared core properties and tracked changes");
+      result.data = EncodeDoc(doc);
+      break;
+    }
+    case FileKind::kUnknown:
+      return InvalidArgumentError("cannot scrub unrecognized file type");
+  }
+
+  NYMIX_ASSIGN_OR_RETURN(result.after, AnalyzeFile(result.data));
+  return result;
+}
+
+}  // namespace nymix

@@ -1,0 +1,84 @@
+// The SaniVM's scrubbing suite (§3.6/§4.3): automated risk analysis over
+// the supported file formats, and scrubbing transformations selectable by
+// "paranoia level":
+//   kMetadataOnly    — MAT mode: strip EXIF/tEXt/Info/core-properties.
+//   kMetadataAndVisual — additionally blur detected faces and add noise /
+//                        downscale to disrupt watermarks (images).
+//   kRasterize       — reconstruct documents as bitmaps; nothing but the
+//                      visible rendering survives.
+#ifndef SRC_SANITIZE_SCRUBBER_H_
+#define SRC_SANITIZE_SCRUBBER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sanitize/document.h"
+#include "src/sanitize/jpeg.h"
+#include "src/sanitize/png.h"
+
+namespace nymix {
+
+enum class FileKind { kJpeg, kPng, kPdf, kDoc, kUnknown };
+std::string_view FileKindName(FileKind kind);
+FileKind DetectFileKind(ByteSpan data);
+
+enum class RiskType {
+  kGpsLocation,
+  kDeviceSerial,
+  kCameraModel,
+  kAuthorIdentity,
+  kTimestamp,
+  kSoftwareVersion,
+  kComment,
+  kFace,
+  kHiddenContent,
+  kRevisionHistory,
+};
+std::string_view RiskTypeName(RiskType type);
+
+struct Risk {
+  RiskType type;
+  std::string detail;
+};
+
+struct RiskReport {
+  FileKind kind = FileKind::kUnknown;
+  std::vector<Risk> risks;
+
+  bool clean() const { return risks.empty(); }
+  bool Has(RiskType type) const;
+  std::string Summary() const;
+};
+
+// Inspects a file and lists everything that could identify the user — the
+// list Nymix presents before any cross-nym transfer.
+Result<RiskReport> AnalyzeFile(ByteSpan data);
+
+enum class ParanoiaLevel { kMetadataOnly, kMetadataAndVisual, kRasterize };
+
+struct ScrubOptions {
+  ParanoiaLevel level = ParanoiaLevel::kMetadataOnly;
+  int face_blur_radius = 6;
+  int noise_amplitude = 3;
+  uint32_t downscale_factor = 1;  // >1 also reduces resolution
+};
+
+struct ScrubResult {
+  Bytes data;              // the scrubbed replacement file
+  RiskReport before;       // what was found
+  RiskReport after;        // what remains (faces may survive kMetadataOnly)
+  std::vector<std::string> actions;  // human-readable transformation log
+};
+
+// Scrubs a file according to the options. Rasterize mode turns documents
+// into multi-page PNG bundles (one PNG per page, concatenated with a tiny
+// index header) and images into a metadata-free re-encode.
+Result<ScrubResult> ScrubFile(ByteSpan data, const ScrubOptions& options, Prng& prng);
+
+// Rasterized-bundle helpers (format: "NRB1", count, length-prefixed PNGs).
+Bytes BundleRasterPages(const std::vector<Image>& pages);
+Result<std::vector<Image>> UnbundleRasterPages(ByteSpan bundle);
+
+}  // namespace nymix
+
+#endif  // SRC_SANITIZE_SCRUBBER_H_

@@ -1,0 +1,34 @@
+#include "src/storage/local_store.h"
+
+namespace nymix {
+
+Status LocalStore::Put(const std::string& name, NymArchive archive) {
+  archives_[name] = std::move(archive);
+  return OkStatus();
+}
+
+Result<NymArchive> LocalStore::Get(const std::string& name) const {
+  auto it = archives_.find(name);
+  if (it == archives_.end()) {
+    return NotFoundError("no archive named " + name);
+  }
+  return it->second;
+}
+
+Status LocalStore::Delete(const std::string& name) {
+  if (archives_.erase(name) == 0) {
+    return NotFoundError("no archive named " + name);
+  }
+  return OkStatus();
+}
+
+std::vector<LocalStore::ForensicEntry> LocalStore::InspectDevice() const {
+  std::vector<ForensicEntry> out;
+  out.reserve(archives_.size());
+  for (const auto& [name, archive] : archives_) {
+    out.push_back(ForensicEntry{name, archive.sealed.size()});
+  }
+  return out;
+}
+
+}  // namespace nymix

@@ -1,0 +1,59 @@
+// NymArchive: the quasi-persistent nym state format (§3.5). Archiving a
+// nym serializes the AnonVM and CommVM writable layers, compresses them
+// with nymzip, and seals the result with ChaCha20-Poly1305 under a key
+// derived from the user's password (PBKDF2) with the nym name as salt.
+// The sequence number (save cycle) goes into the nonce and the AAD, so no
+// (key, nonce) pair repeats and a provider cannot splice versions.
+//
+// Figure 6 reports `logical_size`: synthetic bulk blobs (browser cache)
+// contribute their compressed-size estimate instead of materialized bytes,
+// so the archive's reported size tracks what a real system would upload.
+#ifndef SRC_STORAGE_NYM_ARCHIVE_H_
+#define SRC_STORAGE_NYM_ARCHIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/unionfs/mem_fs.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+struct NymArchive {
+  Bytes sealed;               // what is actually uploaded/stored
+  uint64_t logical_size = 0;  // sealed size + synthetic-content estimate
+  uint32_t sequence = 0;      // save-cycle counter (nonce/AAD input)
+};
+
+struct NymArchiveContents {
+  std::unique_ptr<MemFs> anonvm_writable;
+  std::unique_ptr<MemFs> commvm_writable;
+};
+
+class NymArchiver {
+ public:
+  static constexpr uint32_t kKdfIterations = 2048;
+
+  static Result<NymArchive> Seal(const MemFs& anonvm_writable, const MemFs& commvm_writable,
+                                 std::string_view nym_name, std::string_view password,
+                                 uint32_t sequence);
+
+  // Fails UNAUTHENTICATED on a wrong password or tampered/spliced archive.
+  static Result<NymArchiveContents> Open(ByteSpan sealed, std::string_view nym_name,
+                                         std::string_view password, uint32_t sequence);
+
+  // Fraction of the archive attributable to the AnonVM (the paper: "the
+  // AnonVM content accounting for 85% of the pseudonym size").
+  static double AnonVmFraction(const MemFs& anonvm_writable, const MemFs& commvm_writable);
+};
+
+// §3.5's proposed fix for the ephemeral-download-nym guard problem: derive
+// the entry-guard selection seed deterministically from the nym's storage
+// location and password, so every incarnation (including the one-shot
+// download nym) picks the same guard.
+uint64_t DeriveGuardSeed(std::string_view storage_location, std::string_view password);
+
+}  // namespace nymix
+
+#endif  // SRC_STORAGE_NYM_ARCHIVE_H_

@@ -1,0 +1,122 @@
+#include "src/unionfs/disk_image.h"
+
+namespace nymix {
+
+namespace {
+
+// Stable per-block digest material: 16 bytes of (seed, index).
+Sha256Digest BlockDigestFor(uint64_t seed, uint64_t block_index) {
+  Bytes material;
+  AppendU64(material, seed);
+  AppendU64(material, block_index);
+  return Sha256::Hash(material);
+}
+
+void PopulateDistributionFs(MemFs& fs, const std::string& name, uint64_t seed) {
+  Prng prng(seed);
+  NYMIX_CHECK(fs.Mkdir("/etc", true).ok());
+  NYMIX_CHECK(fs.Mkdir("/usr/bin", true).ok());
+  NYMIX_CHECK(fs.Mkdir("/usr/share/" + name, true).ok());
+  NYMIX_CHECK(fs.Mkdir("/var/lib", true).ok());
+  NYMIX_CHECK(fs.Mkdir("/home/user", true).ok());
+
+  NYMIX_CHECK(fs.WriteFile("/etc/hostname", Blob::FromString(name)).ok());
+  NYMIX_CHECK(fs.WriteFile("/etc/os-release",
+                           Blob::FromString("NAME=" + name + "\nVERSION=14.04\n"))
+                  .ok());
+  // Default rc.local and network config; configuration layers mask these
+  // per-role (§3.4: "network configuration files, the local startup script").
+  NYMIX_CHECK(fs.WriteFile("/etc/rc.local", Blob::FromString("#!/bin/sh\nexit 0\n")).ok());
+  NYMIX_CHECK(fs.WriteFile("/etc/network/interfaces",
+                           Blob::FromString("auto lo\niface lo inet loopback\n"))
+                  .ok());
+  NYMIX_CHECK(
+      fs.WriteFile("/etc/xdg/autostart/session.desktop", Blob::FromString("Exec=none\n")).ok());
+
+  // Application binaries as sized synthetic blobs; each VM role runs a
+  // subset of these from the shared base image.
+  NYMIX_CHECK(
+      fs.WriteFile("/usr/bin/chromium", Blob::Synthetic(90 * kMiB, prng.NextU64(), 0.6)).ok());
+  NYMIX_CHECK(fs.WriteFile("/usr/bin/tor", Blob::Synthetic(6 * kMiB, prng.NextU64(), 0.6)).ok());
+  NYMIX_CHECK(
+      fs.WriteFile("/usr/bin/dissent", Blob::Synthetic(14 * kMiB, prng.NextU64(), 0.6)).ok());
+  NYMIX_CHECK(fs.WriteFile("/usr/bin/mat", Blob::Synthetic(3 * kMiB, prng.NextU64(), 0.6)).ok());
+  NYMIX_CHECK(
+      fs.WriteFile("/usr/bin/nym-manager", Blob::Synthetic(2 * kMiB, prng.NextU64(), 0.6)).ok());
+}
+
+}  // namespace
+
+std::shared_ptr<BaseImage> BaseImage::CreateDistribution(std::string name, uint64_t seed,
+                                                         uint64_t size_bytes) {
+  NYMIX_CHECK(size_bytes % kDiskBlockSize == 0);
+  auto image = std::shared_ptr<BaseImage>(new BaseImage());
+  image->name_ = std::move(name);
+  image->seed_ = seed;
+  image->size_bytes_ = size_bytes;
+  image->fs_ = std::make_shared<MemFs>();
+  PopulateDistributionFs(*image->fs_, image->name_, seed);
+
+  uint64_t blocks = image->block_count();
+  image->block_digests_.reserve(blocks);
+  for (uint64_t i = 0; i < blocks; ++i) {
+    image->block_digests_.push_back(BlockDigestFor(seed, i));
+  }
+  image->merkle_ = MerkleTree::Build(image->block_digests_);
+  return image;
+}
+
+uint64_t BaseImage::BlockContentId(uint64_t block_index) const {
+  NYMIX_CHECK(block_index < block_digests_.size());
+  return DigestPrefix64(block_digests_[block_index]);
+}
+
+Sha256Digest BaseImage::ReadBlockDigest(uint64_t block_index) const {
+  NYMIX_CHECK(block_index < block_digests_.size());
+  return block_digests_[block_index];
+}
+
+bool BaseImage::VerifyBlock(uint64_t block_index) const {
+  auto proof = merkle_.ProveLeaf(block_index);
+  if (!proof.ok()) {
+    return false;
+  }
+  return MerkleTree::VerifyProof(merkle_.root(), ReadBlockDigest(block_index), *proof);
+}
+
+void BaseImage::TamperBlock(uint64_t block_index, uint64_t new_seed) {
+  NYMIX_CHECK(block_index < block_digests_.size());
+  block_digests_[block_index] = BlockDigestFor(new_seed ^ 0xdeadbeefULL, block_index);
+  ++mutation_count_;
+}
+
+VmDisk::VmDisk(std::shared_ptr<const BaseImage> base, std::shared_ptr<const MemFs> config,
+               uint64_t writable_capacity)
+    : base_(std::move(base)),
+      writable_capacity_(writable_capacity),
+      writable_(std::make_shared<MemFs>()) {
+  NYMIX_CHECK(base_ != nullptr);
+  std::vector<std::shared_ptr<const MemFs>> lower;
+  lower.push_back(base_->fs());
+  if (config != nullptr) {
+    lower.push_back(std::move(config));
+  }
+  union_fs_ = std::make_unique<UnionFs>(std::move(lower), writable_);
+}
+
+Status VmDisk::WriteFile(std::string_view path, Blob content) {
+  uint64_t existing = 0;
+  if (writable_->Exists(path) && !writable_->IsDirectory(path)) {
+    auto size = writable_->FileSize(path);
+    if (size.ok()) {
+      existing = *size;
+    }
+  }
+  uint64_t projected = writable_->TotalBytes() - existing + content.size();
+  if (projected > writable_capacity_) {
+    return ResourceExhaustedError("writable layer full: " + std::string(path));
+  }
+  return union_fs_->WriteFile(path, std::move(content));
+}
+
+}  // namespace nymix

@@ -1,0 +1,100 @@
+// BaseImage: the read-only OS partition on the Nymix USB stick, shared as
+// the bottom union-fs layer by the host and every AnonVM/CommVM (§3.4).
+// It exposes a block-level view (content ids + Merkle tree) so the
+// hypervisor can verify blocks against a well-known root before handing
+// them to a VM, and so KSM can dedup identically-backed guest pages.
+//
+// VmDisk: a capacity-limited union stack (base + config + writable) given
+// to one VM; all writes land in RAM.
+#ifndef SRC_UNIONFS_DISK_IMAGE_H_
+#define SRC_UNIONFS_DISK_IMAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/crypto/merkle.h"
+#include "src/unionfs/union_fs.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+
+inline constexpr uint64_t kDiskBlockSize = 4096;
+
+class BaseImage {
+ public:
+  // Builds a synthetic distribution image: `size_bytes` of blocks whose
+  // contents derive from `seed`, plus a populated root filesystem
+  // (/etc, /usr, browser and anonymizer binaries) used by the union stacks.
+  static std::shared_ptr<BaseImage> CreateDistribution(std::string name, uint64_t seed,
+                                                       uint64_t size_bytes);
+
+  const std::string& name() const { return name_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t block_count() const { return size_bytes_ / kDiskBlockSize; }
+
+  // Shared read-only filesystem view of the image.
+  std::shared_ptr<const MemFs> fs() const { return fs_; }
+
+  // 64-bit content identity of a block; identical across VMs using this
+  // image, which is what makes KSM effective.
+  uint64_t BlockContentId(uint64_t block_index) const;
+
+  // Block digest as read "from disk" — reflects tampering.
+  Sha256Digest ReadBlockDigest(uint64_t block_index) const;
+
+  const MerkleTree& merkle() const { return merkle_; }
+  const Sha256Digest& merkle_root() const { return merkle_.root(); }
+
+  // Verifies a block read against the well-known root (§3.4 mechanism).
+  bool VerifyBlock(uint64_t block_index) const;
+
+  // Simulates another OS modifying the partition while the USB stick was
+  // plugged in elsewhere: the stored block changes, the published root
+  // does not.
+  void TamperBlock(uint64_t block_index, uint64_t new_seed);
+
+  // Bumped on every TamperBlock; verification layers use it to cache a
+  // full-image check.
+  uint64_t mutation_count() const { return mutation_count_; }
+
+ private:
+  BaseImage() = default;
+
+  std::string name_;
+  uint64_t seed_ = 0;
+  uint64_t size_bytes_ = 0;
+  std::shared_ptr<MemFs> fs_;
+  std::vector<Sha256Digest> block_digests_;  // current on-disk state
+  MerkleTree merkle_;                        // built at distribution time
+  uint64_t mutation_count_ = 0;
+};
+
+class VmDisk {
+ public:
+  // `config` may be null (no configuration layer).
+  VmDisk(std::shared_ptr<const BaseImage> base, std::shared_ptr<const MemFs> config,
+         uint64_t writable_capacity);
+
+  UnionFs& fs() { return *union_fs_; }
+  const UnionFs& fs() const { return *union_fs_; }
+
+  // Capacity-enforcing write into the RAM-backed layer.
+  Status WriteFile(std::string_view path, Blob content);
+
+  uint64_t writable_capacity() const { return writable_capacity_; }
+  uint64_t writable_used() const { return union_fs_->WritableBytes(); }
+
+  const std::shared_ptr<const BaseImage>& base() const { return base_; }
+
+  void DiscardWritable() { union_fs_->DiscardWritable(); }
+
+ private:
+  std::shared_ptr<const BaseImage> base_;
+  uint64_t writable_capacity_;
+  std::shared_ptr<MemFs> writable_;
+  std::unique_ptr<UnionFs> union_fs_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_UNIONFS_DISK_IMAGE_H_

@@ -1,0 +1,260 @@
+#include "src/unionfs/mem_fs.h"
+
+#include <algorithm>
+
+namespace nymix {
+
+std::unique_ptr<MemFs> MemFs::Clone() const {
+  auto copy = std::make_unique<MemFs>();
+  CloneInto(root_, copy->root_);
+  copy->total_bytes_ = total_bytes_;
+  copy->file_count_ = file_count_;
+  return copy;
+}
+
+void MemFs::CloneInto(const Node& from, Node& to) {
+  to.is_directory = from.is_directory;
+  to.content = from.content;
+  for (const auto& [name, child] : from.children) {
+    auto cloned = std::make_unique<Node>();
+    CloneInto(*child, *cloned);
+    to.children.emplace(name, std::move(cloned));
+  }
+}
+
+const MemFs::Node* MemFs::Find(const std::vector<std::string>& components) const {
+  const Node* node = &root_;
+  for (const auto& component : components) {
+    if (!node->is_directory) {
+      return nullptr;
+    }
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+MemFs::Node* MemFs::Find(const std::vector<std::string>& components) {
+  return const_cast<Node*>(static_cast<const MemFs*>(this)->Find(components));
+}
+
+Result<MemFs::Node*> MemFs::FindParent(const std::vector<std::string>& components, bool create) {
+  NYMIX_CHECK(!components.empty());
+  Node* node = &root_;
+  for (size_t i = 0; i + 1 < components.size(); ++i) {
+    if (!node->is_directory) {
+      return FailedPreconditionError("path component is a file: " + components[i]);
+    }
+    auto it = node->children.find(components[i]);
+    if (it == node->children.end()) {
+      if (!create) {
+        return NotFoundError("missing directory: " + components[i]);
+      }
+      auto dir = std::make_unique<Node>();
+      dir->is_directory = true;
+      it = node->children.emplace(components[i], std::move(dir)).first;
+    }
+    node = it->second.get();
+  }
+  if (!node->is_directory) {
+    return FailedPreconditionError("parent is a file");
+  }
+  return node;
+}
+
+Status MemFs::Mkdir(std::string_view path, bool recursive) {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  if (components.empty()) {
+    return OkStatus();  // "/" always exists
+  }
+  NYMIX_ASSIGN_OR_RETURN(Node * parent, FindParent(components, recursive));
+  const std::string& name = components.back();
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    if (it->second->is_directory) {
+      return recursive ? OkStatus() : AlreadyExistsError("directory exists: " + std::string(path));
+    }
+    return AlreadyExistsError("file exists at: " + std::string(path));
+  }
+  auto dir = std::make_unique<Node>();
+  dir->is_directory = true;
+  parent->children.emplace(name, std::move(dir));
+  return OkStatus();
+}
+
+Status MemFs::WriteFile(std::string_view path, Blob content) {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  if (components.empty()) {
+    return InvalidArgumentError("cannot write to '/'");
+  }
+  NYMIX_ASSIGN_OR_RETURN(Node * parent, FindParent(components, /*create=*/true));
+  const std::string& name = components.back();
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    if (it->second->is_directory) {
+      return FailedPreconditionError("directory exists at: " + std::string(path));
+    }
+    total_bytes_ -= it->second->content.size();
+    total_bytes_ += content.size();
+    it->second->content = std::move(content);
+    return OkStatus();
+  }
+  auto file = std::make_unique<Node>();
+  file->is_directory = false;
+  total_bytes_ += content.size();
+  ++file_count_;
+  file->content = std::move(content);
+  parent->children.emplace(name, std::move(file));
+  return OkStatus();
+}
+
+Result<Blob> MemFs::ReadFile(std::string_view path) const {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  const Node* node = Find(components);
+  if (node == nullptr) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
+  if (node->is_directory) {
+    return FailedPreconditionError("is a directory: " + std::string(path));
+  }
+  return node->content;
+}
+
+Status MemFs::Unlink(std::string_view path) {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  if (components.empty()) {
+    return InvalidArgumentError("cannot unlink '/'");
+  }
+  NYMIX_ASSIGN_OR_RETURN(Node * parent, FindParent(components, /*create=*/false));
+  auto it = parent->children.find(components.back());
+  if (it == parent->children.end() || it->second->is_directory) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
+  total_bytes_ -= it->second->content.size();
+  --file_count_;
+  parent->children.erase(it);
+  return OkStatus();
+}
+
+Status MemFs::Remove(std::string_view path, bool recursive) {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  if (components.empty()) {
+    return InvalidArgumentError("cannot remove '/'");
+  }
+  NYMIX_ASSIGN_OR_RETURN(Node * parent, FindParent(components, /*create=*/false));
+  auto it = parent->children.find(components.back());
+  if (it == parent->children.end()) {
+    return NotFoundError("no such path: " + std::string(path));
+  }
+  Node* node = it->second.get();
+  if (node->is_directory && !node->children.empty() && !recursive) {
+    return FailedPreconditionError("directory not empty: " + std::string(path));
+  }
+  size_t removed_files = 0;
+  uint64_t removed_bytes = SubtreeBytes(*node, removed_files);
+  total_bytes_ -= removed_bytes;
+  file_count_ -= removed_files;
+  parent->children.erase(it);
+  return OkStatus();
+}
+
+Status MemFs::Rename(std::string_view from, std::string_view to) {
+  NYMIX_ASSIGN_OR_RETURN(auto from_components, SplitPath(from));
+  NYMIX_ASSIGN_OR_RETURN(auto to_components, SplitPath(to));
+  if (from_components.empty() || to_components.empty()) {
+    return InvalidArgumentError("cannot rename '/'");
+  }
+  NYMIX_ASSIGN_OR_RETURN(Node * from_parent, FindParent(from_components, /*create=*/false));
+  auto it = from_parent->children.find(from_components.back());
+  if (it == from_parent->children.end()) {
+    return NotFoundError("no such path: " + std::string(from));
+  }
+  if (Exists(to)) {
+    return AlreadyExistsError("destination exists: " + std::string(to));
+  }
+  std::unique_ptr<Node> node = std::move(it->second);
+  from_parent->children.erase(it);
+  NYMIX_ASSIGN_OR_RETURN(Node * to_parent, FindParent(to_components, /*create=*/true));
+  to_parent->children.emplace(to_components.back(), std::move(node));
+  return OkStatus();
+}
+
+bool MemFs::Exists(std::string_view path) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) {
+    return false;
+  }
+  return Find(*components) != nullptr;
+}
+
+bool MemFs::IsDirectory(std::string_view path) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) {
+    return false;
+  }
+  const Node* node = Find(*components);
+  return node != nullptr && node->is_directory;
+}
+
+Result<uint64_t> MemFs::FileSize(std::string_view path) const {
+  NYMIX_ASSIGN_OR_RETURN(Blob blob, ReadFile(path));
+  return blob.size();
+}
+
+Result<std::vector<DirEntry>> MemFs::List(std::string_view path) const {
+  NYMIX_ASSIGN_OR_RETURN(auto components, SplitPath(path));
+  const Node* node = Find(components);
+  if (node == nullptr) {
+    return NotFoundError("no such directory: " + std::string(path));
+  }
+  if (!node->is_directory) {
+    return FailedPreconditionError("not a directory: " + std::string(path));
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    entries.push_back(DirEntry{name, child->is_directory,
+                               child->is_directory ? 0 : child->content.size()});
+  }
+  return entries;
+}
+
+void MemFs::ForEachFile(
+    const std::function<void(const std::string&, const Blob&)>& visit) const {
+  std::function<void(const Node&, const std::string&)> walk = [&](const Node& node,
+                                                                  const std::string& prefix) {
+    for (const auto& [name, child] : node.children) {
+      std::string child_path = prefix + "/" + name;
+      if (child->is_directory) {
+        walk(*child, child_path);
+      } else {
+        visit(child_path, child->content);
+      }
+    }
+  };
+  walk(root_, "");
+}
+
+void MemFs::WipeAll() {
+  root_.children.clear();
+  total_bytes_ = 0;
+  file_count_ = 0;
+}
+
+uint64_t MemFs::SubtreeBytes(const Node& node, size_t& files) {
+  if (!node.is_directory) {
+    ++files;
+    return node.content.size();
+  }
+  uint64_t total = 0;
+  for (const auto& [name, child] : node.children) {
+    (void)name;
+    total += SubtreeBytes(*child, files);
+  }
+  return total;
+}
+
+}  // namespace nymix

@@ -1,0 +1,26 @@
+// Filesystem (de)serialization used when archiving a nym's writable layers
+// (§3.5). Synthetic blobs serialize as metadata, so archiving an 80 MB
+// browser cache does not materialize 80 MB; logical sizes are preserved and
+// reported separately (see storage/nym_archive.h).
+#ifndef SRC_UNIONFS_SERIALIZE_H_
+#define SRC_UNIONFS_SERIALIZE_H_
+
+#include "src/unionfs/mem_fs.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+// Serializes every file (path + blob). Empty directories are not preserved,
+// like a tar of regular files.
+Bytes SerializeMemFs(const MemFs& fs);
+
+Result<std::unique_ptr<MemFs>> DeserializeMemFs(ByteSpan data);
+
+// Logical payload size of the filesystem after nymzip would have run:
+// real bytes compress for real; synthetic blobs contribute their estimate.
+uint64_t EstimateCompressedPayload(const MemFs& fs);
+
+}  // namespace nymix
+
+#endif  // SRC_UNIONFS_SERIALIZE_H_

@@ -1,0 +1,143 @@
+#include "src/unionfs/union_fs.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nymix {
+
+UnionFs::UnionFs(std::vector<std::shared_ptr<const MemFs>> lower,
+                 std::shared_ptr<MemFs> writable)
+    : lower_(std::move(lower)), writable_(std::move(writable)) {
+  NYMIX_CHECK(writable_ != nullptr);
+}
+
+std::string UnionFs::WhiteoutName(std::string_view name) {
+  return ".wh." + std::string(name);
+}
+
+bool UnionFs::IsWhiteout(std::string_view path) const {
+  std::string marker = ParentPath(path);
+  if (marker != "/") {
+    marker += "/";
+  }
+  marker += WhiteoutName(BasenameOf(path));
+  return writable_->Exists(marker);
+}
+
+bool UnionFs::ExistsInLower(std::string_view path) const {
+  for (auto it = lower_.rbegin(); it != lower_.rend(); ++it) {
+    if ((*it)->Exists(path)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Blob> UnionFs::ReadFile(std::string_view path) const {
+  if (IsWhiteout(path)) {
+    return NotFoundError("deleted (whiteout): " + std::string(path));
+  }
+  if (writable_->Exists(path)) {
+    return writable_->ReadFile(path);
+  }
+  for (auto it = lower_.rbegin(); it != lower_.rend(); ++it) {
+    if ((*it)->Exists(path)) {
+      return (*it)->ReadFile(path);
+    }
+  }
+  return NotFoundError("no such file: " + std::string(path));
+}
+
+Status UnionFs::WriteFile(std::string_view path, Blob content) {
+  // Writing resurrects a whiteout-deleted name.
+  std::string marker = ParentPath(path);
+  if (marker != "/") {
+    marker += "/";
+  }
+  marker += WhiteoutName(BasenameOf(path));
+  if (writable_->Exists(marker)) {
+    NYMIX_RETURN_IF_ERROR(writable_->Unlink(marker));
+  }
+  return writable_->WriteFile(path, std::move(content));
+}
+
+Status UnionFs::Unlink(std::string_view path) {
+  bool in_writable = writable_->Exists(path) && !writable_->IsDirectory(path);
+  bool in_lower = !IsWhiteout(path) && ExistsInLower(path);
+  if (!in_writable && !in_lower) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
+  if (in_writable) {
+    NYMIX_RETURN_IF_ERROR(writable_->Unlink(path));
+  }
+  if (in_lower) {
+    std::string marker = ParentPath(path);
+    if (marker != "/") {
+      marker += "/";
+    }
+    marker += WhiteoutName(BasenameOf(path));
+    NYMIX_RETURN_IF_ERROR(writable_->WriteFile(marker, Blob::FromBytes({})));
+  }
+  return OkStatus();
+}
+
+Status UnionFs::Mkdir(std::string_view path, bool recursive) {
+  if (Exists(path)) {
+    return recursive ? OkStatus() : AlreadyExistsError("exists: " + std::string(path));
+  }
+  return writable_->Mkdir(path, recursive);
+}
+
+bool UnionFs::Exists(std::string_view path) const {
+  if (IsWhiteout(path)) {
+    return false;
+  }
+  if (writable_->Exists(path)) {
+    return true;
+  }
+  return ExistsInLower(path);
+}
+
+Result<std::vector<DirEntry>> UnionFs::List(std::string_view path) const {
+  std::map<std::string, DirEntry> merged;
+  bool any_layer_has_dir = false;
+
+  auto merge_layer = [&](const MemFs& layer) {
+    if (!layer.IsDirectory(path)) {
+      return;
+    }
+    any_layer_has_dir = true;
+    auto entries = layer.List(path);
+    if (!entries.ok()) {
+      return;
+    }
+    for (auto& entry : *entries) {
+      merged[entry.name] = entry;  // upper layers overwrite lower entries
+    }
+  };
+
+  for (const auto& layer : lower_) {
+    merge_layer(*layer);
+  }
+  merge_layer(*writable_);
+
+  if (!any_layer_has_dir) {
+    return NotFoundError("no such directory: " + std::string(path));
+  }
+
+  // Apply whiteouts and strip the markers themselves.
+  std::vector<DirEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [name, entry] : merged) {
+    if (name.rfind(".wh.", 0) == 0) {
+      continue;
+    }
+    if (merged.count(WhiteoutName(name)) > 0) {
+      continue;
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace nymix

@@ -1,0 +1,58 @@
+// UnionFs: OverlayFS-style stacking (§3.4/§4.2). Each VM sees three layers:
+//   base image (read-only, shared with the host and all other VMs)
+//   configuration layer (read-only, differentiates AnonVM/CommVM/SaniVM)
+//   writable layer (RAM-backed tmpfs; discarded or archived at shutdown)
+// Reads resolve top-down; writes copy-on-write into the writable layer;
+// deletions of lower-layer files leave whiteout markers.
+#ifndef SRC_UNIONFS_UNION_FS_H_
+#define SRC_UNIONFS_UNION_FS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/unionfs/mem_fs.h"
+
+namespace nymix {
+
+class UnionFs {
+ public:
+  // `lower` is ordered bottom-to-top; `writable` is the tmpfs layer. Lower
+  // layers are shared (never written through); the writable layer is owned
+  // by the caller and mutated only through this union.
+  UnionFs(std::vector<std::shared_ptr<const MemFs>> lower, std::shared_ptr<MemFs> writable);
+
+  Result<Blob> ReadFile(std::string_view path) const;
+  Status WriteFile(std::string_view path, Blob content);
+  Status Unlink(std::string_view path);
+  Status Mkdir(std::string_view path, bool recursive = false);
+  bool Exists(std::string_view path) const;
+
+  // Merged directory listing with whiteouts applied; entries sorted by name.
+  Result<std::vector<DirEntry>> List(std::string_view path) const;
+
+  // True if the path currently resolves to a whiteout (deleted lower file).
+  bool IsWhiteout(std::string_view path) const;
+
+  // The writable layer is what gets archived/persisted (§3.5) and measured
+  // (Fig. 6).
+  const MemFs& writable() const { return *writable_; }
+  MemFs& writable_mutable() { return *writable_; }
+  uint64_t WritableBytes() const { return writable_->TotalBytes(); }
+
+  // Discards all writable state (whiteouts included): nym amnesia.
+  void DiscardWritable() { writable_->WipeAll(); }
+
+  // Whiteout marker name for a deleted entry, OverlayFS-style.
+  static std::string WhiteoutName(std::string_view name);
+
+ private:
+  bool ExistsInLower(std::string_view path) const;
+
+  std::vector<std::shared_ptr<const MemFs>> lower_;
+  std::shared_ptr<MemFs> writable_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_UNIONFS_UNION_FS_H_

@@ -1,0 +1,59 @@
+// Blob: file content that is either real bytes (scrubbers parse them) or
+// synthetic (size + seed) for bulk data like browser-cache entries, so an
+// eight-nym experiment does not materialize gigabytes of buffers. Synthetic
+// blobs still hash and "compress" deterministically from their seed.
+#ifndef SRC_UTIL_BLOB_H_
+#define SRC_UTIL_BLOB_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace nymix {
+
+class Blob {
+ public:
+  Blob() = default;
+
+  static Blob FromBytes(Bytes data);
+  static Blob FromString(std::string_view text);
+
+  // Synthetic content of `size` bytes determined by `seed`. `entropy` in
+  // [0,1] models how compressible the content is (0 = all zeros, 1 = random);
+  // it only affects CompressedSizeEstimate.
+  static Blob Synthetic(uint64_t size, uint64_t seed, double entropy = 0.8);
+
+  uint64_t size() const { return size_; }
+  bool is_synthetic() const { return synthetic_; }
+  double entropy() const { return entropy_; }
+  // Generation seed; meaningful only for synthetic blobs (zero otherwise).
+  uint64_t seed() const { return seed_; }
+
+  // 64-bit content identity: equal blobs hash equal; synthetic blobs hash
+  // from (size, seed) without materializing.
+  uint64_t ContentHash() const;
+
+  // Real bytes. For synthetic blobs this materializes patterned content
+  // (deterministic in the seed) — callers should avoid it for bulk data.
+  Bytes Materialize() const;
+
+  // Size the nymzip compressor would produce, without running it for
+  // synthetic content.
+  uint64_t CompressedSizeEstimate() const;
+
+  // Direct access for real blobs; CHECKs on synthetic ones.
+  const Bytes& bytes() const;
+
+  bool operator==(const Blob& other) const { return ContentHash() == other.ContentHash(); }
+
+ private:
+  bool synthetic_ = false;
+  uint64_t size_ = 0;
+  uint64_t seed_ = 0;
+  double entropy_ = 0.8;
+  Bytes data_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_UTIL_BLOB_H_

@@ -1,0 +1,150 @@
+#include "src/util/bytes.h"
+
+#include <cstdio>
+
+namespace nymix {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(ByteSpan data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return InvalidArgumentError("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgumentError("hex string has non-hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes BytesFromString(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string StringFromBytes(ByteSpan data) {
+  return std::string(data.begin(), data.end());
+}
+
+void AppendU16(Bytes& out, uint16_t value) {
+  out.push_back(static_cast<uint8_t>(value));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+void AppendU32(Bytes& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void AppendU64(Bytes& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+Result<uint16_t> ReadU16(ByteSpan data, size_t& offset) {
+  if (offset + 2 > data.size()) {
+    return DataLossError("buffer too short for u16");
+  }
+  uint16_t value = static_cast<uint16_t>(data[offset] | (data[offset + 1] << 8));
+  offset += 2;
+  return value;
+}
+
+Result<uint32_t> ReadU32(ByteSpan data, size_t& offset) {
+  if (offset + 4 > data.size()) {
+    return DataLossError("buffer too short for u32");
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(data[offset + i]) << (8 * i);
+  }
+  offset += 4;
+  return value;
+}
+
+Result<uint64_t> ReadU64(ByteSpan data, size_t& offset) {
+  if (offset + 8 > data.size()) {
+    return DataLossError("buffer too short for u64");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data[offset + i]) << (8 * i);
+  }
+  offset += 8;
+  return value;
+}
+
+void AppendLengthPrefixed(Bytes& out, ByteSpan data) {
+  AppendU32(out, static_cast<uint32_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+Result<Bytes> ReadLengthPrefixed(ByteSpan data, size_t& offset) {
+  NYMIX_ASSIGN_OR_RETURN(uint32_t length, ReadU32(data, offset));
+  if (offset + length > data.size()) {
+    return DataLossError("buffer too short for length-prefixed field");
+  }
+  Bytes out(data.begin() + offset, data.begin() + offset + length);
+  offset += length;
+  return out;
+}
+
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+std::string FormatSize(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace nymix

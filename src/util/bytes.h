@@ -1,0 +1,56 @@
+// Byte-buffer helpers shared across the Nymix libraries.
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace nymix {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Size units. Disk/RAM sizes in the paper are given in binary megabytes.
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Lowercase hex rendering of a byte buffer.
+std::string HexEncode(ByteSpan data);
+
+// Parses lowercase/uppercase hex; fails on odd length or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+// UTF-8/ASCII string <-> bytes conversions.
+Bytes BytesFromString(std::string_view text);
+std::string StringFromBytes(ByteSpan data);
+
+// Appends fixed-width little-endian integers; used by serialization code.
+void AppendU16(Bytes& out, uint16_t value);
+void AppendU32(Bytes& out, uint32_t value);
+void AppendU64(Bytes& out, uint64_t value);
+
+// Reads fixed-width little-endian integers at an offset, advancing it.
+// Fails (DATA_LOSS) when the buffer is too short.
+Result<uint16_t> ReadU16(ByteSpan data, size_t& offset);
+Result<uint32_t> ReadU32(ByteSpan data, size_t& offset);
+Result<uint64_t> ReadU64(ByteSpan data, size_t& offset);
+
+// Appends a length-prefixed (u32) byte string / reads one back.
+void AppendLengthPrefixed(Bytes& out, ByteSpan data);
+Result<Bytes> ReadLengthPrefixed(ByteSpan data, size_t& offset);
+
+// Constant-time comparison for MAC verification.
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b);
+
+// "12.3 MB"-style rendering used by benches and examples.
+std::string FormatSize(uint64_t bytes);
+
+}  // namespace nymix
+
+#endif  // SRC_UTIL_BYTES_H_

@@ -1,0 +1,27 @@
+// Invariant checking. NYMIX_CHECK aborts on violated invariants in all build
+// modes; it is for programmer errors, never for expected runtime failures
+// (those use Status/Result in src/util/status.h).
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NYMIX_CHECK(cond)                                                                   \
+  do {                                                                                      \
+    if (!(cond)) {                                                                          \
+      std::fprintf(stderr, "NYMIX_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                         \
+    }                                                                                       \
+  } while (0)
+
+#define NYMIX_CHECK_MSG(cond, msg)                                                        \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "NYMIX_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__,  \
+                   #cond, msg);                                                           \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+#include "src/util/event_loop.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace nymix {
+
+uint64_t EventLoop::ScheduleAfter(SimDuration delay, Callback fn) {
+  NYMIX_CHECK(delay >= 0);
+  return ScheduleAt(clock_.now() + delay, std::move(fn));
+}
+
+uint64_t EventLoop::ScheduleAt(SimTime when, Callback fn) {
+  if (when < clock_.now()) {
+    when = clock_.now();
+  }
+  uint64_t id = next_id_++;
+  heap_.push(Event{when, next_sequence_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventLoop::Cancel(uint64_t event_id) {
+  auto it = callbacks_.find(event_id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.push_back(event_id);
+  return true;
+}
+
+bool EventLoop::RunOne() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(event.id);
+    if (it == callbacks_.end()) {
+      // Cancelled event still sitting in the heap; drop its tombstone.
+      auto tomb = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+      if (tomb != cancelled_.end()) {
+        cancelled_.erase(tomb);
+      }
+      continue;
+    }
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    clock_.AdvanceTo(event.when);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::RunUntilIdle() {
+  size_t count = 0;
+  while (RunOne()) {
+    ++count;
+  }
+  return count;
+}
+
+size_t EventLoop::RunUntil(SimTime deadline) {
+  size_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    if (RunOne()) {
+      ++count;
+    }
+  }
+  clock_.AdvanceTo(deadline);
+  return count;
+}
+
+bool EventLoop::RunUntilCondition(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!RunOne()) {
+      return done();
+    }
+  }
+  return true;
+}
+
+}  // namespace nymix

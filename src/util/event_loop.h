@@ -1,0 +1,75 @@
+// Discrete-event simulation loop: a priority queue of timestamped callbacks
+// over a SimClock. This is the heartbeat of every substrate model (network
+// flows, VM boot phases, KSM scans, anonymizer handshakes).
+#ifndef SRC_UTIL_EVENT_LOOP_H_
+#define SRC_UTIL_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/sim_clock.h"
+
+namespace nymix {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimClock& clock() { return clock_; }
+  SimTime now() const { return clock_.now(); }
+
+  // Schedules `fn` to run `delay` after the current virtual time.
+  // Events at equal times run in scheduling (FIFO) order.
+  uint64_t ScheduleAfter(SimDuration delay, Callback fn);
+
+  // Schedules `fn` at an absolute virtual time (clamped to now).
+  uint64_t ScheduleAt(SimTime when, Callback fn);
+
+  // Cancels a pending event; returns false if it already ran or is unknown.
+  bool Cancel(uint64_t event_id);
+
+  // Runs events until none remain. Returns the number of events executed.
+  size_t RunUntilIdle();
+
+  // Runs events with timestamps <= deadline, then advances the clock to the
+  // deadline. Returns the number of events executed.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs until `done` returns true or no events remain; returns whether the
+  // predicate was satisfied.
+  bool RunUntilCondition(const std::function<bool()>& done);
+
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    uint64_t id;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  // Pops and executes the earliest pending event; false if none.
+  bool RunOne();
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::vector<uint64_t> cancelled_;  // ids cancelled but still in the heap
+  std::unordered_map<uint64_t, Callback> callbacks_;
+  uint64_t next_id_ = 1;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_UTIL_EVENT_LOOP_H_

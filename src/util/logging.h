@@ -1,0 +1,42 @@
+// Minimal leveled logger. Quiet by default (warnings and errors only) so
+// tests and benches stay readable; examples raise the level to narrate.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nymix {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal sink used by the NYMIX_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nymix
+
+#define NYMIX_LOG(level) ::nymix::LogLine(::nymix::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,93 @@
+// BrowserModel: the Chromium instance inside an AnonVM. Visits fetch a
+// site through the nym's anonymizer; completed visits write cache entries
+// into the VM's RAM-backed disk (with the default 83 MB Chromium cache cap
+// and LRU eviction — §5.3 notes the cache "could have been configured to
+// be smaller than the default of 83 MB"), set cookies, append history, and
+// dirty guest heap pages. Everything Figure 3 and Figure 6 measure flows
+// through here.
+#ifndef SRC_WORKLOAD_BROWSER_H_
+#define SRC_WORKLOAD_BROWSER_H_
+
+#include <string>
+
+#include "src/anon/anonymizer.h"
+#include "src/anon/dns_proxy.h"
+#include "src/hv/vm.h"
+#include "src/workload/website.h"
+
+namespace nymix {
+
+class BrowserModel {
+ public:
+  struct Config {
+    uint64_t cache_capacity = 83 * kMiB;  // Chromium default (§5.3)
+    std::string cache_dir = "/home/user/.cache/chromium";
+    std::string profile_dir = "/home/user/.config/chromium";
+    SimDuration render_time = Millis(900);  // parse/layout/paint after fetch
+  };
+
+  BrowserModel(Simulation& sim, VirtualMachine* anon_vm, Anonymizer* anonymizer, uint64_t seed)
+      : BrowserModel(sim, anon_vm, anonymizer, seed, Config{}) {}
+  BrowserModel(Simulation& sim, VirtualMachine* anon_vm, Anonymizer* anonymizer, uint64_t seed,
+               Config config);
+
+  // Routes name resolution through the CommVM's DNS proxy (§4.1). Without
+  // one, resolution is folded into the anonymizer's Fetch.
+  void UseDnsProxy(DnsProxy* dns) { dns_ = dns; }
+
+  // Loads the site's page; `done` fires when rendering completes. The
+  // tracker sees (exit identity, this browser's cookie for the domain).
+  void Visit(Website& site, std::function<void(Result<SimTime>)> done);
+
+  // Logs into the site; stores the credential in the browser profile so
+  // future sessions restored from this state need not re-enter it (§3.5).
+  void Login(Website& site, const std::string& account, const std::string& password,
+             std::function<void(Result<SimTime>)> done);
+
+  bool HasStoredCredential(const std::string& domain) const;
+  Result<std::string> StoredAccount(const std::string& domain) const;
+
+  // Stable per-domain tracking cookie (created on first contact).
+  std::string CookieFor(const std::string& domain);
+  bool HasCookieFor(const std::string& domain) const;
+
+  // "Clear cookies": empties the cookie jar — but NOT evercookies, which
+  // is precisely why per-nym throwaway VMs beat in-browser private modes
+  // (§3.3: "a single state management bug ... render the user trackable").
+  Status ClearCookies();
+
+  // Evercookie planted by a hostile site: stored redundantly in the cache
+  // directory and a Flash-LSO-style store; reading it repairs any copy the
+  // user deleted. Empty return = no stain present yet.
+  std::string PlantOrReadEvercookie(const std::string& domain);
+  bool HasEvercookie(const std::string& domain) const;
+
+  uint64_t CacheBytes() const;
+  size_t CacheEntryCount() const;
+  std::vector<std::string> History() const;
+
+  // Number of visits this browser performed (first visit to a domain costs
+  // more than a revisit).
+  size_t visits_performed() const { return visits_performed_; }
+
+ private:
+  void WriteCacheEntry(const WebsiteProfile& profile, uint64_t bytes);
+  void EvictCacheIfNeeded();
+  Status AppendHistory(const std::string& domain);
+
+  Simulation& sim_;
+  VirtualMachine* anon_vm_;
+  Anonymizer* anonymizer_;
+  DnsProxy* dns_ = nullptr;
+  Config config_;
+  Prng prng_;
+  std::map<std::string, std::string> cookies_;      // domain -> cookie id
+  std::map<std::string, std::string> credentials_;  // domain -> account
+  std::map<std::string, bool> visited_;             // domain -> seen before
+  uint64_t next_cache_file_ = 1;
+  size_t visits_performed_ = 0;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_WORKLOAD_BROWSER_H_

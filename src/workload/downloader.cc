@@ -1,0 +1,38 @@
+#include "src/workload/downloader.h"
+
+namespace nymix {
+
+KernelMirror::KernelMirror(Simulation& sim) {
+  // The DeterLab server is local and fast; only the client's shaped uplink
+  // limits throughput ("the DeterLab testbed has no additional delays or
+  // bandwidth constraints").
+  access_link_ = sim.CreateLink("deterlab-mirror", Millis(2), 1'000'000'000);
+  ip_ = sim.internet().RegisterHost(kKernelMirrorDomain, this, access_link_);
+}
+
+void KernelMirror::OnDatagram(const Packet& packet, const std::function<void(Packet)>& reply) {
+  Packet response;
+  response.src_ip = packet.dst_ip;
+  response.src_port = packet.dst_port;
+  response.dst_ip = packet.src_ip;
+  response.dst_port = packet.src_port;
+  response.payload = BytesFromString("200 OK");
+  response.annotation = packet.annotation;
+  reply(std::move(response));
+}
+
+void DownloadKernel(Anonymizer& anonymizer, KernelMirror& mirror, Simulation& sim,
+                    std::function<void(Result<double>)> done) {
+  SimTime start = sim.now();
+  anonymizer.Fetch(kKernelMirrorDomain, 2 * kKiB, kLinuxKernelTarballBytes,
+                   [&mirror, start, done = std::move(done)](Result<FetchReceipt> receipt) {
+                     if (!receipt.ok()) {
+                       done(receipt.status());
+                       return;
+                     }
+                     mirror.CountDownload();
+                     done(ToSeconds(receipt->completed_at - start));
+                   });
+}
+
+}  // namespace nymix

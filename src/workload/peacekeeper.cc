@@ -1,0 +1,47 @@
+#include "src/workload/peacekeeper.h"
+
+namespace nymix {
+
+namespace {
+
+constexpr int kSubtests = 6;
+constexpr SimDuration kComputePerSubtest = Seconds(8);
+constexpr SimDuration kIdlePerSubtest = Seconds(2);
+constexpr double kNativeReferenceScore = 4800.0;
+
+}  // namespace
+
+std::vector<CpuPhase> Peacekeeper::Phases() {
+  std::vector<CpuPhase> phases;
+  phases.reserve(2 * kSubtests);
+  for (int i = 0; i < kSubtests; ++i) {
+    phases.push_back(CpuPhase::Compute(kComputePerSubtest));
+    phases.push_back(CpuPhase::Idle(kIdlePerSubtest));
+  }
+  return phases;
+}
+
+double Peacekeeper::ReferenceSeconds() {
+  return kSubtests * ToSeconds(kComputePerSubtest + kIdlePerSubtest);
+}
+
+double Peacekeeper::ScoreFromElapsed(double elapsed_seconds) {
+  return kNativeReferenceScore * ReferenceSeconds() / elapsed_seconds;
+}
+
+void Peacekeeper::Run(HostMachine& host, bool virtualized, std::function<void(double)> done) {
+  SimTime start = host.sim().now();
+  host.cpu().Submit(Phases(), virtualized, [start, done = std::move(done)](SimTime finished) {
+    done(ScoreFromElapsed(ToSeconds(finished - start)));
+  });
+}
+
+double Peacekeeper::ExpectedScore(double single_nym_score, size_t nyms, uint32_t cores) {
+  if (nyms == 0) {
+    return kNativeReferenceScore;
+  }
+  double slowdown = nyms <= cores ? 1.0 : static_cast<double>(nyms) / cores;
+  return single_nym_score / slowdown;
+}
+
+}  // namespace nymix

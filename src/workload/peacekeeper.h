@@ -1,0 +1,34 @@
+// Peacekeeper model (§5.2, Figure 4): Futuremark's JavaScript benchmark as
+// a CPU-phase sequence — six subtest kernels separated by DOM/paint idle
+// gaps. The score is inversely proportional to wall-clock completion time,
+// calibrated so a native run on the paper's quad-core i7 scores ~4800.
+#ifndef SRC_WORKLOAD_PEACEKEEPER_H_
+#define SRC_WORKLOAD_PEACEKEEPER_H_
+
+#include "src/hv/host.h"
+
+namespace nymix {
+
+class Peacekeeper {
+ public:
+  // Six subtests: 8 s compute + 2 s render/idle each (native reference).
+  static std::vector<CpuPhase> Phases();
+
+  // Native wall time of Phases() in seconds.
+  static double ReferenceSeconds();
+
+  // Score for a run that took `elapsed_seconds` (native reference ~4800).
+  static double ScoreFromElapsed(double elapsed_seconds);
+
+  // Runs the benchmark on the host's scheduler; `virtualized` selects the
+  // in-VM (overhead-paying) variant. `done` receives the score.
+  static void Run(HostMachine& host, bool virtualized, std::function<void(double)> done);
+
+  // The Figure 4 "expected" curve: per-instance average score if N single-
+  // nym runs shared the cores perfectly (no idle-gap overlap).
+  static double ExpectedScore(double single_nym_score, size_t nyms, uint32_t cores);
+};
+
+}  // namespace nymix
+
+#endif  // SRC_WORKLOAD_PEACEKEEPER_H_

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/compress/nymzip.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+namespace {
+
+TEST(NymzipTest, EmptyInput) {
+  Bytes frame = NymzipCompress({});
+  auto out = NymzipDecompress(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(*NymzipUncompressedSize(frame), 0u);
+}
+
+TEST(NymzipTest, ShortInputsRoundTrip) {
+  for (size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    Bytes input(n, 'x');
+    auto out = NymzipDecompress(NymzipCompress(input));
+    ASSERT_TRUE(out.ok()) << n;
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(NymzipTest, TextRoundTripAndShrinks) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog. ";
+  }
+  Bytes input = BytesFromString(text);
+  Bytes frame = NymzipCompress(input);
+  EXPECT_LT(frame.size(), input.size() / 4);
+  auto out = NymzipDecompress(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(NymzipTest, AllZerosCompressesHard) {
+  Bytes input(1 * kMiB, 0);
+  Bytes frame = NymzipCompress(input);
+  EXPECT_LT(frame.size(), input.size() / 100);
+  auto out = NymzipDecompress(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), input.size());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(NymzipTest, RandomDataRoundTripsWithoutBlowup) {
+  Prng prng(3);
+  Bytes input = prng.NextBytes(256 * 1024);
+  Bytes frame = NymzipCompress(input);
+  // Incompressible data should cost at most a couple of percent overhead.
+  EXPECT_LT(frame.size(), input.size() + input.size() / 32 + 64);
+  auto out = NymzipDecompress(frame);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(NymzipTest, OverlappingMatchesDecodeCorrectly) {
+  // "abcabcabc..." forces matches whose source overlaps their destination.
+  Bytes input;
+  for (int i = 0; i < 10000; ++i) {
+    input.push_back(static_cast<uint8_t>('a' + (i % 3)));
+  }
+  auto out = NymzipDecompress(NymzipCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(NymzipTest, LongRangeMatchesBeyondWindowStillRoundTrip) {
+  // Repeat a 100 KiB chunk (larger than the 64 KiB window) twice.
+  Prng prng(4);
+  Bytes chunk = prng.NextBytes(100 * 1024);
+  Bytes input = chunk;
+  input.insert(input.end(), chunk.begin(), chunk.end());
+  auto out = NymzipDecompress(NymzipCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(NymzipTest, RejectsGarbageFrame) {
+  EXPECT_FALSE(NymzipDecompress(BytesFromString("not a frame")).ok());
+  EXPECT_FALSE(NymzipDecompress({}).ok());
+  EXPECT_FALSE(NymzipUncompressedSize(BytesFromString("xx")).ok());
+}
+
+TEST(NymzipTest, RejectsTruncatedFrame) {
+  Bytes input = BytesFromString("hello hello hello hello hello hello");
+  Bytes frame = NymzipCompress(input);
+  frame.resize(frame.size() - 3);
+  EXPECT_FALSE(NymzipDecompress(frame).ok());
+}
+
+TEST(NymzipTest, RejectsCorruptOpcode) {
+  Bytes input = BytesFromString("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  Bytes frame = NymzipCompress(input);
+  frame[11] = 0x7f;  // first opcode byte
+  EXPECT_FALSE(NymzipDecompress(frame).ok());
+}
+
+TEST(NymzipTest, RejectsBadMatchDistance) {
+  // Hand-craft a frame whose match refers before the start of output.
+  Bytes frame = {'N', 'Z', '1'};
+  AppendU64(frame, 4);
+  frame.push_back(0x01);               // match opcode
+  AppendU16(frame, 4);                 // length
+  AppendU16(frame, 9);                 // distance > output so far (0)
+  EXPECT_FALSE(NymzipDecompress(frame).ok());
+}
+
+class NymzipSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NymzipSweep, RoundTripMixedContent) {
+  Prng prng(GetParam());
+  Bytes input;
+  // Alternating compressible runs and random spans of varying lengths.
+  while (input.size() < GetParam() * 1000) {
+    if (prng.NextBelow(2) == 0) {
+      size_t run = 1 + prng.NextBelow(500);
+      uint8_t byte = static_cast<uint8_t>(prng.NextBelow(256));
+      input.insert(input.end(), run, byte);
+    } else {
+      Bytes random = prng.NextBytes(1 + prng.NextBelow(500));
+      input.insert(input.end(), random.begin(), random.end());
+    }
+  }
+  auto out = NymzipDecompress(NymzipCompress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NymzipSweep, ::testing::Values(1, 5, 17, 50, 111, 200));
+
+}  // namespace
+}  // namespace nymix

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/poly1305.h"
+#include "src/crypto/sha256.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+namespace {
+
+std::string DigestHex(const Sha256Digest& digest) {
+  return HexEncode(ByteSpan(digest.data(), digest.size()));
+}
+
+Bytes MustHex(std::string_view hex) {
+  auto decoded = HexDecode(hex);
+  NYMIX_CHECK(decoded.ok());
+  return *decoded;
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Prng prng(1);
+  Bytes data = prng.NextBytes(10000);
+  for (size_t split : {size_t{1}, size_t{63}, size_t{64}, size_t{65}, size_t{4096}}) {
+    Sha256 hasher;
+    size_t offset = 0;
+    while (offset < data.size()) {
+      size_t take = std::min(split, data.size() - offset);
+      hasher.Update(ByteSpan(data.data() + offset, take));
+      offset += take;
+    }
+    EXPECT_EQ(hasher.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, DigestPrefixIsBigEndianPrefix) {
+  Sha256Digest digest = Sha256::Hash("abc");
+  EXPECT_EQ(DigestPrefix64(digest), 0xba7816bf8f01cfeaULL);
+}
+
+// ---------------------------------------------------------------- HMAC / KDFs
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto tag = HmacSha256(key, BytesFromString("Hi There"));
+  EXPECT_EQ(DigestHex(tag), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  auto tag = HmacSha256(BytesFromString("Jefe"), BytesFromString("what do ya want for nothing?"));
+  EXPECT_EQ(DigestHex(tag), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes long_key(131, 0xaa);  // RFC 4231 case 6 key length
+  auto tag = HmacSha256(long_key,
+                        BytesFromString("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(DigestHex(tag), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = MustHex("000102030405060708090a0b0c");
+  Bytes info = MustHex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes okm = HkdfSha256(ikm, salt, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, LengthsAndDeterminism) {
+  Bytes ikm = BytesFromString("master");
+  EXPECT_EQ(HkdfSha256(ikm, {}, {}, 1).size(), 1u);
+  EXPECT_EQ(HkdfSha256(ikm, {}, {}, 64).size(), 64u);
+  EXPECT_EQ(HkdfSha256(ikm, {}, BytesFromString("a"), 32),
+            HkdfSha256(ikm, {}, BytesFromString("a"), 32));
+  EXPECT_NE(HkdfSha256(ikm, {}, BytesFromString("a"), 32),
+            HkdfSha256(ikm, {}, BytesFromString("b"), 32));
+}
+
+TEST(Pbkdf2Test, Rfc7914Vector) {
+  Bytes dk = Pbkdf2Sha256(BytesFromString("passwd"), BytesFromString("salt"), 1, 64);
+  EXPECT_EQ(HexEncode(dk),
+            "55ac046e56e3089fec1691c22544b605"
+            "f94185216dde0465e68b9d57c20dacbc"
+            "49ca9cccf179b645991664b39d77ef31"
+            "7c71b845b1e30bd509112041d3a19783");
+}
+
+TEST(Pbkdf2Test, IterationsChangeOutput) {
+  Bytes a = Pbkdf2Sha256(BytesFromString("pw"), BytesFromString("s"), 1, 32);
+  Bytes b = Pbkdf2Sha256(BytesFromString("pw"), BytesFromString("s"), 2, 32);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------- ChaCha20
+
+ChaChaKey TestKey() {
+  ChaChaKey key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  return key;
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = ChaCha20Block(TestKey(), nonce, 1);
+  EXPECT_EQ(HexEncode(ByteSpan(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Bytes ciphertext = ChaCha20Xor(TestKey(), nonce, 1, BytesFromString(plaintext));
+  EXPECT_EQ(HexEncode(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  Prng prng(2);
+  Bytes data = prng.NextBytes(1000);
+  ChaChaNonce nonce = {};
+  Bytes once = ChaCha20Xor(TestKey(), nonce, 7, data);
+  Bytes twice = ChaCha20Xor(TestKey(), nonce, 7, once);
+  EXPECT_EQ(twice, data);
+  EXPECT_NE(once, data);
+}
+
+// ---------------------------------------------------------------- Poly1305
+
+TEST(Poly1305Test, Rfc8439Vector) {
+  Bytes key_bytes = MustHex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  Poly1305Key key;
+  std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+  auto tag = Poly1305Mac(key, BytesFromString("Cryptographic Forum Research Group"));
+  EXPECT_EQ(HexEncode(ByteSpan(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305Test, DifferentMessagesDifferentTags) {
+  Poly1305Key key = {};
+  key[0] = 1;  // r must be nonzero or every tag equals s
+  auto tag_a = Poly1305Mac(key, BytesFromString("message a"));
+  auto tag_b = Poly1305Mac(key, BytesFromString("message b"));
+  EXPECT_NE(HexEncode(ByteSpan(tag_a.data(), tag_a.size())),
+            HexEncode(ByteSpan(tag_b.data(), tag_b.size())));
+}
+
+// ---------------------------------------------------------------- AEAD
+
+TEST(AeadTest, Rfc8439Vector) {
+  ChaChaKey key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x80 + i);
+  }
+  ChaChaNonce nonce = {0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+  Bytes aad = MustHex("50515253c0c1c2c3c4c5c6c7");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Bytes sealed = AeadSeal(key, nonce, BytesFromString(plaintext), aad);
+  ASSERT_EQ(sealed.size(), plaintext.size() + kPoly1305TagSize);
+  EXPECT_EQ(HexEncode(ByteSpan(sealed.data() + sealed.size() - 16, 16)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  EXPECT_EQ(HexEncode(ByteSpan(sealed.data(), 16)), "d31a8d34648e60db7b86afbc53ef7ec2");
+
+  auto opened = AeadOpen(key, nonce, sealed, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(StringFromBytes(*opened), plaintext);
+}
+
+TEST(AeadTest, DetectsCiphertextTampering) {
+  ChaChaKey key = TestKey();
+  ChaChaNonce nonce = {};
+  Bytes sealed = AeadSeal(key, nonce, BytesFromString("secret nym state"), {});
+  sealed[3] ^= 0x01;
+  EXPECT_EQ(AeadOpen(key, nonce, sealed, {}).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST(AeadTest, DetectsAadMismatch) {
+  ChaChaKey key = TestKey();
+  ChaChaNonce nonce = {};
+  Bytes sealed = AeadSeal(key, nonce, BytesFromString("data"), BytesFromString("v1"));
+  EXPECT_FALSE(AeadOpen(key, nonce, sealed, BytesFromString("v2")).ok());
+  EXPECT_TRUE(AeadOpen(key, nonce, sealed, BytesFromString("v1")).ok());
+}
+
+TEST(AeadTest, DetectsWrongKeyAndTruncation) {
+  ChaChaKey key = TestKey();
+  ChaChaKey other = TestKey();
+  other[0] ^= 0xff;
+  ChaChaNonce nonce = {};
+  Bytes sealed = AeadSeal(key, nonce, BytesFromString("data"), {});
+  EXPECT_FALSE(AeadOpen(other, nonce, sealed, {}).ok());
+  EXPECT_FALSE(AeadOpen(key, nonce, ByteSpan(sealed.data(), 8), {}).ok());
+}
+
+TEST(AeadTest, EmptyPlaintextRoundTrips) {
+  ChaChaKey key = TestKey();
+  ChaChaNonce nonce = {};
+  Bytes sealed = AeadSeal(key, nonce, {}, {});
+  auto opened = AeadOpen(key, nonce, sealed, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+// Property sweep: random payload sizes round-trip.
+class AeadRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AeadRoundTrip, SealOpen) {
+  Prng prng(GetParam() + 100);
+  Bytes plaintext = prng.NextBytes(GetParam());
+  Bytes aad = prng.NextBytes(GetParam() % 32);
+  ChaChaKey key = TestKey();
+  ChaChaNonce nonce = {};
+  nonce[0] = static_cast<uint8_t>(GetParam());
+  Bytes sealed = AeadSeal(key, nonce, plaintext, aad);
+  auto opened = AeadOpen(key, nonce, sealed, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 255, 1024, 65537));
+
+// ---------------------------------------------------------------- Merkle
+
+std::vector<Sha256Digest> MakeLeaves(size_t count) {
+  std::vector<Sha256Digest> leaves;
+  for (size_t i = 0; i < count; ++i) {
+    leaves.push_back(Sha256::Hash("block-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+class MerkleTreeSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleTreeSizes, AllProofsVerify) {
+  auto leaves = MakeLeaves(GetParam());
+  MerkleTree tree = MerkleTree::Build(leaves);
+  EXPECT_EQ(tree.leaf_count(), GetParam());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto proof = tree.ProveLeaf(i);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(MerkleTree::VerifyProof(tree.root(), leaves[i], *proof)) << "leaf " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleTreeSizes, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 33));
+
+TEST(MerkleTest, WrongLeafFailsVerification) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree = MerkleTree::Build(leaves);
+  auto proof = tree.ProveLeaf(3);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_FALSE(MerkleTree::VerifyProof(tree.root(), leaves[4], *proof));
+  EXPECT_FALSE(MerkleTree::VerifyProof(tree.root(), Sha256::Hash("evil"), *proof));
+}
+
+TEST(MerkleTest, ProofForWrongIndexFails) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree = MerkleTree::Build(leaves);
+  auto proof = tree.ProveLeaf(3);
+  ASSERT_TRUE(proof.ok());
+  proof->leaf_index = 2;  // splice attack: same siblings, different position
+  EXPECT_FALSE(MerkleTree::VerifyProof(tree.root(), leaves[3], *proof));
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(16);
+  MerkleTree original = MerkleTree::Build(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = Sha256::Hash("tampered-" + std::to_string(i));
+    EXPECT_NE(MerkleTree::Build(mutated).root(), original.root());
+  }
+}
+
+TEST(MerkleTest, ProveLeafOutOfRangeFails) {
+  MerkleTree tree = MerkleTree::Build(MakeLeaves(4));
+  EXPECT_FALSE(tree.ProveLeaf(4).ok());
+}
+
+TEST(MerkleTest, BuildFromBlocks) {
+  std::vector<Bytes> blocks = {BytesFromString("a"), BytesFromString("b")};
+  MerkleTree tree = MerkleTree::BuildFromBlocks(blocks);
+  auto proof = tree.ProveLeaf(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(MerkleTree::VerifyProof(tree.root(), Sha256::Hash("a"), *proof));
+}
+
+}  // namespace
+}  // namespace nymix
