@@ -4,11 +4,13 @@
 // destination learns the user's network identity.
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("ablation_anonymizers", argc, argv);
   std::printf("# Anonymizer ablation: bootstrap / 5 MB fetch / overhead / identity\n");
   std::printf("%-12s %12s %12s %10s %18s\n", "tool", "bootstrap(s)", "fetch 5MB(s)",
               "overhead", "identity exposed?");
@@ -27,6 +29,7 @@ int main() {
 
   for (const Row& row : rows) {
     Testbed bed(/*seed=*/Fnv1a64(row.name));
+    stats.Attach(bed.sim());
     NymManager::CreateOptions options;
     options.anonymizer = row.kind;
     NymStartupReport report;
@@ -47,10 +50,14 @@ int main() {
                 ToSeconds(report.start_anonymizer), fetch_seconds,
                 nym->anonymizer()->OverheadFactor(),
                 nym->anonymizer()->ProtectsNetworkIdentity() ? "no" : "YES");
+    std::string prefix = std::string(row.name) + ".";
+    stats.Set(prefix + "bootstrap_s", ToSeconds(report.start_anonymizer));
+    stats.Set(prefix + "fetch_5mb_s", fetch_seconds);
+    stats.Set(prefix + "overhead_factor", nym->anonymizer()->OverheadFactor());
   }
 
   std::printf("\n# incognito: fast, zero network protection (IPTables masquerade, §4.1)\n");
   std::printf("# tor: the default; dissent: DC-net costs, strongest traffic analysis story\n");
   std::printf("# tor+dissent: §3.3's \"best of both worlds\" serial composition\n");
-  return 0;
+  return stats.Finish();
 }

@@ -5,12 +5,14 @@
 // within the Nymix population a fingerprint carries ~0 bits.
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/metrics.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("ablation_fingerprint", argc, argv);
   constexpr size_t kPopulation = 5000;
   Prng prng(31337);
 
@@ -26,6 +28,7 @@ int main() {
 
   // Nymix browsers: sample real AnonVMs from a deployment.
   Testbed bed(12);
+  stats.Attach(bed.sim());
   std::vector<FingerprintSurface> nymix_population;
   std::vector<Nym*> nyms;
   for (int i = 0; i < 6; ++i) {
@@ -52,5 +55,9 @@ int main() {
               nymix_population[0].mac.c_str(), nymix_population[0].visible_cpus);
   std::printf("# §4.2: \"we want Nymix to run the same on every machine\"; structural\n"
               "# homogeneity is \"future proof\" vs the plugin arms race (§6, Han et al.)\n");
-  return 0;
+
+  stats.Set("native_mean_bits", native_bits_total / 200);
+  stats.Set("native_max_bits", native_bits_max);
+  stats.Set("nymix_bits", nymix_bits);
+  return stats.Finish();
 }

@@ -11,11 +11,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("ablation_guard_persistence", argc, argv);
   constexpr int kUsers = 2000;
   constexpr int kSessions = 30;
   constexpr size_t kGuards = 4;
@@ -73,6 +75,12 @@ int main() {
       };
       std::printf("%-10d %15.1f%% %15.1f%% %19.1f%% %17.1f%%\n", s, frac(exposed_rotate),
                   frac(exposed_persist), frac(exposed_loader), frac(exposed_seeded));
+      if (s == kSessions) {
+        stats.Set("rotate_exposed_pct", frac(exposed_rotate));
+        stats.Set("persistent_exposed_pct", frac(exposed_persist));
+        stats.Set("loader_exposed_pct", frac(exposed_loader));
+        stats.Set("seeded_exposed_pct", frac(exposed_seeded));
+      }
     }
   }
 
@@ -85,6 +93,7 @@ int main() {
   // Sanity-tie to the real implementation: two TorClients with the same
   // derived seed pick the same guard through the actual selection code.
   Testbed bed(5);
+  stats.Attach(bed.sim());
   uint64_t guard_seed = DeriveGuardSeed("drop.example.com/acct", "pw");
   NymManager::CreateOptions options;
   options.guard_seed = guard_seed;
@@ -94,5 +103,7 @@ int main() {
   auto guard_b = static_cast<TorClient*>(b->anonymizer())->entry_guard_index();
   std::printf("\n# implementation check: two seeded clients -> guard %zu and %zu (%s)\n",
               *guard_a, *guard_b, *guard_a == *guard_b ? "match" : "MISMATCH");
-  return *guard_a == *guard_b ? 0 : 1;
+  stats.Set("seeded_guards_match", *guard_a == *guard_b ? 1 : 0);
+  int stats_rc = stats.Finish();
+  return *guard_a == *guard_b ? stats_rc : 1;
 }

@@ -4,15 +4,18 @@
 // marginal nym capacity it buys on the 16 GB evaluation machine.
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("ablation_ksm", argc, argv);
   std::printf("# Host used memory (MB) with and without KSM\n");
   std::printf("%-5s %12s %12s %12s\n", "nyms", "ksm off", "ksm on", "saved");
 
   Testbed bed(13);
+  stats.Attach(bed.sim());
   for (int n = 1; n <= 8; ++n) {
     Nym* nym = bed.CreateNymBlocking("k-" + std::to_string(n));
     NYMIX_CHECK(
@@ -31,5 +34,10 @@ int main() {
               FormatSize(saved).c_str(),
               static_cast<double>(saved) / static_cast<double>(per_nymbox));
   std::printf("# KSM matters because every VM boots from the same base image (§3.4)\n");
-  return 0;
+
+  stats.Set("nyms", 8);
+  stats.Set("ksm_bytes_saved", static_cast<double>(saved));
+  stats.Set("extra_nymboxes",
+            static_cast<double>(saved) / static_cast<double>(per_nymbox));
+  return stats.Finish();
 }

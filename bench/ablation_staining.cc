@@ -17,6 +17,7 @@
 //                              stain across sessions.
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
@@ -36,15 +37,17 @@ WebsiteProfile StainerProfile() {
   return profile;
 }
 
-void Report(const char* model, const Website& site) {
+size_t Report(const char* model, const Website& site) {
   size_t stains = site.DistinctEvercookies();
   std::printf("%-22s %9zu %16zu   %s\n", model, site.visit_count(), stains,
               stains <= 1 ? "LINKED across sessions" : "unlinkable");
+  return stains;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("ablation_staining", argc, argv);
   std::printf("# Evercookie staining across 3 sessions, per usage model\n");
   std::printf("%-22s %9s %16s   %s\n", "model", "sessions", "distinct stains", "verdict");
 
@@ -57,7 +60,8 @@ int main() {
       NYMIX_CHECK(bed.VisitBlocking(nym, stainer).ok());
       NYMIX_CHECK(nym->browser()->ClearCookies().ok());  // "private browsing"
     }
-    Report("in-browser private", stainer);
+    stats.Set("private_mode.distinct_stains",
+              static_cast<double>(Report("in-browser private", stainer)));
   }
 
   // --- Persistent nym: save after each session, restore before the next. --
@@ -74,7 +78,8 @@ int main() {
       NYMIX_CHECK(restored.ok());
       nym = *restored;
     }
-    Report("persistent nym", stainer);
+    stats.Set("persistent.distinct_stains",
+              static_cast<double>(Report("persistent nym", stainer)));
   }
 
   // --- Pre-configured nym: snapshot BEFORE contact, reload it each time. --
@@ -92,7 +97,8 @@ int main() {
       // Session changes deliberately NOT saved back.
       NYMIX_CHECK(bed.manager().TerminateNym(*restored).ok());
     }
-    Report("pre-configured nym", stainer);
+    stats.Set("preconfigured.distinct_stains",
+              static_cast<double>(Report("pre-configured nym", stainer)));
   }
 
   // --- Ephemeral nyms: a fresh nymbox per session. ------------------------
@@ -104,11 +110,12 @@ int main() {
       NYMIX_CHECK(bed.VisitBlocking(nym, stainer).ok());
       NYMIX_CHECK(bed.manager().TerminateNym(nym).ok());
     }
-    Report("ephemeral nyms", stainer);
+    stats.Set("ephemeral.distinct_stains",
+              static_cast<double>(Report("ephemeral nyms", stainer)));
   }
 
   std::printf("\n# §3.5: persistent mode \"increases risk that the effects of a stain ...\n"
               "# will persist for the lifetime of the nym\"; pre-configured mode scrubs\n"
               "# it at the next session; ephemeral nyms never accumulate one.\n");
-  return 0;
+  return stats.Finish();
 }

@@ -1,0 +1,101 @@
+#include "bench/bench_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/net/simulation.h"
+#include "src/obs/json.h"
+
+namespace nymix {
+
+namespace {
+
+// Matches "--flag=value"; returns the value or nullptr.
+const char* FlagValue(const char* arg, const char* flag) {
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    return arg + flag_len + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BenchStats::BenchStats(std::string bench_name, int argc, char** argv)
+    : bench_name_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    if (const char* value = FlagValue(argv[i], "--stats-out")) {
+      stats_path_ = value;
+    } else if (const char* value = FlagValue(argv[i], "--trace-out")) {
+      trace_path_ = value;
+    }
+  }
+  if (!stats_path_.empty()) {
+    obs_.metrics.set_enabled(true);
+  }
+  if (!trace_path_.empty()) {
+    obs_.trace.set_enabled(true);
+  }
+}
+
+void BenchStats::Attach(Simulation& sim) {
+  if (obs_.trace.event_count() > 0) {
+    obs_.trace.NextTimeline();
+  }
+  sim.loop().set_observability(&obs_);
+}
+
+void BenchStats::Set(const std::string& name, double value) { values_[name] = value; }
+
+void BenchStats::SetLabel(const std::string& name, const std::string& value) {
+  labels_[name] = value;
+}
+
+int BenchStats::Finish() {
+  int rc = 0;
+  if (!stats_path_.empty()) {
+    std::ofstream out(stats_path_, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << "{\n  \"bench\": \"" << JsonEscape(bench_name_) << "\"";
+      if (!labels_.empty()) {
+        out << ",\n  \"labels\": {";
+        bool first = true;
+        for (const auto& [name, value] : labels_) {
+          out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": \""
+              << JsonEscape(value) << "\"";
+          first = false;
+        }
+        out << "\n  }";
+      }
+      if (!values_.empty()) {
+        out << ",\n  \"values\": {";
+        bool first = true;
+        for (const auto& [name, value] : values_) {
+          out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+              << "\": " << JsonNumber(value);
+          first = false;
+        }
+        out << "\n  }";
+      }
+      out << ",\n  \"metrics\": ";
+      obs_.metrics.WriteJson(out, "  ");
+      out << "\n}\n";
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "bench_stats: write failed: %s\n", stats_path_.c_str());
+        rc = 1;
+      }
+    } else {
+      std::fprintf(stderr, "bench_stats: cannot open %s\n", stats_path_.c_str());
+      rc = 1;
+    }
+  }
+  if (!trace_path_.empty() && !obs_.trace.WriteChromeJsonFile(trace_path_)) {
+    std::fprintf(stderr, "bench_stats: cannot write %s\n", trace_path_.c_str());
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace nymix

@@ -1,0 +1,57 @@
+// Common bench plumbing for machine-readable output. Every figure/table
+// bench accepts:
+//   --stats-out=<path>   one JSON document per run: headline values set by
+//                        the bench plus the full metrics-registry dump
+//   --trace-out=<path>   Chrome trace_event JSON covering every attached
+//                        simulation (open in chrome://tracing or Perfetto)
+// Without either flag nothing is enabled and every instrumentation site in
+// the stack stays on its disabled (null-check) path.
+#ifndef BENCH_BENCH_STATS_H_
+#define BENCH_BENCH_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "src/obs/observability.h"
+
+namespace nymix {
+
+class Simulation;
+
+class BenchStats {
+ public:
+  // Parses --stats-out= / --trace-out= out of argv; other arguments are
+  // left for the bench itself.
+  BenchStats(std::string bench_name, int argc, char** argv);
+
+  // Hooks a simulation's event loop into the shared Observability. Call
+  // once per simulation; each attached run is laid out after the previous
+  // one in the trace, so sequential simulations (which all start at
+  // virtual t=0) do not pile up on the origin.
+  void Attach(Simulation& sim);
+
+  // Headline values for the stats doc, e.g. Set("fresh.boot_vm_s", 9.8).
+  void Set(const std::string& name, double value);
+  void SetLabel(const std::string& name, const std::string& value);
+
+  bool stats_requested() const { return !stats_path_.empty(); }
+  bool trace_requested() const { return !trace_path_.empty(); }
+  Observability& obs() { return obs_; }
+
+  // Writes whichever files were requested. Returns 0, or 1 after printing
+  // a diagnostic to stderr on I/O failure — benches fold this into their
+  // exit code.
+  int Finish();
+
+ private:
+  std::string bench_name_;
+  std::string stats_path_;
+  std::string trace_path_;
+  Observability obs_;
+  std::map<std::string, double> values_;
+  std::map<std::string, std::string> labels_;
+};
+
+}  // namespace nymix
+
+#endif  // BENCH_BENCH_STATS_H_

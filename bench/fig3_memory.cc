@@ -8,12 +8,15 @@
 // allocation (AnonVM 384 MB RAM + 128 MB disk, CommVM 128 MB + 16 MB).
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("fig3_memory", argc, argv);
   Testbed bed(/*seed=*/3);
+  stats.Attach(bed.sim());
   bed.host().ksm().Start(Seconds(2));
 
   const char* kVisitOrder[] = {"Gmail", "Twitter",  "Youtube",  "TorBlog",
@@ -64,5 +67,12 @@ int main() {
               FormatSize(final_stats.bytes_saved()).c_str(), saving);
   std::printf("# per-nymbox expected cost: %s (paper headline: ~600 MB)\n",
               FormatSize(656 * kMiB).c_str());
-  return 0;
+
+  stats.SetLabel("figure", "3");
+  stats.Set("nyms", 8);
+  stats.Set("ksm_bytes_saved", static_cast<double>(final_stats.bytes_saved()));
+  stats.Set("ksm_saving_pct", saving);
+  stats.Set("used_bytes", static_cast<double>(bed.host().UsedMemoryBytes()));
+  stats.Set("allocated_bytes", static_cast<double>(bed.host().AllocatedMemoryBytes()));
+  return stats.Finish();
 }

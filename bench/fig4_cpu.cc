@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
@@ -30,8 +31,10 @@ double AverageScore(Testbed& bed, size_t nyms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("fig4_cpu", argc, argv);
   Testbed bed(/*seed=*/4);
+  stats.Attach(bed.sim());
   std::printf("# Figure 4: average Peacekeeper score vs number of nyms\n");
   std::printf("# quad-core host, virtualization overhead %.0f%%\n",
               100 * bed.host().config().virtualization_overhead);
@@ -48,11 +51,16 @@ int main() {
     double actual = n == 1 ? single : AverageScore(bed, n);
     double expected = Peacekeeper::ExpectedScore(single, n, bed.host().config().cores);
     std::printf("%-5zu %10.0f %10.0f\n", n, actual, expected);
+    stats.Set("score_nyms_" + std::to_string(n), actual);
   }
 
   std::printf("\n# single-nym wall-time overhead vs native: %.1f%% "
               "(paper: \"about a 20%% overhead\")\n",
               100.0 * (native / single - 1.0));
   std::printf("# for N > 4 cores, actual > expected: idle gaps overlap (paper's finding)\n");
-  return 0;
+
+  stats.SetLabel("figure", "4");
+  stats.Set("score_native", native);
+  stats.Set("virtualization_overhead_pct", 100.0 * (native / single - 1.0));
+  return stats.Finish();
 }

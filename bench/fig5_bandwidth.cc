@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("fig5_bandwidth", argc, argv);
   std::printf("# Figure 5: kernel (linux-3.14.2, %s) download time vs parallel nyms\n",
               FormatSize(kLinuxKernelTarballBytes).c_str());
   std::printf("%-5s %12s %12s %12s\n", "nyms", "actual(s)", "ideal(s)", "overhead");
@@ -20,6 +22,7 @@ int main() {
   for (int n = 1; n <= 8; ++n) {
     // Fresh deployment per point so earlier downloads don't share circuits.
     Testbed bed(/*seed=*/100 + n);
+    stats.Attach(bed.sim());
     std::vector<Nym*> nyms;
     for (int i = 0; i < n; ++i) {
       nyms.push_back(bed.CreateNymBlocking("dl-" + std::to_string(i)));
@@ -39,8 +42,12 @@ int main() {
     }
     double ideal = single_ideal * n;
     std::printf("%-5d %12.1f %12.1f %11.1f%%\n", n, last, ideal, 100.0 * (last - ideal) / ideal);
+    stats.Set("download_s_nyms_" + std::to_string(n), last);
+    stats.Set("overhead_pct_nyms_" + std::to_string(n), 100.0 * (last - ideal) / ideal);
   }
 
   std::printf("\n# overhead is flat in N: Tor's cost is a fixed per-byte factor (paper: ~12%%)\n");
-  return 0;
+
+  stats.SetLabel("figure", "5");
+  return stats.Finish();
 }

@@ -8,12 +8,15 @@
 #include <map>
 #include <vector>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("fig6_storage", argc, argv);
   Testbed bed(/*seed=*/6);
+  stats.Attach(bed.sim());
   const std::vector<std::string> kSites = {"Gmail", "Facebook", "Twitter", "TorBlog"};
   NYMIX_CHECK(bed.cloud().CreateAccount("fig6-user", "cloud-pw").ok());
 
@@ -77,5 +80,12 @@ int main() {
   std::printf("# single-cycle archives (pre-configured nyms) are \"in the order of "
               "megabytes\": smallest first save = %.1f MB\n",
               sizes_mb["TorBlog"][0]);
-  return 0;
+
+  stats.SetLabel("figure", "6");
+  stats.Set("mean_anonvm_fraction", fraction_sum / fraction_count);
+  for (const std::string& site_name : kSites) {
+    stats.Set(site_name + ".first_save_mb", sizes_mb[site_name].front());
+    stats.Set(site_name + ".final_save_mb", sizes_mb[site_name].back());
+  }
+  return stats.Finish();
 }

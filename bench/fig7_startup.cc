@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
@@ -45,7 +46,8 @@ double PageLoadSeconds(Testbed& bed, Nym* nym) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("fig7_startup", argc, argv);
   constexpr int kRuns = 5;
   std::vector<Phases> fresh_runs, preconfig_runs, persisted_runs;
 
@@ -53,6 +55,7 @@ int main() {
     // --- Fresh: new nym, cold Tor, visit, discard. ----------------------
     {
       Testbed bed(/*seed=*/200 + run);
+      stats.Attach(bed.sim());
       NymStartupReport report;
       Nym* nym = bed.CreateNymBlocking("fresh", {}, &report);
       Phases phases;
@@ -66,6 +69,7 @@ int main() {
     //     (state is never updated after the session). ---------------------
     {
       Testbed bed(/*seed=*/300 + run);
+      stats.Attach(bed.sim());
       NYMIX_CHECK(bed.cloud().CreateAccount("user", "cpw").ok());
       Nym* nym = bed.CreateNymBlocking("preconf");
       bool logged = false;
@@ -91,6 +95,7 @@ int main() {
     //     the downloaded state is larger (browser cache accumulates). -----
     {
       Testbed bed(/*seed=*/400 + run);
+      stats.Attach(bed.sim());
       NYMIX_CHECK(bed.cloud().CreateAccount("user", "cpw").ok());
       Nym* nym = bed.CreateNymBlocking("persist");
       bool logged = false;
@@ -141,5 +146,19 @@ int main() {
 
   std::printf("\n# quasi-persistent nyms beat fresh on Start Tor (stored entry guards and\n"
               "# cached consensus) but pay for the one-time ephemeral download nym (§5.4)\n");
-  return 0;
+
+  stats.SetLabel("figure", "7");
+  stats.Set("runs", kRuns);
+  auto emit = [&stats](const char* config, const Phases& p) {
+    std::string prefix = std::string(config) + ".";
+    stats.Set(prefix + "ephemeral_nym_s", p.ephemeral);
+    stats.Set(prefix + "boot_vm_s", p.boot);
+    stats.Set(prefix + "start_tor_s", p.tor);
+    stats.Set(prefix + "load_page_s", p.page);
+    stats.Set(prefix + "total_s", p.Total());
+  };
+  emit("fresh", fresh);
+  emit("preconfigured", preconf);
+  emit("persisted", persisted);
+  return stats.Finish();
 }

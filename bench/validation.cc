@@ -4,12 +4,15 @@
 // every answer channel stays silent.
 #include <cstdio>
 
+#include "bench/bench_stats.h"
 #include "src/core/testbed.h"
 
 using namespace nymix;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchStats stats("validation", argc, argv);
   Testbed bed(/*seed=*/9);
+  stats.Attach(bed.sim());
   PacketCapture capture;
   bed.host().uplink()->AttachCapture(&capture);
 
@@ -60,5 +63,14 @@ int main() {
   std::printf("\noverall: %s — matches §5.1: \"The AnonVM can only communicate with a\n"
               "functional CommVM and the CommVM could only communicate with the Internet\"\n",
               (audit.Passed() && silent) ? "PASS" : "FAIL");
-  return (audit.Passed() && silent) ? 0 : 1;
+
+  stats.SetLabel("section", "5.1");
+  stats.Set("probes_sent",
+            static_cast<double>(from_tor.probes_sent + from_dissent.probes_sent));
+  stats.Set("probes_answered",
+            static_cast<double>(from_tor.responses_received + from_dissent.responses_received));
+  stats.Set("uplink_packets", static_cast<double>(capture.size()));
+  stats.Set("passed", (audit.Passed() && silent) ? 1 : 0);
+  int stats_rc = stats.Finish();
+  return (audit.Passed() && silent) ? stats_rc : 1;
 }

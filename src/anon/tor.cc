@@ -1,6 +1,7 @@
 #include "src/anon/tor.h"
 
 #include <cstdlib>
+#include <string_view>
 
 namespace nymix {
 
@@ -147,6 +148,16 @@ TorClient::TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t 
   NYMIX_CHECK(attachment_.vm_uplink != nullptr);
 }
 
+std::string TorClient::TraceTrack() const {
+  std::string track = attachment_.vm_uplink->name();
+  constexpr std::string_view kSuffix = "-uplink";
+  if (track.size() > kSuffix.size() &&
+      track.compare(track.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+    track.resize(track.size() - kSuffix.size());
+  }
+  return track;
+}
+
 void TorClient::SeedGuardSelection(uint64_t seed) {
   NYMIX_CHECK_MSG(!guard_index_.has_value(), "guard already chosen");
   guard_seed_ = seed;
@@ -159,7 +170,11 @@ void TorClient::ChooseGuardIfNeeded() {
       attachment_.sim->now() - guard_chosen_at_ > config_.guard_lifetime) {
     guard_index_.reset();
   }
+  MetricsRegistry* meters = attachment_.sim->loop().meters();
   if (guard_index_.has_value()) {
+    if (meters != nullptr) {
+      meters->GetCounter("anon.tor.guard_reused")->Increment();
+    }
     return;
   }
   std::vector<size_t> guards = network_.GuardIndices();
@@ -170,18 +185,33 @@ void TorClient::ChooseGuardIfNeeded() {
     guard_index_ = guards[prng_.NextBelow(guards.size())];
   }
   guard_chosen_at_ = attachment_.sim->now();
+  if (meters != nullptr) {
+    meters->GetCounter("anon.tor.guard_chosen")->Increment();
+  }
 }
 
 void TorClient::DownloadDirectory(std::function<void()> then) {
   uint64_t bytes =
       has_cached_consensus_ ? config_.refresh_bytes : config_.consensus_bytes + config_.descriptors_bytes;
+  SimTime started = attachment_.sim->now();
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.directory_bytes")->Increment(bytes);
+  }
   Route route = Route::Through(attachment_.client_links);
-  attachment_.sim->flows().StartFlow(route, bytes, 1.0,
-                                     [this, then = std::move(then)](SimTime) {
-                                       has_cached_consensus_ = true;
-                                       attachment_.sim->loop().ScheduleAfter(
-                                           config_.bootstrap_processing, [then] { then(); });
-                                     });
+  attachment_.sim->flows().StartFlow(
+      route, bytes, 1.0, [this, started, then = std::move(then)](SimTime) {
+        has_cached_consensus_ = true;
+        attachment_.sim->loop().ScheduleAfter(config_.bootstrap_processing,
+                                              [this, started, then] {
+                                                if (TraceRecorder* tracer =
+                                                        attachment_.sim->loop().tracer()) {
+                                                  tracer->AddComplete(
+                                                      "anon", "tor_directory", TraceTrack(),
+                                                      started, attachment_.sim->now() - started);
+                                                }
+                                                then();
+                                              });
+      });
 }
 
 void TorClient::Start(std::function<void(SimTime)> ready) {
@@ -219,6 +249,7 @@ void TorClient::BuildCircuit(std::function<void(SimTime)> ready) {
 
   on_circuit_ready_ = std::move(ready);
   circuit_id_ = static_cast<uint32_t>(prng_.NextU64());
+  circuit_build_started_ = attachment_.sim->now();
   pending_step_ = 1;
   SendCircuitCell(pending_step_);
 }
@@ -246,6 +277,9 @@ void TorClient::SendCircuitCell(int step) {
   }
   cell.payload = BytesFromString(payload);
   cell.annotation = "Tor";
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.circuit_cells")->Increment();
+  }
   attachment_.vm_uplink->SendFromA(std::move(cell));
 }
 
@@ -264,6 +298,15 @@ void TorClient::HandlePacket(const Packet& packet) {
   pending_step_ = 0;
   circuit_ready_ = true;
   ++circuits_built_;
+  if (TraceRecorder* tracer = attachment_.sim->loop().tracer()) {
+    tracer->AddComplete("anon", "build_circuit", TraceTrack(), circuit_build_started_,
+                        attachment_.sim->now() - circuit_build_started_);
+  }
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.circuits_built")->Increment();
+    meters->GetHistogram("anon.tor.circuit_build_us")
+        ->Record(static_cast<double>(attachment_.sim->now() - circuit_build_started_));
+  }
   if (on_circuit_ready_) {
     auto callback = std::move(on_circuit_ready_);
     on_circuit_ready_ = nullptr;

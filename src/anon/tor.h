@@ -169,6 +169,9 @@ class TorClient : public Anonymizer {
   void BuildCircuit(std::function<void(SimTime)> ready);
   void SendCircuitCell(int step);
   Route RouteThroughCircuit(Ipv4Address destination, size_t exit_index) const;
+  // Trace track for this client's spans: the uplink name minus "-uplink",
+  // which is the owning nym/VM name, so Tor spans nest under its lifecycle.
+  std::string TraceTrack() const;
 
   ClientAttachment attachment_;
   TorNetwork& network_;
@@ -185,6 +188,7 @@ class TorClient : public Anonymizer {
   int circuits_built_ = 0;
 
   // In-progress circuit build.
+  SimTime circuit_build_started_ = 0;
   int pending_step_ = 0;
   uint32_t circuit_id_ = 0;
   std::function<void(SimTime)> on_circuit_ready_;

@@ -165,21 +165,44 @@ void NymManager::BootNym(Nym* nym, RestoredState* restored, SimDuration ephemera
   }
 
   SimTime t0 = host_.sim().now();
+  bool is_load = restored != nullptr;
+  if (TraceRecorder* tracer = host_.sim().loop().tracer(); tracer != nullptr &&
+                                                           ephemeral_phase > 0) {
+    tracer->AddComplete("core", "ephemeral_nym", nym->name(), t0 - ephemeral_phase,
+                        ephemeral_phase);
+  }
   auto report = std::make_shared<NymStartupReport>();
   report->ephemeral_nym = ephemeral_phase;
   auto remaining = std::make_shared<int>(2);
-  auto after_boot = [this, nym, report, t0, remaining, done = std::move(done)](SimTime) {
+  auto after_boot = [this, nym, report, t0, is_load, ephemeral_phase, remaining,
+                     done = std::move(done)](SimTime) {
     if (--*remaining > 0) {
       return;
     }
     report->boot_vm = host_.sim().now() - t0;
     SimTime anonymizer_start = host_.sim().now();
-    nym->anonymizer_->Start([this, nym, report, anonymizer_start, done](SimTime ready) {
+    if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+      tracer->AddComplete("core", "boot_vm", nym->name(), t0, report->boot_vm);
+    }
+    nym->anonymizer_->Start([this, nym, report, t0, is_load, ephemeral_phase, anonymizer_start,
+                             done](SimTime ready) {
       report->start_anonymizer = ready - anonymizer_start;
       nym->browser_ = std::make_unique<BrowserModel>(
           host_.sim(), nym->anon_vm_, nym->anonymizer_.get(),
           host_.sim().prng().NextU64() ^ Mix64(next_nym_seed_ * 104729));
       nym->browser_->UseDnsProxy(nym->dns_.get());
+      if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+        tracer->AddComplete("anon", "start_anonymizer", nym->name(), anonymizer_start,
+                            report->start_anonymizer);
+        SimTime started = t0 - ephemeral_phase;
+        tracer->AddComplete("core", is_load ? "load_nym" : "create_nym", nym->name(), started,
+                            host_.sim().now() - started);
+      }
+      if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+        meters->GetCounter(is_load ? "core.nyms_loaded" : "core.nyms_created")->Increment();
+        meters->GetHistogram("core.nym_startup_us")
+            ->Record(static_cast<double>(host_.sim().now() - (t0 - ephemeral_phase)));
+      }
       done(nym, *report);
     });
   };
@@ -204,6 +227,12 @@ Status NymManager::TerminateNym(Nym* nym) {
     return NotFoundError("unknown nym");
   }
   // Secure teardown: wipe memory, discard RAM-backed disks, drop the VMs.
+  if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+    tracer->AddInstant("core", "terminate_nym", nym->name(), host_.sim().now());
+  }
+  if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+    meters->GetCounter("core.nyms_terminated")->Increment();
+  }
   NYMIX_CHECK(host_.DestroyVm(nym->anon_vm_).ok());
   NYMIX_CHECK(host_.DestroyVm(nym->comm_vm_).ok());
   nym->anon_vm_ = nullptr;
@@ -315,6 +344,9 @@ void NymManager::SaveNymToCloud(Nym& nym, CloudService& cloud, const std::string
           save.anonvm_fraction = NymArchiver::AnonVmFraction(
               nym.anon_vm_->disk().fs().writable(), nym.comm_vm_->disk().fs().writable());
           save.duration = host_.sim().now() - t0;
+          if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+            tracer->AddComplete("core", "save_nym", nym.name(), t0, save.duration);
+          }
           nym.save_sequence_ = shared->sequence + 1;
           done(save);
         });
@@ -346,6 +378,9 @@ void NymManager::SaveNymToLocal(Nym& nym, LocalStore& store, const std::string& 
     save.anonvm_fraction = NymArchiver::AnonVmFraction(nym.anon_vm_->disk().fs().writable(),
                                                        nym.comm_vm_->disk().fs().writable());
     save.duration = host_.sim().now() - t0;
+    if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+      tracer->AddComplete("core", "save_nym", nym.name(), t0, save.duration);
+    }
     nym.save_sequence_ = shared->sequence + 1;
     done(save);
   });

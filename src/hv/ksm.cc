@@ -8,10 +8,13 @@ KsmDaemon::KsmDaemon(EventLoop& loop, std::function<std::vector<const GuestMemor
     : loop_(loop), memories_(std::move(memories)) {}
 
 KsmStats KsmDaemon::ScanNow() {
+  TraceSpan span(loop_.tracer(), loop_.clock(), "hv", "ksm_scan", "ksm");
+  uint64_t pages_scanned = 0;
   std::map<uint64_t, uint64_t> merged;
   for (const GuestMemory* memory : memories_()) {
     for (const auto& [content, count] : memory->pages_by_content()) {
       merged[content] += count;
+      pages_scanned += count;
     }
   }
   KsmStats stats;
@@ -23,6 +26,12 @@ KsmStats KsmDaemon::ScanNow() {
     }
   }
   stats_ = stats;
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("hv.ksm.passes")->Increment();
+    meters->GetCounter("hv.ksm.pages_scanned")->Increment(pages_scanned);
+    meters->GetGauge("hv.ksm.pages_shared")->Set(static_cast<double>(stats.pages_shared));
+    meters->GetGauge("hv.ksm.pages_sharing")->Set(static_cast<double>(stats.pages_sharing));
+  }
   return stats;
 }
 

@@ -83,11 +83,28 @@ void VirtualMachine::Boot(std::function<void(SimTime)> on_ready) {
                   "Boot() on a VM that is not cold");
   state_ = VmState::kBooting;
   SimDuration total = config_.boot.Total();
+  SimTime boot_start = sim_.now();
   boot_event_pending_ = true;
-  boot_event_ = sim_.loop().ScheduleAfter(total, [this, on_ready = std::move(on_ready)] {
+  boot_event_ = sim_.loop().ScheduleAfter(total, [this, boot_start,
+                                                  on_ready = std::move(on_ready)] {
     boot_event_pending_ = false;
     if (state_ != VmState::kBooting) {
       return;  // shut down mid-boot
+    }
+    // The boot finished uninterrupted, so the phase boundaries are known
+    // exactly: emit the bios/kernel/services breakdown as nested spans.
+    if (TraceRecorder* tracer = sim_.loop().tracer()) {
+      const BootProfile& boot = config_.boot;
+      tracer->AddComplete("hv", "vm_boot", config_.name, boot_start, boot.Total());
+      tracer->AddComplete("hv", "bios", config_.name, boot_start, boot.bios);
+      tracer->AddComplete("hv", "kernel", config_.name, boot_start + boot.bios, boot.kernel);
+      tracer->AddComplete("hv", "services", config_.name, boot_start + boot.bios + boot.kernel,
+                          boot.services);
+    }
+    if (MetricsRegistry* meters = sim_.loop().meters()) {
+      meters->GetCounter("hv.vm_boots")->Increment();
+      meters->GetHistogram("hv.vm_boot_us")
+          ->Record(static_cast<double>(sim_.now() - boot_start));
     }
     // Boot populates the page cache from the shared base image and dirties
     // kernel/service heaps.

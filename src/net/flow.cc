@@ -25,6 +25,15 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
   flow.remaining_bytes = static_cast<double>(bytes) * overhead_factor;
   flow.done = std::move(done);
   flow.started = false;
+  flow.created_at = loop_.now();
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("net.flows_started")->Increment();
+    meters->GetCounter("net.flow_wire_bytes")
+        ->Increment(static_cast<uint64_t>(flow.remaining_bytes));
+  }
+  if (TraceRecorder* tracer = loop_.tracer()) {
+    tracer->AddAsyncBegin("net", "flow", id, loop_.now());
+  }
   flows_.emplace(id, std::move(flow));
 
   // Connection setup + request takes one round trip; then the flow joins
@@ -49,6 +58,12 @@ bool FlowScheduler::CancelFlow(FlowId id) {
     return false;
   }
   flows_.erase(it);
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("net.flows_cancelled")->Increment();
+  }
+  if (TraceRecorder* tracer = loop_.tracer()) {
+    tracer->AddAsyncEnd("net", "flow", id, loop_.now());
+  }
   Reschedule();
   return true;
 }
@@ -82,6 +97,14 @@ void FlowScheduler::Settle() {
   }
   for (FlowId id : finished) {
     auto node = flows_.extract(id);
+    if (MetricsRegistry* meters = loop_.meters()) {
+      meters->GetCounter("net.flows_completed")->Increment();
+      meters->GetHistogram("net.flow_duration_us")
+          ->Record(static_cast<double>(now - node.mapped().created_at));
+    }
+    if (TraceRecorder* tracer = loop_.tracer()) {
+      tracer->AddAsyncEnd("net", "flow", id, now);
+    }
     if (node.mapped().done) {
       node.mapped().done(now);
     }
@@ -92,6 +115,9 @@ void FlowScheduler::Reschedule() {
   if (has_pending_event_) {
     loop_.Cancel(pending_event_);
     has_pending_event_ = false;
+  }
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("net.fair_share_recomputes")->Increment();
   }
 
   // Max-min fair allocation by progressive filling over links.

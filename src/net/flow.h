@@ -59,6 +59,7 @@ class FlowScheduler {
     double remaining_bytes = 0;
     double rate_bytes_per_us = 0;
     bool started = false;  // becomes true after the setup RTT
+    SimTime created_at = 0;
     std::function<void(SimTime)> done;
   };
 

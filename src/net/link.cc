@@ -11,6 +11,10 @@ void Link::Send(Packet packet, bool from_a) {
   if (capture_ != nullptr) {
     capture_->Record(loop_.now(), packet);
   }
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("net.link.packets_sent")->Increment();
+    meters->GetCounter("net.link.bytes_sent")->Increment(packet.WireSize());
+  }
   SimDuration serialization =
       static_cast<SimDuration>(packet.WireSize() * 8 * 1'000'000 / bandwidth_bps_);
   SimDuration delay = latency_ + serialization;

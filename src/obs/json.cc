@@ -1,0 +1,263 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace nymix {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string JsonNumber(uint64_t value) { return std::to_string(value); }
+std::string JsonNumber(int64_t value) { return std::to_string(value); }
+
+namespace {
+
+// Recursive-descent validator over a string_view with an explicit cursor.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool Run() {
+    SkipSpace();
+    if (!Value()) {
+      return false;
+    }
+    SkipSpace();
+    return position_ == text_.size();
+  }
+
+ private:
+  bool AtEnd() const { return position_ >= text_.size(); }
+  char Peek() const { return text_[position_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\n' || Peek() == '\r' || Peek() == '\t')) {
+      ++position_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(position_, word.size()) != word) {
+      return false;
+    }
+    position_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (AtEnd() || Peek() != '"') {
+      return false;
+    }
+    ++position_;
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\\') {
+        ++position_;
+        if (AtEnd()) {
+          return false;
+        }
+        char escape = Peek();
+        if (escape == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++position_;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return false;
+            }
+          }
+        } else if (escape != '"' && escape != '\\' && escape != '/' && escape != 'b' &&
+                   escape != 'f' && escape != 'n' && escape != 'r' && escape != 't') {
+          return false;
+        }
+      }
+      ++position_;
+    }
+    if (AtEnd()) {
+      return false;
+    }
+    ++position_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = position_;
+    if (!AtEnd() && Peek() == '-') {
+      ++position_;
+    }
+    size_t digits = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++position_;
+      ++digits;
+    }
+    if (digits == 0) {
+      position_ = start;
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++position_;
+      digits = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++position_;
+        ++digits;
+      }
+      if (digits == 0) {
+        return false;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++position_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        ++position_;
+      }
+      digits = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++position_;
+        ++digits;
+      }
+      if (digits == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Array() {
+    ++position_;  // '['
+    SkipSpace();
+    if (!AtEnd() && Peek() == ']') {
+      ++position_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) {
+        return false;
+      }
+      SkipSpace();
+      if (AtEnd()) {
+        return false;
+      }
+      if (Peek() == ',') {
+        ++position_;
+        SkipSpace();
+        continue;
+      }
+      if (Peek() == ']') {
+        ++position_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Object() {
+    ++position_;  // '{'
+    SkipSpace();
+    if (!AtEnd() && Peek() == '}') {
+      ++position_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!String()) {
+        return false;
+      }
+      SkipSpace();
+      if (AtEnd() || Peek() != ':') {
+        return false;
+      }
+      ++position_;
+      if (!Value()) {
+        return false;
+      }
+      SkipSpace();
+      if (AtEnd()) {
+        return false;
+      }
+      if (Peek() == ',') {
+        ++position_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++position_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Value() {
+    SkipSpace();
+    if (AtEnd()) {
+      return false;
+    }
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view text_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+bool JsonValidate(std::string_view text) { return Validator(text).Run(); }
+
+}  // namespace nymix

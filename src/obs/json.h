@@ -1,0 +1,35 @@
+// Minimal JSON emission and validation helpers for the observability
+// subsystem. Emission is string-escaping plus stable number formatting so
+// trace/stats dumps are byte-stable across runs; validation is a strict
+// recursive-descent parser used by tests (and the bench helper) to prove
+// that every exported document round-trips through a real parser.
+//
+// nymix_obs sits below nymix_util, so this header must not pull in any
+// linked util code.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nymix {
+
+// Escapes `text` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view text);
+
+// Formats a double with enough precision to round-trip, rendering integral
+// values without a trailing ".0" noise and non-finite values as 0 (JSON has
+// no NaN/Inf).
+std::string JsonNumber(double value);
+std::string JsonNumber(uint64_t value);
+std::string JsonNumber(int64_t value);
+
+// Strict validation: exactly one JSON value spanning the whole input.
+// Accepts objects, arrays, strings, numbers, booleans and null; rejects
+// trailing garbage, unterminated literals and bad escapes.
+bool JsonValidate(std::string_view text);
+
+}  // namespace nymix
+
+#endif  // SRC_OBS_JSON_H_

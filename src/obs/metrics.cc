@@ -1,0 +1,138 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/obs/json.h"
+
+namespace nymix {
+
+namespace {
+
+constexpr double kBucketsPerOctave = 8.0;  // ratio 2^(1/8) per bucket
+constexpr int32_t kUnderflowBucket = std::numeric_limits<int32_t>::min();
+
+// Geometric midpoint of bucket `index`: 2^((index - 0.5) / 8).
+double BucketMidpoint(int32_t index) {
+  if (index == kUnderflowBucket) {
+    return 0;
+  }
+  return std::exp2((static_cast<double>(index) - 0.5) / kBucketsPerOctave);
+}
+
+}  // namespace
+
+int32_t Histogram::BucketIndex(double value) {
+  if (!(value > 0)) {  // zero, negative, NaN
+    return kUnderflowBucket;
+  }
+  return static_cast<int32_t>(std::ceil(std::log2(value) * kBucketsPerOctave));
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketIndex(value)];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0) {
+    return min_;
+  }
+  if (p >= 100) {
+    return max_;
+  }
+  double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (const auto& [index, bucket_count] : buckets_) {
+    cumulative += bucket_count;
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(std::max(BucketMidpoint(index), min_), max_);
+    }
+  }
+  return max_;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out, const std::string& indent) const {
+  const std::string inner = indent + "  ";
+  const std::string item = inner + "  ";
+  out << "{";
+  bool first_section = true;
+  auto section = [&](const char* name) {
+    if (!first_section) {
+      out << ",";
+    }
+    first_section = false;
+    out << "\n" << inner << "\"" << name << "\": {";
+  };
+
+  section("counters");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << "\n"
+        << item << "\"" << JsonEscape(name) << "\": " << JsonNumber(counter.value());
+    first = false;
+  }
+  out << (first ? "" : "\n" + inner) << "}";
+
+  section("gauges");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << "\n"
+        << item << "\"" << JsonEscape(name) << "\": " << JsonNumber(gauge.value());
+    first = false;
+  }
+  out << (first ? "" : "\n" + inner) << "}";
+
+  section("histograms");
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << "\n"
+        << item << "\"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << JsonNumber(histogram.count())
+        << ", \"sum\": " << JsonNumber(histogram.sum())
+        << ", \"min\": " << JsonNumber(histogram.min())
+        << ", \"max\": " << JsonNumber(histogram.max())
+        << ", \"mean\": " << JsonNumber(histogram.mean())
+        << ", \"p50\": " << JsonNumber(histogram.Percentile(50))
+        << ", \"p95\": " << JsonNumber(histogram.Percentile(95))
+        << ", \"p99\": " << JsonNumber(histogram.Percentile(99)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + inner) << "}";
+
+  out << "\n" << indent << "}";
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& out) const {
+  out << "kind,name,field,value\n";
+  for (const auto& [name, counter] : counters_) {
+    out << "counter," << name << ",value," << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge," << name << ",value," << JsonNumber(gauge.value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "histogram," << name << ",count," << histogram.count() << "\n";
+    out << "histogram," << name << ",sum," << JsonNumber(histogram.sum()) << "\n";
+    out << "histogram," << name << ",min," << JsonNumber(histogram.min()) << "\n";
+    out << "histogram," << name << ",max," << JsonNumber(histogram.max()) << "\n";
+    out << "histogram," << name << ",p50," << JsonNumber(histogram.Percentile(50)) << "\n";
+    out << "histogram," << name << ",p95," << JsonNumber(histogram.Percentile(95)) << "\n";
+    out << "histogram," << name << ",p99," << JsonNumber(histogram.Percentile(99)) << "\n";
+  }
+}
+
+}  // namespace nymix

@@ -1,0 +1,28 @@
+// Observability: the bundle a simulation carries — one TraceRecorder plus
+// one MetricsRegistry. Attach it to an EventLoop
+// (EventLoop::set_observability) and every instrumented layer above (flows,
+// links, KSM, VM boots, Tor bootstrap, nym lifecycle, page loads) starts
+// reporting. Both halves default to disabled; an attached-but-disabled or
+// simply unattached Observability keeps the per-event cost at a pointer
+// check.
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace nymix {
+
+struct Observability {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+
+  void EnableAll() {
+    trace.set_enabled(true);
+    metrics.set_enabled(true);
+  }
+};
+
+}  // namespace nymix
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

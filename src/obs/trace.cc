@@ -1,0 +1,202 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace nymix {
+
+uint32_t TraceRecorder::TidForTrack(const std::string& track) {
+  auto it = track_tids_.find(track);
+  if (it != track_tids_.end()) {
+    return it->second;
+  }
+  uint32_t tid = next_tid_++;
+  track_tids_.emplace(track, tid);
+  return tid;
+}
+
+void TraceRecorder::AddComplete(const char* category, const std::string& name,
+                                const std::string& track, SimTime ts, SimDuration dur,
+                                double wall_us) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'X';
+  event.category = category;
+  event.name = name;
+  event.tid = TidForTrack(track);
+  event.ts = ts + offset_;
+  event.dur = std::max<SimDuration>(dur, 0);
+  event.wall_us = wall_us;
+  max_ts_ = std::max(max_ts_, event.ts + event.dur);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddInstant(const char* category, const std::string& name,
+                               const std::string& track, SimTime ts) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'i';
+  event.category = category;
+  event.name = name;
+  event.tid = TidForTrack(track);
+  event.ts = ts + offset_;
+  max_ts_ = std::max(max_ts_, event.ts);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddCounter(const char* category, const std::string& name, SimTime ts,
+                               double value) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'C';
+  event.category = category;
+  event.name = name;
+  event.ts = ts + offset_;
+  event.value = value;
+  max_ts_ = std::max(max_ts_, event.ts);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddAsyncBegin(const char* category, const std::string& name, uint64_t id,
+                                  SimTime ts) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'b';
+  event.category = category;
+  event.name = name;
+  event.async_id = id;
+  event.ts = ts + offset_;
+  max_ts_ = std::max(max_ts_, event.ts);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddAsyncEnd(const char* category, const std::string& name, uint64_t id,
+                                SimTime ts) {
+  if (!enabled_) {
+    return;
+  }
+  Event event;
+  event.phase = 'e';
+  event.category = category;
+  event.name = name;
+  event.async_id = id;
+  event.ts = ts + offset_;
+  max_ts_ = std::max(max_ts_, event.ts);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::NextTimeline(SimDuration gap) {
+  if (!enabled_) {
+    return;
+  }
+  offset_ = max_ts_ + std::max<SimDuration>(gap, 0);
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  track_tids_.clear();
+  next_tid_ = 1;
+  offset_ = 0;
+  max_ts_ = 0;
+}
+
+void TraceRecorder::WriteChromeJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto separator = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n";
+  };
+  // Process / thread metadata so tracks render with readable names.
+  separator();
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"nymix-sim (virtual time)\"}}";
+  for (const auto& [track, tid] : track_tids_) {
+    separator();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(track) << "\"}}";
+  }
+  for (const Event& event : events_) {
+    separator();
+    out << "{\"ph\":\"" << event.phase << "\",\"pid\":1,\"cat\":\"" << event.category
+        << "\",\"name\":\"" << JsonEscape(event.name) << "\",\"ts\":" << event.ts;
+    switch (event.phase) {
+      case 'X':
+        out << ",\"tid\":" << event.tid << ",\"dur\":" << event.dur;
+        if (event.wall_us >= 0) {
+          out << ",\"args\":{\"wall_us\":" << JsonNumber(event.wall_us) << "}";
+        }
+        break;
+      case 'i':
+        out << ",\"tid\":" << event.tid << ",\"s\":\"t\"";
+        break;
+      case 'C':
+        out << ",\"tid\":0,\"args\":{\"value\":" << JsonNumber(event.value) << "}";
+        break;
+      case 'b':
+      case 'e':
+        out << ",\"tid\":0,\"id\":\"0x" << std::hex << event.async_id << std::dec << "\"";
+        break;
+      default:
+        break;
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::ostringstream out;
+  WriteChromeJson(out);
+  return out.str();
+}
+
+bool TraceRecorder::WriteChromeJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WriteChromeJson(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const SimClock& clock, const char* category,
+                     std::string name, std::string track) {
+  if (recorder == nullptr || !recorder->enabled()) {
+    return;
+  }
+  recorder_ = recorder;
+  clock_ = &clock;
+  category_ = category;
+  name_ = std::move(name);
+  track_ = std::move(track);
+  start_ = clock.now();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  double wall_us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                             wall_start_)
+                       .count();
+  recorder_->AddComplete(category_, name_, track_, start_, clock_->now() - start_, wall_us);
+}
+
+}  // namespace nymix

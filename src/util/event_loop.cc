@@ -1,6 +1,6 @@
 #include "src/util/event_loop.h"
 
-#include <algorithm>
+#include <chrono>
 
 #include "src/util/check.h"
 
@@ -22,35 +22,46 @@ uint64_t EventLoop::ScheduleAt(SimTime when, Callback fn) {
 }
 
 bool EventLoop::Cancel(uint64_t event_id) {
-  auto it = callbacks_.find(event_id);
-  if (it == callbacks_.end()) {
-    return false;
+  // The heap entry stays behind as a tombstone and is dropped lazily when
+  // it reaches the top; only the callback table is authoritative.
+  return callbacks_.erase(event_id) > 0;
+}
+
+void EventLoop::PruneCancelledTop() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
   }
-  callbacks_.erase(it);
-  cancelled_.push_back(event_id);
-  return true;
 }
 
 bool EventLoop::RunOne() {
-  while (!heap_.empty()) {
-    Event event = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(event.id);
-    if (it == callbacks_.end()) {
-      // Cancelled event still sitting in the heap; drop its tombstone.
-      auto tomb = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-      if (tomb != cancelled_.end()) {
-        cancelled_.erase(tomb);
-      }
-      continue;
-    }
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    clock_.AdvanceTo(event.when);
-    fn();
-    return true;
+  PruneCancelledTop();
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  Event event = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(event.id);
+  NYMIX_CHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  clock_.AdvanceTo(event.when);
+  ++executed_count_;
+  if (events_executed_ != nullptr) {
+    events_executed_->Increment();
+    queue_depth_->Record(static_cast<double>(callbacks_.size()));
+    auto wall_start = std::chrono::steady_clock::now();
+    fn();
+    event_wall_ns_->Record(std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count());
+  } else {
+    fn();
+  }
+  if (TraceRecorder* tracer = this->tracer(); tracer != nullptr && executed_count_ % 64 == 0) {
+    tracer->AddCounter("core", "pending_events", clock_.now(),
+                       static_cast<double>(callbacks_.size()));
+  }
+  return true;
 }
 
 size_t EventLoop::RunUntilIdle() {
@@ -63,7 +74,13 @@ size_t EventLoop::RunUntilIdle() {
 
 size_t EventLoop::RunUntil(SimTime deadline) {
   size_t count = 0;
-  while (!heap_.empty() && heap_.top().when <= deadline) {
+  for (;;) {
+    // Prune first: a cancelled entry at the top must not let RunOne reach
+    // past the deadline to the next live event.
+    PruneCancelledTop();
+    if (heap_.empty() || heap_.top().when > deadline) {
+      break;
+    }
     if (RunOne()) {
       ++count;
     }
@@ -79,6 +96,18 @@ bool EventLoop::RunUntilCondition(const std::function<bool()>& done) {
     }
   }
   return true;
+}
+
+void EventLoop::set_observability(Observability* obs) {
+  obs_ = obs;
+  events_executed_ = nullptr;
+  event_wall_ns_ = nullptr;
+  queue_depth_ = nullptr;
+  if (obs_ != nullptr && obs_->metrics.enabled()) {
+    events_executed_ = obs_->metrics.GetCounter("core.event_loop.events_executed");
+    event_wall_ns_ = obs_->metrics.GetHistogram("core.event_loop.event_wall_ns");
+    queue_depth_ = obs_->metrics.GetHistogram("core.event_loop.queue_depth");
+  }
 }
 
 }  // namespace nymix

@@ -1,6 +1,11 @@
 // Discrete-event simulation loop: a priority queue of timestamped callbacks
 // over a SimClock. This is the heartbeat of every substrate model (network
 // flows, VM boot phases, KSM scans, anonymizer handshakes).
+//
+// The loop is also the stack's observability anchor: attach an
+// Observability (src/obs) and every instrumented layer that holds an
+// EventLoop reference reports through tracer()/meters(). Unattached (the
+// default), every instrumentation site reduces to a null-pointer check.
 #ifndef SRC_UTIL_EVENT_LOOP_H_
 #define SRC_UTIL_EVENT_LOOP_H_
 
@@ -10,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/util/sim_clock.h"
 
 namespace nymix {
@@ -19,6 +25,7 @@ class EventLoop {
   using Callback = std::function<void()>;
 
   SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
   SimTime now() const { return clock_.now(); }
 
   // Schedules `fn` to run `delay` after the current virtual time.
@@ -28,7 +35,8 @@ class EventLoop {
   // Schedules `fn` at an absolute virtual time (clamped to now).
   uint64_t ScheduleAt(SimTime when, Callback fn);
 
-  // Cancels a pending event; returns false if it already ran or is unknown.
+  // Cancels a pending event; returns false if it already ran, was already
+  // cancelled, or is unknown. Safe to call any number of times.
   bool Cancel(uint64_t event_id);
 
   // Runs events until none remain. Returns the number of events executed.
@@ -42,7 +50,25 @@ class EventLoop {
   // predicate was satisfied.
   bool RunUntilCondition(const std::function<bool()>& done);
 
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  // Live (scheduled, not cancelled, not yet run) events. Robust against
+  // cancelled entries that still sit in the heap awaiting their lazy pop:
+  // the count is taken from the callback table, which cancellation updates
+  // eagerly.
+  size_t pending_events() const { return callbacks_.size(); }
+
+  // --- Observability ----------------------------------------------------
+  // The loop does not own the Observability; benches/tests attach one for
+  // the runs they want instrumented. Metrics recorded here: events
+  // executed, queue depth at dispatch, and per-event wall time (the
+  // simulator profiling itself).
+  void set_observability(Observability* obs);
+  Observability* observability() const { return obs_; }
+  TraceRecorder* tracer() const {
+    return obs_ != nullptr && obs_->trace.enabled() ? &obs_->trace : nullptr;
+  }
+  MetricsRegistry* meters() const {
+    return obs_ != nullptr && obs_->metrics.enabled() ? &obs_->metrics : nullptr;
+  }
 
  private:
   struct Event {
@@ -61,13 +87,23 @@ class EventLoop {
 
   // Pops and executes the earliest pending event; false if none.
   bool RunOne();
+  // Drops cancelled entries from the top of the heap so heap_.top() (when
+  // the heap is non-empty) is a live event.
+  void PruneCancelledTop();
 
   SimClock clock_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
-  std::vector<uint64_t> cancelled_;  // ids cancelled but still in the heap
   std::unordered_map<uint64_t, Callback> callbacks_;
   uint64_t next_id_ = 1;
   uint64_t next_sequence_ = 1;
+
+  Observability* obs_ = nullptr;
+  // Cached instruments (non-null only while metrics are enabled) so the
+  // per-event cost is a pointer check + increment, not a map lookup.
+  Counter* events_executed_ = nullptr;
+  Histogram* event_wall_ns_ = nullptr;
+  Histogram* queue_depth_ = nullptr;
+  uint64_t executed_count_ = 0;
 };
 
 }  // namespace nymix

@@ -1,6 +1,7 @@
 #include "src/workload/browser.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace nymix {
 
@@ -240,11 +241,12 @@ void BrowserModel::Visit(Website& site, std::function<void(Result<SimTime>)> don
   }
 
   ++visits_performed_;
-  auto perform = [this, &site, profile, revisit, download, cookie, account,
-                  evercookie](std::function<void(Result<SimTime>)> fetch_done) {
+  SimTime visit_start = sim_.now();
+  auto perform = [this, &site, profile, revisit, download, cookie, account, evercookie,
+                  visit_start](std::function<void(Result<SimTime>)> fetch_done) {
     anonymizer_->Fetch(
         profile.domain, 4 * kKiB, download,
-        [this, &site, profile, revisit, cookie, account, evercookie,
+        [this, &site, profile, revisit, cookie, account, evercookie, visit_start,
          fetch_done = std::move(fetch_done)](Result<FetchReceipt> receipt) {
           if (!receipt.ok()) {
             fetch_done(receipt.status());
@@ -260,10 +262,27 @@ void BrowserModel::Visit(Website& site, std::function<void(Result<SimTime>)> don
             return;
           }
           anon_vm_->memory().DirtyPages(profile.memory_dirty_bytes / kPageSize, prng_);
-          sim_.loop().ScheduleAfter(config_.render_time,
-                                    [this, fetch_done = std::move(fetch_done)] {
-                                      fetch_done(sim_.now());
-                                    });
+          sim_.loop().ScheduleAfter(
+              config_.render_time, [this, profile, visit_start, fetch_done = std::move(fetch_done)] {
+                if (TraceRecorder* tracer = sim_.loop().tracer()) {
+                  // The span lands on the owning nym's track: the AnonVM is
+                  // named "<nym>-anon".
+                  std::string track = anon_vm_->name();
+                  constexpr std::string_view kSuffix = "-anon";
+                  if (track.size() > kSuffix.size() &&
+                      track.compare(track.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+                    track.resize(track.size() - kSuffix.size());
+                  }
+                  tracer->AddComplete("core", "page_load:" + profile.domain, track, visit_start,
+                                      sim_.now() - visit_start);
+                }
+                if (MetricsRegistry* meters = sim_.loop().meters()) {
+                  meters->GetCounter("core.page_loads")->Increment();
+                  meters->GetHistogram("core.page_load_us")
+                      ->Record(static_cast<double>(sim_.now() - visit_start));
+                }
+                fetch_done(sim_.now());
+              });
         });
   };
 

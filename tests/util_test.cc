@@ -304,6 +304,54 @@ TEST(EventLoopTest, RunUntilConditionReturnsFalseWhenExhausted) {
   EXPECT_FALSE(loop.RunUntilCondition([] { return false; }));
 }
 
+TEST(EventLoopTest, CancelAfterRunReturnsFalse) {
+  EventLoop loop;
+  uint64_t id = loop.ScheduleAfter(Millis(1), [] {});
+  loop.RunUntilIdle();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CancelTwiceReturnsFalseAndStaysSafe) {
+  EventLoop loop;
+  uint64_t id = loop.ScheduleAfter(Millis(1), [] {});
+  uint64_t other = loop.ScheduleAfter(Millis(2), [] {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+  EXPECT_EQ(loop.RunUntilIdle(), 1u);  // `other` still runs exactly once
+  EXPECT_FALSE(loop.Cancel(other));
+}
+
+TEST(EventLoopTest, PendingEventsExcludesCancelledTombstones) {
+  EventLoop loop;
+  uint64_t a = loop.ScheduleAfter(Millis(1), [] {});
+  loop.ScheduleAfter(Millis(2), [] {});
+  uint64_t c = loop.ScheduleAfter(Millis(3), [] {});
+  EXPECT_EQ(loop.pending_events(), 3u);
+  // Cancelled entries linger in the heap until lazily popped, but must not
+  // count as pending.
+  loop.Cancel(a);
+  loop.Cancel(c);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, RunUntilIgnoresCancelledFrontEvent) {
+  EventLoop loop;
+  int ran = 0;
+  uint64_t front = loop.ScheduleAfter(Millis(5), [&] { ++ran; });
+  loop.ScheduleAfter(Millis(50), [&] { ++ran; });
+  loop.Cancel(front);
+  // The cancelled tombstone at the top of the heap must not trick RunUntil
+  // into executing the Millis(50) event before the deadline.
+  EXPECT_EQ(loop.RunUntil(Millis(20)), 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(loop.now(), Millis(20));
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran, 1);
+}
+
 // ---------------------------------------------------------------- Blob
 
 TEST(BlobTest, RealBlobRoundTrip) {
