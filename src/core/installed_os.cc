@@ -174,9 +174,10 @@ void InstalledOsNymService::BootAsNym(
             // COW semantics: the repair + boot writes land in the nym's
             // writable layer; the physical disk is untouched.
             uint64_t cow = CowBytesFor(profile);
-            (*nym)->anon_vm()->disk().fs().writable_mutable().WriteFile(
+            Status cow_write = (*nym)->anon_vm()->disk().fs().writable_mutable().WriteFile(
                 "/cow/installed-os-delta",
                 Blob::Synthetic(cow, Mix64(disk_bytes_before), 0.6));
+            NYMIX_CHECK_MSG(cow_write.ok(), cow_write.ToString().c_str());
             report->boot_seconds = BootSecondsFor(profile);
             report->cow_bytes = cow;
             NYMIX_CHECK(disk->TotalBytes() == disk_bytes_before);

@@ -111,7 +111,10 @@ class VirtualMachine : public PacketSink {
   VmState state_ = VmState::kCreated;
   GuestMemory memory_;
   VmDisk disk_;
-  std::map<Link*, bool> nics_;  // link -> attached as side A
+  // link -> attached as side A; ordered by creation id (LinkIdLess) because
+  // the destructor walks the NICs and detach order must not depend on
+  // heap addresses.
+  std::map<Link*, bool, LinkIdLess> nics_;
   std::function<void(const Packet&, Link&, bool)> packet_handler_;
   std::map<std::string, std::shared_ptr<MemFs>> shares_;
   std::shared_ptr<const BaseImage> image_;

@@ -120,9 +120,12 @@ void FlowScheduler::Reschedule() {
     meters->GetCounter("net.fair_share_recomputes")->Increment();
   }
 
-  // Max-min fair allocation by progressive filling over links.
-  std::map<Link*, double> capacity;        // bytes/us remaining per link
-  std::map<Link*, int> unfixed_count;      // unfixed flows per link
+  // Max-min fair allocation by progressive filling over links. Keyed by
+  // creation order (LinkIdLess), not pointer: the min-share scan iterates
+  // these maps, and address-ordered iteration would make float rounding —
+  // and therefore reported bandwidths — vary run to run.
+  std::map<Link*, double, LinkIdLess> capacity;    // bytes/us remaining per link
+  std::map<Link*, int, LinkIdLess> unfixed_count;  // unfixed flows per link
   std::vector<Flow*> unfixed;
   for (auto& [id, flow] : flows_) {
     (void)id;

@@ -2,8 +2,19 @@
 
 namespace nymix {
 
+namespace {
+// Process-wide creation counter. The sim is single-threaded (enforced by
+// nymlint's sim-thread rule), and only the *relative* order of ids matters,
+// so a plain static is deterministic.
+uint64_t next_link_id = 1;
+}  // namespace
+
 Link::Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps)
-    : loop_(loop), name_(std::move(name)), latency_(latency), bandwidth_bps_(bandwidth_bps) {
+    : loop_(loop),
+      id_(next_link_id++),
+      name_(std::move(name)),
+      latency_(latency),
+      bandwidth_bps_(bandwidth_bps) {
   NYMIX_CHECK(bandwidth_bps_ > 0);
 }
 

@@ -29,6 +29,12 @@ class Link {
  public:
   Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps);
 
+  // Creation-order sequence number. Containers keyed on Link* must order by
+  // this (LinkIdLess below), never by address: link creation order is
+  // deterministic, heap addresses are not, and iteration order reaches
+  // simulation outputs (fair-share rounding, NIC scan order).
+  uint64_t id() const { return id_; }
+
   const std::string& name() const { return name_; }
   SimDuration latency() const { return latency_; }
   uint64_t bandwidth_bps() const { return bandwidth_bps_; }
@@ -52,6 +58,7 @@ class Link {
   void Send(Packet packet, bool from_a);
 
   EventLoop& loop_;
+  uint64_t id_;
   std::string name_;
   SimDuration latency_;
   uint64_t bandwidth_bps_;
@@ -60,6 +67,12 @@ class Link {
   PacketCapture* capture_ = nullptr;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+};
+
+// Comparator for Link*-keyed ordered containers: creation order, which is
+// reproducible run to run, instead of allocation address, which is not.
+struct LinkIdLess {
+  bool operator()(const Link* a, const Link* b) const { return a->id() < b->id(); }
 };
 
 }  // namespace nymix

@@ -11,7 +11,7 @@ NatGateway::NatGateway(std::string name, Link* outside, Ipv4Address public_ip)
 void NatGateway::AttachInside(Link* inside) {
   NYMIX_CHECK(inside != nullptr);
   inside->AttachB(this);
-  inside_links_[inside] = true;
+  inside_link_ids_.insert(inside->id());
 }
 
 void NatGateway::OnPacket(const Packet& packet, Link& link, bool from_a) {
@@ -35,9 +35,9 @@ void NatGateway::OnPacket(const Packet& packet, Link& link, bool from_a) {
     return;
   }
 
-  NYMIX_CHECK_MSG(inside_links_.count(&link) > 0, "NAT received packet on unknown link");
+  NYMIX_CHECK_MSG(inside_link_ids_.count(link.id()) > 0, "NAT received packet on unknown link");
   // Outbound: allocate (or reuse) a port mapping and masquerade.
-  auto key = std::make_tuple(&link, packet.src_ip, packet.src_port);
+  auto key = std::make_tuple(link.id(), packet.src_ip, packet.src_port);
   auto it = by_inside_.find(key);
   if (it == by_inside_.end()) {
     Port outside_port = next_port_++;

@@ -10,6 +10,7 @@
 #define SRC_NET_NAT_H_
 
 #include <map>
+#include <set>
 #include <tuple>
 
 #include "src/net/link.h"
@@ -43,9 +44,11 @@ class NatGateway : public PacketSink {
   Link* outside_;
   Ipv4Address public_ip_;
   Port next_port_ = 32768;
-  std::map<std::tuple<Link*, Ipv4Address, Port>, Port> by_inside_;
+  // Keyed by Link::id(), not Link*: pointer keys would order (and allocate
+  // NAT ports, via next_port_) by heap address instead of creation order.
+  std::map<std::tuple<uint64_t, Ipv4Address, Port>, Port> by_inside_;
   std::map<Port, Mapping> by_outside_port_;
-  std::map<Link*, bool> inside_links_;
+  std::set<uint64_t> inside_link_ids_;
   uint64_t translated_out_ = 0;
   uint64_t translated_in_ = 0;
   uint64_t dropped_unsolicited_ = 0;

@@ -31,7 +31,7 @@ void TraceRecorder::AddComplete(const char* category, const std::string& name,
   event.tid = TidForTrack(track);
   event.ts = ts + offset_;
   event.dur = std::max<SimDuration>(dur, 0);
-  event.wall_us = wall_us;
+  event.wall_us = record_wall_time_ ? wall_us : -1.0;
   max_ts_ = std::max(max_ts_, event.ts + event.dur);
   events_.push_back(std::move(event));
 }
@@ -186,16 +186,22 @@ TraceSpan::TraceSpan(TraceRecorder* recorder, const SimClock& clock, const char*
   name_ = std::move(name);
   track_ = std::move(track);
   start_ = clock.now();
-  wall_start_ = std::chrono::steady_clock::now();
+  if (recorder->record_wall_time()) {
+    // nymlint:allow(determinism-wallclock): span self-profiling; wall cost is an arg on the span, never simulated time
+    wall_start_ = std::chrono::steady_clock::now();
+  }
 }
 
 TraceSpan::~TraceSpan() {
   if (recorder_ == nullptr) {
     return;
   }
-  double wall_us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                             wall_start_)
-                       .count();
+  double wall_us = -1.0;
+  if (recorder_->record_wall_time()) {
+    // nymlint:allow(determinism-wallclock): span self-profiling; wall cost is an arg on the span, never simulated time
+    auto wall_end = std::chrono::steady_clock::now();
+    wall_us = std::chrono::duration<double, std::micro>(wall_end - wall_start_).count();
+  }
   recorder_->AddComplete(category_, name_, track_, start_, clock_->now() - start_, wall_us);
 }
 

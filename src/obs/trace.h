@@ -58,6 +58,13 @@ class TraceRecorder {
   size_t event_count() const { return events_.size(); }
   void Clear();
 
+  // Wall-clock self-profiling args ("wall_us" on 'X' events) are recorded
+  // by default. Turn them off to make exported JSON byte-identical across
+  // identically-seeded runs: all virtual-time content is reproducible, the
+  // simulator's own wall time never is (tests/determinism_test.cc).
+  bool record_wall_time() const { return record_wall_time_; }
+  void set_record_wall_time(bool record) { record_wall_time_ = record; }
+
   // Chrome trace_event JSON: {"traceEvents": [...], ...}.
   void WriteChromeJson(std::ostream& out) const;
   std::string ToChromeJson() const;
@@ -80,6 +87,7 @@ class TraceRecorder {
   uint32_t TidForTrack(const std::string& track);
 
   bool enabled_ = false;
+  bool record_wall_time_ = true;
   SimTime offset_ = 0;    // applied to every recorded timestamp
   SimTime max_ts_ = 0;    // high-water mark of shifted timestamps
   std::vector<Event> events_;
@@ -105,6 +113,7 @@ class TraceSpan {
   std::string name_;
   std::string track_;
   SimTime start_ = 0;
+  // nymlint:allow(determinism-wallclock): span self-profiling; wall cost is an arg on the span, never simulated time
   std::chrono::steady_clock::time_point wall_start_;
 };
 

@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/obs/observability.h"
@@ -93,7 +93,12 @@ class EventLoop {
 
   SimClock clock_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
-  std::unordered_map<uint64_t, Callback> callbacks_;
+  // Ordered map, not a hash table: nothing may iterate callbacks_ today,
+  // but the determinism contract (docs/static-analysis.md) bans unordered
+  // containers from the sim core outright so a future walk cannot leak
+  // hash/allocation order into outputs. Lookups are O(log n) on ids that
+  // are dense and small; the heap dominates scheduling cost regardless.
+  std::map<uint64_t, Callback> callbacks_;
   uint64_t next_id_ = 1;
   uint64_t next_sequence_ = 1;
 

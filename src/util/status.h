@@ -34,7 +34,10 @@ enum class StatusCode {
 // Human-readable name for a status code ("NOT_FOUND", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every Status-returning call site either
+// handle the error or discard it loudly; nymlint's error-ignored-status
+// rule enforces the same contract at lint time.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -72,7 +75,7 @@ Status InternalError(std::string message);
 // Result<T> holds a T on success or an error Status. Dereferencing a
 // non-OK result is a programmer error and aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)

@@ -1,0 +1,95 @@
+// Regression tests for the determinism contract (DESIGN.md): two runs of
+// the same seeded scenario must produce byte-identical trace JSON. This is
+// the test that catches pointer-keyed iteration orders (heap addresses
+// differ between the two runs inside one process) and any other
+// nondeterminism that survives nymlint's static rules.
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/net/simulation.h"
+#include "src/obs/observability.h"
+
+namespace nymix {
+namespace {
+
+// A scenario that exercises the subsystems where iteration order could
+// leak: several links sharing flows (FlowScheduler's per-link maps), PRNG-
+// driven sizes and routes, and trace spans. Wall-time self-profiling is
+// disabled so the exported JSON contains virtual-time content only.
+std::string RunScenario(uint64_t seed) {
+  Simulation sim(seed);
+  Observability obs;
+  obs.trace.set_enabled(true);
+  obs.trace.set_record_wall_time(false);
+  sim.loop().set_observability(&obs);
+
+  Link* uplink = sim.CreateLink("uplink", Millis(5), 8'000'000);
+  Link* relay_a = sim.CreateLink("relay-a", Millis(12), 4'000'000);
+  Link* relay_b = sim.CreateLink("relay-b", Millis(9), 2'000'000);
+
+  int completed = 0;
+  int started = 0;
+  for (int i = 0; i < 24; ++i) {
+    uint64_t bytes = sim.prng().NextInRange(20'000, 400'000);
+    std::vector<Link*> path;
+    switch (sim.prng().NextBelow(3)) {
+      case 0:
+        path = {uplink};
+        break;
+      case 1:
+        path = {uplink, relay_a};
+        break;
+      default:
+        path = {uplink, relay_b};
+        break;
+    }
+    ++started;
+    sim.flows().StartFlow(Route::Through(path), bytes, 1.0,
+                          [&completed](SimTime) { ++completed; });
+    // Stagger the starts so flows overlap and bandwidth gets re-divided
+    // across changing sets of contenders (the order-sensitive code path).
+    sim.RunFor(Millis(sim.prng().NextBelow(30)));
+  }
+
+  {
+    TraceSpan span(&obs.trace, sim.loop().clock(), "test", "drain", "main");
+    sim.RunUntil([&] { return completed == started; });
+  }
+  return obs.trace.ToChromeJson();
+}
+
+TEST(DeterminismTest, SameSeedProducesIdenticalTraceJson) {
+  // Shift heap layout between the runs: if any container orders by pointer
+  // value, the second run sees different addresses and the JSON diverges.
+  const std::string first = RunScenario(0xA11CE);
+  auto pad = std::make_unique<std::array<char, 8192>>();
+  pad->fill('x');
+  const std::string second = RunScenario(0xA11CE);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, RepeatedRunsStayIdentical) {
+  const std::string baseline = RunScenario(7);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(baseline, RunScenario(7)) << "run " << i;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsProduceDifferentTraces) {
+  // Sanity check that the scenario actually depends on the seed — if it
+  // didn't, the identical-JSON assertions above would be vacuous.
+  EXPECT_NE(RunScenario(1), RunScenario(2));
+}
+
+TEST(DeterminismTest, DisablingWallTimeStripsWallArgs) {
+  const std::string json = RunScenario(3);
+  EXPECT_EQ(json.find("wall_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nymix

@@ -1,0 +1,411 @@
+// nymlint's own suite: every rule firing, every suppression path, and the
+// lexing traps (raw strings, comments, literals) that make a textual linter
+// trustworthy. Fixtures are inline snippets handed to RunLint with a
+// virtual path, so each case documents exactly which scope it exercises.
+#include "tools/nymlint/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace nymlint {
+namespace {
+
+LintResult LintOne(const std::string& path, const std::string& content) {
+  return RunLint({SourceFile{path, content}});
+}
+
+std::vector<std::string> RulesFired(const LintResult& result) {
+  std::vector<std::string> rules;
+  for (const Diagnostic& diag : result.diagnostics) {
+    rules.push_back(diag.rule);
+  }
+  return rules;
+}
+
+bool Fired(const LintResult& result, const std::string& rule) {
+  const std::vector<std::string> rules = RulesFired(result);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// --- Lexer traps ----------------------------------------------------------
+
+TEST(NymlintLexer, RawStringLiteralHidesBannedNames) {
+  // The banned spelling lives inside a raw string: data, not code.
+  LintResult result = LintOne("src/demo.cc", R"cc(
+    const char* kDoc = R"(call std::rand() and srand(time(nullptr)) here)";
+  )cc");
+  EXPECT_TRUE(result.diagnostics.empty()) << RulesFired(result).size();
+}
+
+TEST(NymlintLexer, RawStringWithDelimiterHidesBannedNames) {
+  LintResult result = LintOne("src/demo.cc",
+                              "const char* kDoc = R\"xy(std::rand() )\" still inside )xy\";\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymlintLexer, OrdinaryStringLiteralHidesBannedNames) {
+  LintResult result = LintOne("src/demo.cc",
+                              "const char* kMsg = \"getenv(\\\"HOME\\\") and throw\";\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymlintLexer, CommentsAreNotCode) {
+  LintResult result = LintOne("src/demo.cc", R"cc(
+    // std::rand() in a line comment
+    /* std::random_device in a block comment */
+    int x = 0;
+  )cc");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymlintLexer, BlockCommentsDoNotNest) {
+  // C++ block comments close at the FIRST "*/": the std::rand() call after
+  // it is live code and must be flagged.
+  LintResult result = LintOne("src/demo.cc", R"cc(
+    /* outer /* looks nested */ int x = std::rand();
+  )cc");
+  EXPECT_TRUE(Fired(result, "determinism-rand"));
+}
+
+TEST(NymlintLexer, DigitSeparatorsAreNotCharLiterals) {
+  // If 1'000'000 were mis-lexed, the quote would open a char literal and
+  // swallow the std::rand() that follows.
+  LintResult result = LintOne("src/demo.cc", R"cc(
+    int rate = 1'000'000;
+    int bad = std::rand();
+  )cc");
+  EXPECT_TRUE(Fired(result, "determinism-rand"));
+}
+
+TEST(NymlintLexer, IncludeHeaderNameIsNotAnIdentifier) {
+  // <unordered_map> as an #include is reported as a banned include (with
+  // the header spelled in the message), not as an identifier use.
+  LintResult result = LintOne("src/demo.h", R"cc(#ifndef DEMO_H_
+#define DEMO_H_
+#include <unordered_map>
+#endif
+)cc");
+  ASSERT_TRUE(Fired(result, "determinism-unordered-container"));
+  EXPECT_NE(result.diagnostics[0].message.find("<unordered_map>"), std::string::npos);
+}
+
+// --- determinism-rand -----------------------------------------------------
+
+TEST(NymlintRules, FlagsStdRand) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "int x = std::rand();\n"), "determinism-rand"));
+  EXPECT_TRUE(Fired(LintOne("bench/demo.cc", "int x = rand();\n"), "determinism-rand"));
+  EXPECT_TRUE(Fired(LintOne("tests/demo.cc", "std::random_device rd;\n"), "determinism-rand"));
+}
+
+TEST(NymlintRules, FlagsRandomHeaderInclude) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "#include <random>\n"), "determinism-rand"));
+}
+
+TEST(NymlintRules, IgnoresRandInForeignNamespace) {
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int x = mylib::rand();\n"), "determinism-rand"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int x = obj.rand();\n"), "determinism-rand"));
+}
+
+// --- determinism-wallclock ------------------------------------------------
+
+TEST(NymlintRules, FlagsWallClocks) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "auto t = std::chrono::steady_clock::now();\n"),
+                    "determinism-wallclock"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "auto t = time(nullptr);\n"),
+                    "determinism-wallclock"));
+}
+
+TEST(NymlintRules, ClockAccessorDeclarationIsNotACall) {
+  // `SimClock& clock()` declares an accessor; `loop.clock()` calls it.
+  // Neither reads the host clock.
+  LintResult result = LintOne("src/demo.h", R"cc(#ifndef DEMO_H_
+#define DEMO_H_
+class EventLoop {
+ public:
+  SimClock& clock() { return clock_; }
+};
+inline SimTime Now(EventLoop& loop) { return loop.clock().now(); }
+#endif
+)cc");
+  EXPECT_FALSE(Fired(result, "determinism-wallclock"));
+}
+
+TEST(NymlintRules, WallclockRuleDoesNotApplyToTests) {
+  EXPECT_FALSE(Fired(LintOne("tests/demo.cc", "auto t = std::chrono::steady_clock::now();\n"),
+                     "determinism-wallclock"));
+}
+
+// --- determinism-env ------------------------------------------------------
+
+TEST(NymlintRules, FlagsGetenvEverywhere) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "const char* home = getenv(\"HOME\");\n"),
+                    "determinism-env"));
+  EXPECT_TRUE(Fired(LintOne("tools/demo.cc", "const char* home = std::getenv(\"HOME\");\n"),
+                    "determinism-env"));
+}
+
+// --- determinism-unordered-container --------------------------------------
+
+TEST(NymlintRules, FlagsUnorderedContainersOnlyInSrc) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::unordered_map<int, int> m;\n"),
+                    "determinism-unordered-container"));
+  EXPECT_FALSE(Fired(LintOne("tests/demo.cc", "std::unordered_map<int, int> m;\n"),
+                     "determinism-unordered-container"));
+}
+
+// --- determinism-pointer-key ----------------------------------------------
+
+TEST(NymlintRules, FlagsPointerKeyedMap) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::map<Link*, bool> links;\n"),
+                    "determinism-pointer-key"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::set<Node*> nodes;\n"),
+                    "determinism-pointer-key"));
+}
+
+TEST(NymlintRules, FlagsPointerBuriedInTupleKey) {
+  EXPECT_TRUE(
+      Fired(LintOne("src/demo.cc", "std::map<std::tuple<Link*, Port>, Port> m;\n"),
+            "determinism-pointer-key"));
+}
+
+TEST(NymlintRules, ExplicitComparatorClearsPointerKey) {
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "std::map<Link*, bool, LinkIdLess> links;\n"),
+                     "determinism-pointer-key"));
+}
+
+TEST(NymlintRules, PointerValueIsFine) {
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "std::map<std::string, Link*> by_name;\n"),
+                     "determinism-pointer-key"));
+}
+
+// --- sim-thread -----------------------------------------------------------
+
+TEST(NymlintRules, FlagsThreadingPrimitives) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::thread worker([] {});\n"), "sim-thread"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::mutex mu;\n"), "sim-thread"));
+  EXPECT_TRUE(
+      Fired(LintOne("src/demo.cc", "std::this_thread::sleep_for(delay);\n"), "sim-thread"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "#include <mutex>\n"), "sim-thread"));
+}
+
+TEST(NymlintRules, ThreadWordInOtherIdentifiersIsFine) {
+  // Substrings must not match: AddAsyncBegin is not `async`.
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "tracer->AddAsyncBegin(\"net\", name, id, ts);\n"),
+                     "sim-thread"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int thread_count = 0;\n"), "sim-thread"));
+}
+
+// --- error-throw ----------------------------------------------------------
+
+TEST(NymlintRules, FlagsThrowAndAbort) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "void F() { throw 1; }\n"), "error-throw"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "void F() { std::abort(); }\n"), "error-throw"));
+}
+
+TEST(NymlintRules, CheckHeaderMayAbort) {
+  EXPECT_FALSE(Fired(LintOne("src/util/check.h", R"cc(#ifndef CHECK_H_
+#define CHECK_H_
+#define MY_CHECK(c) do { if (!(c)) std::abort(); } while (0)
+#endif
+)cc"),
+                     "error-throw"));
+}
+
+// --- error-ignored-status -------------------------------------------------
+
+constexpr const char* kStatusApiHeader = R"cc(#ifndef API_H_
+#define API_H_
+Status WriteThing(int x);
+#endif
+)cc";
+
+TEST(NymlintRules, FlagsDiscardedStatusCall) {
+  LintResult result = RunLint({
+      SourceFile{"src/api.h", kStatusApiHeader},
+      SourceFile{"src/use.cc", "void F() { WriteThing(1); }\n"},
+  });
+  ASSERT_TRUE(Fired(result, "error-ignored-status"));
+  EXPECT_EQ(result.diagnostics[0].path, "src/use.cc");
+}
+
+TEST(NymlintRules, FlagsDiscardedMemberStatusCall) {
+  LintResult result = RunLint({
+      SourceFile{"src/api.h", kStatusApiHeader},
+      SourceFile{"src/use.cc", "void F(Api& api) { api.WriteThing(1); }\n"},
+  });
+  EXPECT_TRUE(Fired(result, "error-ignored-status"));
+}
+
+TEST(NymlintRules, HandledStatusIsFine) {
+  LintResult result = RunLint({
+      SourceFile{"src/api.h", kStatusApiHeader},
+      SourceFile{"src/use.cc", R"cc(
+Status F() {
+  Status s = WriteThing(1);
+  if (!s.ok()) { return s; }
+  NYMIX_RETURN_IF_ERROR(WriteThing(2));
+  (void)WriteThing(3);
+  return WriteThing(4);
+}
+)cc"},
+  });
+  EXPECT_FALSE(Fired(result, "error-ignored-status"));
+}
+
+TEST(NymlintRules, DeclarationIsNotACall) {
+  LintResult result = RunLint({SourceFile{"src/api.h", kStatusApiHeader}});
+  EXPECT_FALSE(Fired(result, "error-ignored-status"));
+}
+
+// --- include hygiene ------------------------------------------------------
+
+TEST(NymlintRules, FlagsMissingIncludeGuard) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.h", "int x = 0;\n"), "include-guard"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.h", "#include <string>\nint x;\n"), "include-guard"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.h", "#ifndef A_H_\nint x;\n#endif\n"), "include-guard"));
+}
+
+TEST(NymlintRules, AcceptsBothGuardStyles) {
+  EXPECT_FALSE(Fired(LintOne("src/demo.h", "#ifndef D_H_\n#define D_H_\n#endif  // D_H_\n"),
+                     "include-guard"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.h", "#pragma once\nint x = 0;\n"), "include-guard"));
+  // Leading comments before the guard are fine.
+  EXPECT_FALSE(Fired(LintOne("src/demo.h", "// Doc.\n#ifndef D_H_\n#define D_H_\n#endif\n"),
+                     "include-guard"));
+}
+
+TEST(NymlintRules, GuardRuleIgnoresSourceFiles) {
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int x = 0;\n"), "include-guard"));
+}
+
+TEST(NymlintRules, FlagsUsingNamespaceInHeaderOnly) {
+  EXPECT_TRUE(Fired(LintOne("src/demo.h",
+                            "#pragma once\nusing namespace std;\n"),
+                    "using-namespace-header"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "using namespace std;\n"),
+                     "using-namespace-header"));
+}
+
+// --- suppressions ---------------------------------------------------------
+
+TEST(NymlintSuppress, TrailingAllowSuppresses) {
+  LintResult result = LintOne(
+      "src/demo.cc",
+      "int x = std::rand();  // nymlint:allow(determinism-rand): fixture exercising the rule\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressions_used, 1u);
+}
+
+TEST(NymlintSuppress, PrecedingLineAllowSuppresses) {
+  LintResult result = LintOne("src/demo.cc", R"cc(
+// nymlint:allow(determinism-rand): fixture exercising the rule
+int x = std::rand();
+)cc");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymlintSuppress, FileLevelAllowSuppressesEverywhere) {
+  LintResult result = LintOne("src/demo.cc", R"cc(
+// nymlint:allow-file(determinism-rand): fixture; the whole file draws lots
+int a = std::rand();
+int b = std::rand();
+int c = std::rand();
+)cc");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressions_used, 3u);
+}
+
+TEST(NymlintSuppress, AllowListCoversMultipleRules) {
+  LintResult result = LintOne(
+      "src/demo.cc",
+      "int x = std::rand() + time(nullptr);  "
+      "// nymlint:allow(determinism-rand, determinism-wallclock): fixture for the comma list\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymlintSuppress, ReasonIsMandatory) {
+  LintResult result =
+      LintOne("src/demo.cc", "int x = std::rand();  // nymlint:allow(determinism-rand)\n");
+  EXPECT_TRUE(Fired(result, "suppression-missing-reason"));
+  // The violation itself is still suppressed; only the hygiene failure fires.
+  EXPECT_FALSE(Fired(result, "determinism-rand"));
+}
+
+TEST(NymlintSuppress, UnknownRuleIsReported) {
+  LintResult result = LintOne(
+      "src/demo.cc", "int x = 0;  // nymlint:allow(no-such-rule): reason that is long enough\n");
+  EXPECT_TRUE(Fired(result, "suppression-unknown-rule"));
+}
+
+TEST(NymlintSuppress, UnusedSuppressionIsReported) {
+  LintResult result = LintOne(
+      "src/demo.cc", "int x = 0;  // nymlint:allow(determinism-rand): nothing random here\n");
+  EXPECT_TRUE(Fired(result, "suppression-unused"));
+}
+
+TEST(NymlintSuppress, SuppressionDoesNotLeakToDistantLines) {
+  LintResult result = LintOne("src/demo.cc", R"cc(
+int a = std::rand();  // nymlint:allow(determinism-rand): this draw is fixture data
+int unrelated = 0;
+int b = std::rand();
+)cc");
+  EXPECT_TRUE(Fired(result, "determinism-rand"));
+  EXPECT_EQ(result.suppressions_used, 1u);
+}
+
+TEST(NymlintSuppress, ProseMentionIsNotASuppression) {
+  // A comment *describing* the marker (text before it on the line) must not
+  // suppress anything or count as a suppression at all.
+  LintResult result = LintOne(
+      "src/demo.cc",
+      "// to silence, write nymlint:allow(determinism-rand): and a reason\nint x = std::rand();\n");
+  EXPECT_TRUE(Fired(result, "determinism-rand"));
+}
+
+// --- scopes and reports ---------------------------------------------------
+
+TEST(NymlintDriver, FilesOutsideKnownRootsAreSkipped) {
+  LintResult result = LintOne("third_party/demo.cc", "int x = std::rand();\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.files_scanned, 0u);
+}
+
+TEST(NymlintDriver, DiagnosticsAreSortedAndAnchored) {
+  LintResult result = LintOne("src/demo.cc", "int a = std::rand();\nint b = std::rand();\n");
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(result.diagnostics[0].line, 1);
+  EXPECT_EQ(result.diagnostics[1].line, 2);
+  EXPECT_GT(result.diagnostics[0].col, 0);
+}
+
+TEST(NymlintDriver, JsonReportIsWellFormed) {
+  LintResult result = LintOne("src/demo.cc", "int a = std::rand();\n");
+  std::ostringstream out;
+  WriteJsonReport(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"violation_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"determinism-rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"src/demo.cc\""), std::string::npos);
+}
+
+TEST(NymlintDriver, HumanReportNamesFileLineAndRule) {
+  LintResult result = LintOne("src/demo.cc", "int a = std::rand();\n");
+  std::ostringstream out;
+  WriteHumanReport(result, out);
+  EXPECT_NE(out.str().find("src/demo.cc:1:"), std::string::npos);
+  EXPECT_NE(out.str().find("[determinism-rand]"), std::string::npos);
+}
+
+TEST(NymlintDriver, EveryRuleNameIsKnown) {
+  for (const RuleInfo& rule : AllRules()) {
+    EXPECT_TRUE(IsKnownRule(rule.name));
+  }
+  EXPECT_FALSE(IsKnownRule("not-a-rule"));
+}
+
+}  // namespace
+}  // namespace nymlint

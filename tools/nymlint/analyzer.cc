@@ -1,0 +1,261 @@
+#include "tools/nymlint/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace nymlint {
+namespace {
+
+struct Suppression {
+  std::vector<std::string> rules;
+  int line = 0;       // line the comment starts on
+  int end_line = 0;   // line the comment ends on (block comments span)
+  bool file_level = false;
+  bool has_reason = false;
+  size_t uses = 0;
+};
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+// Parses the suppression marker in one comment token, if any. A marker is
+// only honored when it is the comment's very first content ("// nymlint:
+// allow..." with nothing before it) — prose that merely *mentions* the
+// syntax, like this paragraph or the docs, never suppresses anything.
+void ParseSuppressions(const Token& comment, std::vector<Suppression>& out) {
+  const std::string& text = comment.text;
+  int end_line = comment.line +
+                 static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+  // Strip exactly one comment opener, then whitespace. Stripping greedily
+  // would also eat the inner "//" of doc lines quoting the syntax.
+  size_t pos = text.rfind("//", 0) == 0 || text.rfind("/*", 0) == 0 ? 2 : 0;
+  pos = text.find_first_not_of(" \t", pos);
+  {
+    if (pos == std::string::npos || text.compare(pos, 13, "nymlint:allow") != 0) {
+      return;
+    }
+    size_t cursor = pos + std::string("nymlint:allow").size();
+    Suppression sup;
+    sup.line = comment.line;
+    sup.end_line = end_line;
+    if (text.compare(cursor, 5, "-file") == 0) {
+      sup.file_level = true;
+      cursor += 5;
+    }
+    if (cursor >= text.size() || text[cursor] != '(') {
+      return;  // malformed marker; not a suppression
+    }
+    size_t close = text.find(')', cursor);
+    if (close == std::string::npos) {
+      return;
+    }
+    // Comma-separated rule list.
+    std::string list = text.substr(cursor + 1, close - cursor - 1);
+    size_t item_start = 0;
+    while (item_start <= list.size()) {
+      size_t comma = list.find(',', item_start);
+      std::string rule = Trim(list.substr(
+          item_start, comma == std::string::npos ? std::string::npos : comma - item_start));
+      if (!rule.empty()) {
+        sup.rules.push_back(rule);
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      item_start = comma + 1;
+    }
+    // Everything after the ')' (minus separators and a block-comment
+    // terminator) is the mandatory reason.
+    std::string reason = text.substr(close + 1);
+    if (reason.size() >= 2 && reason.compare(reason.size() - 2, 2, "*/") == 0) {
+      reason.resize(reason.size() - 2);
+    }
+    size_t reason_begin = reason.find_first_not_of(" \t:-—");
+    reason = reason_begin == std::string::npos ? "" : Trim(reason.substr(reason_begin));
+    sup.has_reason = reason.size() >= 3;
+    out.push_back(std::move(sup));
+  }
+}
+
+bool IsHeaderPath(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    size_t n = std::string(suffix).size();
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".h") || ends_with(".hpp") || ends_with(".hh") || ends_with(".ipp");
+}
+
+void LintOneFile(const SourceFile& file, const std::set<std::string>& status_functions,
+                 LintResult& result) {
+  std::vector<Token> all_tokens = Lex(file.content);
+
+  FileContext context;
+  context.path = file.path;
+  context.scope = ScopeForPath(file.path);
+  context.is_header = IsHeaderPath(file.path);
+  context.tokens = SignificantTokens(all_tokens);
+  context.status_functions = &status_functions;
+
+  std::vector<Diagnostic> raw;
+  RunRules(context, raw);
+
+  std::vector<Suppression> suppressions;
+  for (const Token& token : all_tokens) {
+    if (token.kind == TokenKind::kComment) {
+      ParseSuppressions(token, suppressions);
+    }
+  }
+
+  for (Diagnostic& diag : raw) {
+    bool suppressed = false;
+    for (Suppression& sup : suppressions) {
+      bool rule_matches =
+          std::find(sup.rules.begin(), sup.rules.end(), diag.rule) != sup.rules.end();
+      bool line_matches = sup.file_level ||
+                          (diag.line >= sup.line && diag.line <= sup.end_line + 1);
+      if (rule_matches && line_matches) {
+        ++sup.uses;
+        suppressed = true;
+        // Keep counting uses across all matching suppressions so none is
+        // reported as unused just because a sibling matched first.
+      }
+    }
+    if (suppressed) {
+      ++result.suppressions_used;
+    } else {
+      result.diagnostics.push_back(std::move(diag));
+    }
+  }
+
+  // Suppression hygiene: reasons are mandatory, rules must exist, and a
+  // suppression that stopped matching anything must be deleted, not
+  // left to rot. These meta diagnostics are themselves unsuppressible.
+  for (const Suppression& sup : suppressions) {
+    if (sup.rules.empty()) {
+      result.diagnostics.push_back(
+          {file.path, sup.line, 1, "suppression-unknown-rule",
+           "nymlint:allow(...) names no rule"});
+      continue;
+    }
+    if (!sup.has_reason) {
+      result.diagnostics.push_back(
+          {file.path, sup.line, 1, "suppression-missing-reason",
+           "suppression must carry a written reason: // nymlint:allow(rule): why this is sound"});
+    }
+    for (const std::string& rule : sup.rules) {
+      if (!IsKnownRule(rule)) {
+        result.diagnostics.push_back({file.path, sup.line, 1, "suppression-unknown-rule",
+                                      "unknown rule '" + rule + "' (see nymlint --list-rules)"});
+      }
+    }
+    if (sup.uses == 0 && sup.has_reason) {
+      result.diagnostics.push_back(
+          {file.path, sup.line, 1, "suppression-unused",
+           "suppression matched no diagnostic; delete it so allows stay load-bearing"});
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+unsigned ScopeForPath(const std::string& path) {
+  std::string normalized = path;
+  if (normalized.rfind("./", 0) == 0) {
+    normalized = normalized.substr(2);
+  }
+  auto starts_with = [&](const char* prefix) { return normalized.rfind(prefix, 0) == 0; };
+  if (starts_with("src/")) return kSrc;
+  if (starts_with("bench/")) return kBench;
+  if (starts_with("tests/")) return kTests;
+  if (starts_with("tools/")) return kTools;
+  if (starts_with("examples/")) return kExamples;
+  return 0;
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files) {
+  LintResult result;
+
+  // Pass 1: Status-returning function names, from every file regardless of
+  // scope, so a src/ header's API is enforced at tests/ call sites too.
+  std::set<std::string> status_functions;
+  for (const SourceFile& file : files) {
+    CollectStatusFunctions(SignificantTokens(Lex(file.content)), status_functions);
+  }
+
+  // Pass 2: rules + suppressions per file.
+  for (const SourceFile& file : files) {
+    if (ScopeForPath(file.path) == 0) {
+      continue;
+    }
+    ++result.files_scanned;
+    LintOneFile(file, status_functions, result);
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end());
+  return result;
+}
+
+void WriteHumanReport(const LintResult& result, std::ostream& out) {
+  for (const Diagnostic& diag : result.diagnostics) {
+    out << diag.path << ":" << diag.line << ":" << diag.col << ": [" << diag.rule << "] "
+        << diag.message << "\n";
+  }
+  out << "nymlint: " << result.diagnostics.size() << " violation(s), " << result.files_scanned
+      << " file(s) scanned, " << result.suppressions_used << " suppression(s) honored\n";
+}
+
+void WriteJsonReport(const LintResult& result, std::ostream& out) {
+  out << "{\n  \"version\": 1,\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"suppressions_used\": " << result.suppressions_used
+      << ",\n  \"violation_count\": " << result.diagnostics.size() << ",\n  \"violations\": [";
+  bool first = true;
+  for (const Diagnostic& diag : result.diagnostics) {
+    out << (first ? "" : ",") << "\n    {\"path\": \"" << JsonEscape(diag.path)
+        << "\", \"line\": " << diag.line << ", \"col\": " << diag.col << ", \"rule\": \""
+        << JsonEscape(diag.rule) << "\", \"message\": \"" << JsonEscape(diag.message) << "\"}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace nymlint

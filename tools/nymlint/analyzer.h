@@ -1,0 +1,49 @@
+// nymlint's driver: runs the rule engine over a set of sources, applies
+// `// nymlint:allow(...)` suppressions, and renders reports. Pure —
+// no filesystem access — so the gtest suite can lint inline fixtures;
+// main.cc does the directory walking.
+#ifndef TOOLS_NYMLINT_ANALYZER_H_
+#define TOOLS_NYMLINT_ANALYZER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/rules.h"
+
+namespace nymlint {
+
+struct SourceFile {
+  std::string path;     // repo-relative, e.g. "src/net/link.h"
+  std::string content;  // full file text
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by path/line/col
+  size_t files_scanned = 0;
+  size_t suppressions_used = 0;
+};
+
+// Lints every file: pass 1 collects Status-returning function names across
+// all files, pass 2 runs rules per file and applies suppressions.
+//
+// Suppression protocol (docs/static-analysis.md):
+//   // nymlint:allow(rule-a, rule-b): reason why this is sound
+//   // nymlint:allow-file(rule-name): reason — whole file
+// A line suppression covers its own line and the next line (so it can sit
+// above the offending statement). The reason is mandatory; a reasonless,
+// unknown-rule, or unused suppression is itself a diagnostic.
+LintResult RunLint(const std::vector<SourceFile>& files);
+
+// `path:line:col: [rule] message` lines plus a one-line summary.
+void WriteHumanReport(const LintResult& result, std::ostream& out);
+
+// Machine-readable report consumed by the CI lint job.
+void WriteJsonReport(const LintResult& result, std::ostream& out);
+
+// Maps a repo-relative path to its rule scope bit; 0 = not linted.
+unsigned ScopeForPath(const std::string& path);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_ANALYZER_H_

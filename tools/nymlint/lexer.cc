@@ -1,0 +1,302 @@
+#include "tools/nymlint/lexer.h"
+
+#include <cctype>
+
+namespace nymlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Raw-string introducers: R, uR, UR, LR, u8R immediately followed by '"'.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "UR" || ident == "LR" || ident == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < src_.size()) {
+      LexOne();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      at_line_start_ = true;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void Emit(TokenKind kind, std::string text, int line, int col) {
+    tokens_.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void LexOne() {
+    char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f') {
+      Advance();
+      return;
+    }
+    int line = line_;
+    int col = col_;
+    bool line_start = at_line_start_;
+    at_line_start_ = false;
+
+    if (c == '/' && Peek(1) == '/') {
+      LexLineComment(line, col);
+      return;
+    }
+    if (c == '/' && Peek(1) == '*') {
+      LexBlockComment(line, col);
+      return;
+    }
+    if (c == '#' && line_start) {
+      LexDirective(line, col);
+      return;
+    }
+    if (c == '"') {
+      LexString(line, col);
+      return;
+    }
+    if (c == '\'') {
+      LexCharLiteral(line, col);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      LexNumber(line, col);
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentifier(line, col);
+      return;
+    }
+    LexPunct(line, col);
+  }
+
+  void LexLineComment(int line, int col) {
+    std::string text;
+    while (pos_ < src_.size() && Peek() != '\n') {
+      text.push_back(Advance());
+    }
+    Emit(TokenKind::kComment, std::move(text), line, col);
+  }
+
+  void LexBlockComment(int line, int col) {
+    // C++ block comments do not nest: the first "*/" closes the comment no
+    // matter how many "/*" appeared inside. Tolerates an unterminated
+    // comment by ending at EOF.
+    std::string text;
+    text.push_back(Advance());  // '/'
+    text.push_back(Advance());  // '*'
+    while (pos_ < src_.size()) {
+      if (Peek() == '*' && Peek(1) == '/') {
+        text.push_back(Advance());
+        text.push_back(Advance());
+        break;
+      }
+      text.push_back(Advance());
+    }
+    Emit(TokenKind::kComment, std::move(text), line, col);
+  }
+
+  void LexDirective(int line, int col) {
+    std::string text;
+    text.push_back(Advance());  // '#'
+    while (pos_ < src_.size() && (Peek() == ' ' || Peek() == '\t')) {
+      Advance();
+    }
+    while (pos_ < src_.size() && IsIdentChar(Peek())) {
+      text.push_back(Advance());
+    }
+    bool is_include = text == "#include" || text == "#include_next";
+    Emit(TokenKind::kDirective, std::move(text), line, col);
+    if (!is_include) {
+      return;
+    }
+    // Fold an angle-bracket header-name into a single string token so its
+    // spelling (e.g. <unordered_map>) is never lexed as identifiers.
+    while (pos_ < src_.size() && (Peek() == ' ' || Peek() == '\t')) {
+      Advance();
+    }
+    if (Peek() == '<') {
+      int hline = line_;
+      int hcol = col_;
+      std::string header;
+      while (pos_ < src_.size() && Peek() != '\n') {
+        char h = Advance();
+        header.push_back(h);
+        if (h == '>') {
+          break;
+        }
+      }
+      Emit(TokenKind::kString, std::move(header), hline, hcol);
+    }
+  }
+
+  void LexString(int line, int col) {
+    std::string text;
+    text.push_back(Advance());  // opening quote
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(Advance());
+        text.push_back(Advance());
+        continue;
+      }
+      if (c == '\n') {
+        break;  // unterminated; recover at end of line
+      }
+      text.push_back(Advance());
+      if (c == '"') {
+        break;
+      }
+    }
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void LexRawString(std::string prefix, int line, int col) {
+    std::string text = std::move(prefix);
+    text.push_back(Advance());  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && Peek() != '(' && Peek() != '\n') {
+      delim.push_back(Advance());
+    }
+    text += delim;
+    if (Peek() == '(') {
+      text.push_back(Advance());
+    }
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (Peek() == ')' && src_.compare(pos_, closer.size(), closer) == 0) {
+        for (size_t i = 0; i < closer.size(); ++i) {
+          text.push_back(Advance());
+        }
+        break;
+      }
+      text.push_back(Advance());
+    }
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void LexCharLiteral(int line, int col) {
+    std::string text;
+    text.push_back(Advance());  // opening quote
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(Advance());
+        text.push_back(Advance());
+        continue;
+      }
+      if (c == '\n') {
+        break;
+      }
+      text.push_back(Advance());
+      if (c == '\'') {
+        break;
+      }
+    }
+    Emit(TokenKind::kCharLiteral, std::move(text), line, col);
+  }
+
+  void LexNumber(int line, int col) {
+    // Coarse: consume the maximal run of pp-number characters, including
+    // digit separators (1'000'000) so the separator quote is never mistaken
+    // for a character literal, and exponent signs (1e+9, 0x1p-3).
+    std::string text;
+    text.push_back(Advance());
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_') {
+        text.push_back(Advance());
+      } else if (c == '\'' && IsIdentChar(Peek(1))) {
+        text.push_back(Advance());
+      } else if ((c == '+' || c == '-') &&
+                 (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+                  text.back() == 'P')) {
+        text.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    Emit(TokenKind::kNumber, std::move(text), line, col);
+  }
+
+  void LexIdentifier(int line, int col) {
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(Peek())) {
+      text.push_back(Advance());
+    }
+    if (IsRawStringPrefix(text) && Peek() == '"') {
+      LexRawString(std::move(text), line, col);
+      return;
+    }
+    // Encoding prefix of an ordinary string/char literal (u8"x", L'c'):
+    // emit the literal as one token, not prefix + literal.
+    if ((text == "u8" || text == "u" || text == "U" || text == "L")) {
+      if (Peek() == '"') {
+        LexString(line, col);
+        tokens_.back().text = text + tokens_.back().text;
+        return;
+      }
+      if (Peek() == '\'') {
+        LexCharLiteral(line, col);
+        tokens_.back().text = text + tokens_.back().text;
+        return;
+      }
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), line, col);
+  }
+
+  void LexPunct(int line, int col) {
+    char c = Advance();
+    std::string text(1, c);
+    // Only the two-char puncts rules care about are fused; "::" because
+    // qualification matters to every matcher, "->" so member calls are
+    // recognizable. Everything else stays single-char ("> >" style fusing
+    // would complicate template-argument scanning).
+    if ((c == ':' && Peek() == ':') || (c == '-' && Peek() == '>')) {
+      text.push_back(Advance());
+    }
+    Emit(TokenKind::kPunct, std::move(text), line, col);
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) { return Lexer(source).Run(); }
+
+std::vector<Token> SignificantTokens(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) {
+      out.push_back(token);
+    }
+  }
+  return out;
+}
+
+}  // namespace nymlint

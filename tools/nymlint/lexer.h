@@ -1,0 +1,45 @@
+// nymlint's lexer: a single-pass C++ tokenizer that is exact about the three
+// things a textual linter must never get wrong — comments, string literals
+// (including raw strings), and preprocessor directives. Everything else is
+// deliberately coarse: the rule engine matches token shapes, not grammar.
+//
+// Self-contained by design (no libclang): nymlint must build on every CI
+// image that can build the simulator itself.
+#ifndef TOOLS_NYMLINT_LEXER_H_
+#define TOOLS_NYMLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace nymlint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords
+  kNumber,       // numeric literals (digit separators handled)
+  kString,       // "...", R"(...)", u8"...", and <header> after #include
+  kCharLiteral,  // '...'
+  kPunct,        // operators/punctuation; "::" and "->" are single tokens
+  kDirective,    // "#include", "#ifndef", ... (the '#' plus directive word)
+  kComment,      // full text of a // or /* */ comment
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
+};
+
+// Lexes C++ source into tokens. Comments appear in-stream as kComment (the
+// suppression scanner needs them); `#include <name>` header-names are folded
+// into one kString token "<name>" so banned-header checks never mistake the
+// contents for code. Unterminated literals are tolerated (the token ends at
+// end of line/file) so one broken file cannot wedge a whole lint run.
+std::vector<Token> Lex(const std::string& source);
+
+// The token stream with comments removed — what rule matchers iterate.
+std::vector<Token> SignificantTokens(const std::vector<Token>& tokens);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_LEXER_H_

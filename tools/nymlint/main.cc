@@ -1,0 +1,143 @@
+// nymlint CLI. Typical invocations:
+//
+//   nymlint --root=.                        # lint src bench tests tools examples
+//   nymlint --root=. src/net                # lint one subtree
+//   nymlint --root=. --json --out=report.json
+//   nymlint --list-rules
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/analyzer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp" || ext == ".hh" ||
+         ext == ".cxx" || ext == ".ipp";
+}
+
+// Collects lintable files under `target` (file or directory), paths
+// repo-relative to `root`. Results are sorted by the caller; directory
+// iteration order is filesystem-dependent and must never reach the report.
+bool CollectFiles(const fs::path& root, const std::string& target,
+                  std::vector<std::string>& out) {
+  std::error_code ec;
+  fs::path full = root / target;
+  if (fs::is_regular_file(full, ec)) {
+    out.push_back(target);
+    return true;
+  }
+  if (!fs::is_directory(full, ec)) {
+    std::cerr << "nymlint: cannot read " << full.string() << "\n";
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(full, ec), end; it != end && !ec; it.increment(ec)) {
+    if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+      out.push_back(fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  return true;
+}
+
+int ListRules() {
+  for (const nymlint::RuleInfo& rule : nymlint::AllRules()) {
+    std::cout << rule.name << "\n    " << rule.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::string root = ".";
+  std::string out_path;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nymlint [--root=DIR] [--json] [--out=FILE] [--list-rules] [paths...]\n"
+                   "Lints src/ bench/ tests/ tools/ examples/ by default. See "
+                   "docs/static-analysis.md for the rule reference.\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nymlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    return ListRules();
+  }
+  if (targets.empty()) {
+    targets = {"src", "bench", "tests", "tools", "examples"};
+  }
+
+  std::vector<std::string> paths;
+  for (const std::string& target : targets) {
+    if (!CollectFiles(root, target, paths)) {
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<nymlint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(fs::path(root) / path, std::ios::binary);
+    if (!in) {
+      std::cerr << "nymlint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(nymlint::SourceFile{path, content.str()});
+  }
+
+  nymlint::LintResult result = nymlint::RunLint(files);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file_out;
+  if (!out_path.empty()) {
+    file_out.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!file_out) {
+      std::cerr << "nymlint: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out = &file_out;
+  }
+  if (json) {
+    nymlint::WriteJsonReport(result, *out);
+  } else {
+    nymlint::WriteHumanReport(result, *out);
+  }
+  // When writing a report file, still summarize to stderr so CI logs show
+  // the verdict without opening the artifact.
+  if (!out_path.empty()) {
+    std::cerr << "nymlint: " << result.diagnostics.size() << " violation(s), report in "
+              << out_path << "\n";
+  }
+  return result.diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// nymlint's rule engine. Each rule is a token-shape matcher scoped to parts
+// of the tree (src/, bench/, tests/, ...). Rules are deliberately lexical:
+// they catch the constructs that break the simulator's determinism contract
+// (see docs/static-analysis.md) without needing a compiler front end.
+#ifndef TOOLS_NYMLINT_RULES_H_
+#define TOOLS_NYMLINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/lexer.h"
+
+namespace nymlint {
+
+// Top-level directory scopes a rule can apply to.
+enum Scope : unsigned {
+  kSrc = 1u << 0,
+  kBench = 1u << 1,
+  kTests = 1u << 2,
+  kTools = 1u << 3,
+  kExamples = 1u << 4,
+  kEverywhere = kSrc | kBench | kTests | kTools | kExamples,
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+  unsigned scopes;
+  bool headers_only;
+};
+
+// All rules, in reporting order. Stable: docs and tests index by name.
+const std::vector<RuleInfo>& AllRules();
+bool IsKnownRule(const std::string& name);
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (path != other.path) return path < other.path;
+    if (line != other.line) return line < other.line;
+    if (col != other.col) return col < other.col;
+    return rule < other.rule;
+  }
+};
+
+// Context for linting one file. `tokens` excludes comments.
+struct FileContext {
+  std::string path;  // normalized, repo-relative, forward slashes
+  unsigned scope = 0;
+  bool is_header = false;
+  std::vector<Token> tokens;
+  // Names of Status-returning functions collected across the whole run
+  // (cross-file pass; see CollectStatusFunctions).
+  const std::set<std::string>* status_functions = nullptr;
+};
+
+// Pass 1: record every `Status <Name>(`-shaped declaration in `tokens`.
+// Only PascalCase names are kept — the repo's functions are PascalCase and
+// the filter keeps paren-initialized local variables (`Status s(...)`) from
+// being mistaken for declarations by a lexical pass.
+void CollectStatusFunctions(const std::vector<Token>& tokens, std::set<std::string>& out);
+
+// Pass 2: run every applicable rule over the file, appending diagnostics.
+void RunRules(const FileContext& file, std::vector<Diagnostic>& out);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_RULES_H_
