@@ -18,6 +18,7 @@
 
 #include "src/net/simulation.h"
 #include "src/unionfs/mem_fs.h"
+#include "src/util/fault.h"
 
 namespace nymix {
 
@@ -52,8 +53,11 @@ class Anonymizer {
   virtual std::string_view Name() const = 0;
 
   // Bootstraps the tool (directory download, circuit build, DC-net join).
-  // `ready` fires once traffic can flow.
-  virtual void Start(std::function<void(SimTime)> ready) = 0;
+  // `ready` fires exactly once: with the time traffic could flow, or with a
+  // Status when bootstrap failed for good (retries exhausted, superseded).
+  // Implementations wrap `ready` in OnceCallback (src/util/fault.h), so a
+  // dropped completion surfaces as kCancelled rather than silence.
+  virtual void Start(std::function<void(Result<SimTime>)> ready) = 0;
   virtual bool ready() const = 0;
 
   // Anonymously performs a request/response exchange with `host` (DNS name

@@ -29,9 +29,17 @@ class ChainedAnonymizer : public Anonymizer {
   Anonymizer& inner() { return *inner_; }
   Anonymizer& outer() { return *outer_; }
 
-  void Start(std::function<void(SimTime)> ready) override {
-    inner_->Start([this, ready = std::move(ready)](SimTime) {
-      outer_->Start(std::move(ready));
+  void Start(std::function<void(Result<SimTime>)> ready) override {
+    auto once = OnceCallback<Result<SimTime>>(std::move(ready));
+    inner_->Start([this, once](Result<SimTime> inner_ready) mutable {
+      if (!inner_ready.ok()) {
+        // Inner stage failed for good; the chain cannot come up.
+        once(inner_ready.status());
+        return;
+      }
+      outer_->Start([once](Result<SimTime> outer_ready) mutable {
+        once(std::move(outer_ready));
+      });
     });
   }
   bool ready() const override { return inner_->ready() && outer_->ready(); }

@@ -57,9 +57,9 @@ void DissentClient::SendJoinPacket(int exchange) {
   attachment_.vm_uplink->SendFromA(std::move(packet));
 }
 
-void DissentClient::Start(std::function<void(SimTime)> ready) {
+void DissentClient::Start(std::function<void(Result<SimTime>)> ready) {
   join_nonce_ = prng_.NextU64();
-  on_joined_ = std::move(ready);
+  on_joined_ = OnceCallback<Result<SimTime>>(std::move(ready));
   pending_exchange_ = 1;
   SendJoinPacket(pending_exchange_);
 }
@@ -84,7 +84,7 @@ void DissentClient::HandlePacket(const Packet& packet) {
     joined_ = true;
     if (on_joined_) {
       auto callback = std::move(on_joined_);
-      on_joined_ = nullptr;
+      on_joined_ = OnceCallback<Result<SimTime>>();
       callback(attachment_.sim->now());
     }
   });

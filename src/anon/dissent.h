@@ -75,7 +75,7 @@ class DissentClient : public Anonymizer {
 
   AnonymizerKind kind() const override { return AnonymizerKind::kDissent; }
   std::string_view Name() const override { return "Dissent"; }
-  void Start(std::function<void(SimTime)> ready) override;
+  void Start(std::function<void(Result<SimTime>)> ready) override;
   bool ready() const override { return joined_; }
   void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
              std::function<void(Result<FetchReceipt>)> done) override;
@@ -105,7 +105,7 @@ class DissentClient : public Anonymizer {
   std::optional<size_t> slot_;
   uint64_t join_nonce_ = 0;
   int pending_exchange_ = 0;
-  std::function<void(SimTime)> on_joined_;
+  OnceCallback<Result<SimTime>> on_joined_;
   Port next_port_ = 42000;
   // Shared so a completion callback outliving the client stays safe.
   std::shared_ptr<uint64_t> rounds_used_ = std::make_shared<uint64_t>(0);

@@ -19,13 +19,12 @@ class IncognitoVpn : public Anonymizer {
   AnonymizerKind kind() const override { return AnonymizerKind::kIncognito; }
   std::string_view Name() const override { return "Incognito"; }
 
-  void Start(std::function<void(SimTime)> ready) override {
+  void Start(std::function<void(Result<SimTime>)> ready) override {
     // Just an iptables rule install.
-    attachment_.sim->loop().ScheduleAfter(Millis(200), [this, ready = std::move(ready)] {
+    auto once = OnceCallback<Result<SimTime>>(std::move(ready));
+    attachment_.sim->loop().ScheduleAfter(Millis(200), [this, once]() mutable {
       ready_ = true;
-      if (ready) {
-        ready(attachment_.sim->now());
-      }
+      once(attachment_.sim->now());
     });
   }
   bool ready() const override { return ready_; }

@@ -12,12 +12,11 @@ SweetTunnel::SweetTunnel(ClientAttachment attachment, uint64_t instance_id, Conf
       "mail-" + std::to_string(instance_id) + ".sweet.net", &gateway_, mail_link_);
 }
 
-void SweetTunnel::Start(std::function<void(SimTime)> ready) {
-  attachment_.sim->loop().ScheduleAfter(config_.account_setup, [this, ready = std::move(ready)] {
+void SweetTunnel::Start(std::function<void(Result<SimTime>)> ready) {
+  auto once = OnceCallback<Result<SimTime>>(std::move(ready));
+  attachment_.sim->loop().ScheduleAfter(config_.account_setup, [this, once]() mutable {
     ready_ = true;
-    if (ready) {
-      ready(attachment_.sim->now());
-    }
+    once(attachment_.sim->now());
   });
 }
 

@@ -25,7 +25,7 @@ class SweetTunnel : public Anonymizer {
 
   AnonymizerKind kind() const override { return AnonymizerKind::kSweet; }
   std::string_view Name() const override { return "SWEET"; }
-  void Start(std::function<void(SimTime)> ready) override;
+  void Start(std::function<void(Result<SimTime>)> ready) override;
   bool ready() const override { return ready_; }
   void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
              std::function<void(Result<FetchReceipt>)> done) override;

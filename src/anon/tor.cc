@@ -139,11 +139,50 @@ Result<size_t> TorNetwork::IndexOfRelay(const std::string& nickname) const {
   return NotFoundError("no such relay: " + nickname);
 }
 
+void TorNetwork::CrashRelay(size_t index) {
+  NYMIX_CHECK(index < infos_.size());
+  sim_.internet().SetHostUp(infos_[index].ip, false);
+  access_links_[index]->SetDown(true);
+  if (MetricsRegistry* meters = sim_.loop().meters()) {
+    meters->GetCounter("anon.tor.relay_crashes")->Increment();
+  }
+  if (TraceRecorder* tracer = sim_.loop().tracer()) {
+    tracer->AddInstant("fault", "relay_crash:" + infos_[index].nickname, "faults",
+                       sim_.now());
+  }
+}
+
+void TorNetwork::RestartRelay(size_t index) {
+  NYMIX_CHECK(index < infos_.size());
+  sim_.internet().SetHostUp(infos_[index].ip, true);
+  access_links_[index]->SetDown(false);
+  if (MetricsRegistry* meters = sim_.loop().meters()) {
+    meters->GetCounter("anon.tor.relay_restarts")->Increment();
+  }
+  if (TraceRecorder* tracer = sim_.loop().tracer()) {
+    tracer->AddInstant("fault", "relay_restart:" + infos_[index].nickname, "faults",
+                       sim_.now());
+  }
+}
+
+bool TorNetwork::RelayUp(size_t index) const {
+  NYMIX_CHECK(index < infos_.size());
+  return sim_.internet().HostUp(infos_[index].ip);
+}
+
 // ------------------------------------------------------------------ client
 
 TorClient::TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t seed,
                      TorClientConfig config)
-    : attachment_(attachment), network_(network), config_(config), prng_(seed) {
+    : attachment_(attachment),
+      network_(network),
+      config_(config),
+      seed_(seed),
+      prng_(seed),
+      // Retry/jitter streams are derived statelessly from the seed so they
+      // never perturb prng_'s draw sequence (guard/relay choices must stay
+      // byte-compatible with fault-free runs).
+      circuit_backoff_(config.circuit_retry, Mix64(seed ^ Fnv1a64("tor.circuit.backoff"))) {
   NYMIX_CHECK(attachment_.sim != nullptr);
   NYMIX_CHECK(attachment_.vm_uplink != nullptr);
 }
@@ -180,9 +219,27 @@ void TorClient::ChooseGuardIfNeeded() {
   std::vector<size_t> guards = network_.GuardIndices();
   NYMIX_CHECK(!guards.empty());
   if (guard_seed_.has_value()) {
-    guard_index_ = guards[*guard_seed_ % guards.size()];
+    // k=0 is the original hash-of-location choice (§3.5); each failover
+    // re-derives the k-th candidate from the same seed, skipping guards
+    // marked dead — so two same-seed clients fail over identically, and
+    // the persistence argument survives guard crashes. Bounded scan: if
+    // every guard has failed, the final candidate is accepted anyway
+    // (deterministic desperation beats no guard at all).
+    size_t pick = guards[*guard_seed_ % guards.size()];
+    for (uint64_t k = 1;
+         failed_guards_.find(pick) != failed_guards_.end() && k <= guards.size() * 4; ++k) {
+      pick = guards[Mix64(*guard_seed_ + k) % guards.size()];
+    }
+    guard_index_ = pick;
   } else {
-    guard_index_ = guards[prng_.NextBelow(guards.size())];
+    std::vector<size_t> alive;
+    for (size_t g : guards) {
+      if (failed_guards_.find(g) == failed_guards_.end()) {
+        alive.push_back(g);
+      }
+    }
+    const std::vector<size_t>& pool = alive.empty() ? guards : alive;
+    guard_index_ = pool[prng_.NextBelow(pool.size())];
   }
   guard_chosen_at_ = attachment_.sim->now();
   if (meters != nullptr) {
@@ -190,16 +247,32 @@ void TorClient::ChooseGuardIfNeeded() {
   }
 }
 
-void TorClient::DownloadDirectory(std::function<void()> then) {
-  uint64_t bytes =
-      has_cached_consensus_ ? config_.refresh_bytes : config_.consensus_bytes + config_.descriptors_bytes;
+void TorClient::DownloadDirectory(std::function<void(Status)> then) {
   SimTime started = attachment_.sim->now();
-  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
-    meters->GetCounter("anon.tor.directory_bytes")->Increment(bytes);
-  }
-  Route route = Route::Through(attachment_.client_links);
-  attachment_.sim->flows().StartFlow(
-      route, bytes, 1.0, [this, started, then = std::move(then)](SimTime) {
+  RetryWithBackoff(
+      attachment_.sim->loop(), config_.directory_retry,
+      Mix64(seed_ ^ Fnv1a64("tor.directory.backoff")), "tor.directory",
+      [this](std::function<void(Status)> finish) {
+        uint64_t bytes = has_cached_consensus_
+                             ? config_.refresh_bytes
+                             : config_.consensus_bytes + config_.descriptors_bytes;
+        if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+          meters->GetCounter("anon.tor.directory_bytes")->Increment(bytes);
+        }
+        FlowOptions options;
+        options.stall_timeout = config_.directory_stall_timeout;
+        Route route = Route::Through(attachment_.client_links);
+        attachment_.sim->flows().StartFlow(
+            route, bytes, 1.0, options,
+            [finish = std::move(finish)](Result<SimTime> finished) {
+              finish(finished.ok() ? OkStatus() : finished.status());
+            });
+      },
+      [this, started, then = std::move(then)](Status status) {
+        if (!status.ok()) {
+          then(std::move(status));
+          return;
+        }
         has_cached_consensus_ = true;
         attachment_.sim->loop().ScheduleAfter(config_.bootstrap_processing,
                                               [this, started, then] {
@@ -209,26 +282,63 @@ void TorClient::DownloadDirectory(std::function<void()> then) {
                                                       "anon", "tor_directory", TraceTrack(),
                                                       started, attachment_.sim->now() - started);
                                                 }
-                                                then();
+                                                then(OkStatus());
                                               });
       });
 }
 
-void TorClient::Start(std::function<void(SimTime)> ready) {
-  DownloadDirectory([this, ready = std::move(ready)]() mutable {
+void TorClient::Start(std::function<void(Result<SimTime>)> ready) {
+  // The guard makes dropping the bootstrap completion impossible: any path
+  // that loses the callback delivers kCancelled instead.
+  auto once = OnceCallback<Result<SimTime>>(std::move(ready));
+  DownloadDirectory([this, once](Status status) mutable {
+    if (!status.ok()) {
+      once(Status(StatusCode::kUnavailable,
+                  "Tor bootstrap failed: " + status.ToString()));
+      return;
+    }
     ChooseGuardIfNeeded();
-    BuildCircuit(std::move(ready));
+    BuildCircuit([once](Result<SimTime> built) mutable { once(std::move(built)); });
   });
 }
 
-void TorClient::NewIdentity(std::function<void(SimTime)> ready) {
+void TorClient::NewIdentity(std::function<void(Result<SimTime>)> ready) {
   NYMIX_CHECK_MSG(has_cached_consensus_, "NewIdentity before bootstrap");
   circuit_ready_ = false;
   exit_by_destination_.clear();  // fresh identity: drop all stream bindings
   BuildCircuit(std::move(ready));
 }
 
-void TorClient::BuildCircuit(std::function<void(SimTime)> ready) {
+void TorClient::CancelPendingBuild(Status status) {
+  // Invalidate the attempt in flight: stale replies no longer match
+  // (pending_step_ 0), and the timeout/retry events see a newer generation.
+  pending_step_ = 0;
+  ++build_generation_;
+  if (has_timeout_event_) {
+    attachment_.sim->loop().Cancel(timeout_event_);
+    has_timeout_event_ = false;
+  }
+  if (on_circuit_ready_) {
+    auto callback = std::move(on_circuit_ready_);
+    on_circuit_ready_ = OnceCallback<Result<SimTime>>();
+    if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+      meters->GetCounter("anon.tor.builds_cancelled")->Increment();
+    }
+    callback(std::move(status));
+  }
+}
+
+void TorClient::BuildCircuit(std::function<void(Result<SimTime>)> ready) {
+  // A build superseding an in-flight one (NewIdentity mid-build) cancels
+  // the old one cleanly — its callback fires kCancelled, never races the
+  // new build's completion and is never silently dropped.
+  CancelPendingBuild(CancelledError("circuit build superseded"));
+  on_circuit_ready_ = OnceCallback<Result<SimTime>>(std::move(ready));
+  circuit_backoff_.Reset();
+  StartBuildAttempt();
+}
+
+void TorClient::StartBuildAttempt() {
   ChooseGuardIfNeeded();
   // Middle: any relay that is neither the guard nor exit-flagged; exit: any
   // exit relay other than guard/middle.
@@ -247,11 +357,89 @@ void TorClient::BuildCircuit(std::function<void(SimTime)> ready) {
   NYMIX_CHECK(!middles.empty());
   middle_index_ = middles[prng_.NextBelow(middles.size())];
 
-  on_circuit_ready_ = std::move(ready);
   circuit_id_ = static_cast<uint32_t>(prng_.NextU64());
   circuit_build_started_ = attachment_.sim->now();
   pending_step_ = 1;
+  ++build_generation_;
+  const uint64_t generation = build_generation_;
+  if (config_.circuit_build_timeout > 0) {
+    timeout_event_ = attachment_.sim->loop().ScheduleAfter(
+        config_.circuit_build_timeout, [this, generation] {
+          if (generation != build_generation_ || pending_step_ == 0) {
+            return;  // attempt already finished or was superseded
+          }
+          has_timeout_event_ = false;
+          if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+            meters->GetCounter("anon.tor.circuit_timeouts")->Increment();
+          }
+          OnBuildAttemptFailure(
+              DeadlineExceededError("circuit build timed out at step " +
+                                    std::to_string(pending_step_)));
+        });
+    has_timeout_event_ = true;
+  }
   SendCircuitCell(pending_step_);
+}
+
+void TorClient::MarkGuardFailed() {
+  if (!guard_index_.has_value()) {
+    return;
+  }
+  failed_guards_.insert(*guard_index_);
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.guard_failover")->Increment();
+  }
+  if (TraceRecorder* tracer = attachment_.sim->loop().tracer()) {
+    tracer->AddInstant("fault",
+                       "guard_failover:" + network_.relays()[*guard_index_].nickname,
+                       TraceTrack(), attachment_.sim->now());
+  }
+  guard_index_.reset();
+  consecutive_guard_failures_ = 0;
+}
+
+void TorClient::OnBuildAttemptFailure(Status status) {
+  pending_step_ = 0;
+  if (has_timeout_event_) {
+    attachment_.sim->loop().Cancel(timeout_event_);
+    has_timeout_event_ = false;
+  }
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.circuit_build_failures")->Increment();
+  }
+  ++consecutive_guard_failures_;
+  if (consecutive_guard_failures_ >= config_.guard_failure_threshold) {
+    // The common cause of repeated timeouts is a dead entry guard (every
+    // cell physically goes through it); fail over before retrying.
+    MarkGuardFailed();
+  }
+  Result<SimDuration> delay = circuit_backoff_.NextDelay();
+  if (!delay.ok()) {
+    if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+      meters->GetCounter("anon.tor.circuits_abandoned")->Increment();
+    }
+    if (on_circuit_ready_) {
+      auto callback = std::move(on_circuit_ready_);
+      on_circuit_ready_ = OnceCallback<Result<SimTime>>();
+      callback(Status(status.code(),
+                      status.message() + " (circuit build abandoned after " +
+                          std::to_string(circuit_backoff_.attempts() + 1) + " attempts)"));
+    }
+    return;
+  }
+  if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+    meters->GetCounter("anon.tor.circuit_retries")->Increment();
+  }
+  if (TraceRecorder* tracer = attachment_.sim->loop().tracer()) {
+    tracer->AddInstant("retry", "circuit_retry", TraceTrack(), attachment_.sim->now());
+  }
+  const uint64_t generation = build_generation_;
+  attachment_.sim->loop().ScheduleAfter(*delay, [this, generation] {
+    if (generation != build_generation_) {
+      return;  // superseded while waiting out the backoff
+    }
+    StartBuildAttempt();
+  });
 }
 
 void TorClient::SendCircuitCell(int step) {
@@ -296,6 +484,11 @@ void TorClient::HandlePacket(const Packet& packet) {
     return;
   }
   pending_step_ = 0;
+  if (has_timeout_event_) {
+    attachment_.sim->loop().Cancel(timeout_event_);
+    has_timeout_event_ = false;
+  }
+  consecutive_guard_failures_ = 0;
   circuit_ready_ = true;
   ++circuits_built_;
   if (TraceRecorder* tracer = attachment_.sim->loop().tracer()) {
@@ -309,7 +502,7 @@ void TorClient::HandlePacket(const Packet& packet) {
   }
   if (on_circuit_ready_) {
     auto callback = std::move(on_circuit_ready_);
-    on_circuit_ready_ = nullptr;
+    on_circuit_ready_ = OnceCallback<Result<SimTime>>();
     callback(attachment_.sim->now());
   }
 }
@@ -320,7 +513,17 @@ size_t TorClient::ExitIndexForDestination(const std::string& host) {
     return it->second;
   }
   std::vector<size_t> exits = network_.ExitIndices();
-  size_t exit = exits[prng_.NextBelow(exits.size())];
+  // Prefer exits that are currently up (a crashed relay should not get new
+  // streams); with nothing up, fall back to the full set so the choice —
+  // and the prng_ draw count — stays deterministic.
+  std::vector<size_t> alive;
+  for (size_t e : exits) {
+    if (network_.RelayUp(e)) {
+      alive.push_back(e);
+    }
+  }
+  const std::vector<size_t>& pool = alive.empty() ? exits : alive;
+  size_t exit = pool[prng_.NextBelow(pool.size())];
   exit_by_destination_.emplace(host, exit);
   return exit;
 }
@@ -338,23 +541,54 @@ Route TorClient::RouteThroughCircuit(Ipv4Address destination, size_t exit_index)
 
 void TorClient::Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
                       std::function<void(Result<FetchReceipt>)> done) {
+  auto once = OnceCallback<Result<FetchReceipt>>(std::move(done));
   if (!circuit_ready_) {
-    done(FailedPreconditionError("Tor circuit not ready"));
+    once(FailedPreconditionError("Tor circuit not ready"));
     return;
   }
   // DNS happens at the exit (§4.1: "Tor has a built-in DNS server").
   auto resolved = attachment_.sim->internet().Resolve(host);
   if (!resolved.ok()) {
-    done(resolved.status());
+    once(resolved.status());
     return;
   }
-  size_t exit_index = ExitIndexForDestination(host);
-  Ipv4Address exit_ip = network_.relays()[exit_index].ip;
-  Route route = RouteThroughCircuit(*resolved, exit_index);
-  attachment_.sim->flows().StartFlow(
-      route, request_bytes + response_bytes, config_.cell_overhead,
-      [exit_ip, done = std::move(done)](SimTime t) {
-        done(FetchReceipt{t, exit_ip});
+  // Retries respect stream isolation: the exit is always the destination's
+  // bound exit; a failed attempt drops that binding so the retry re-rolls a
+  // fresh (but still per-destination) exit. Other destinations' bindings —
+  // and the entry guard — are untouched.
+  auto receipt = std::make_shared<FetchReceipt>();
+  const Ipv4Address destination = *resolved;
+  RetryWithBackoff(
+      attachment_.sim->loop(), config_.fetch_retry,
+      Mix64(seed_ ^ Fnv1a64("tor.fetch.backoff") ^ Fnv1a64(host)), "tor.fetch",
+      [this, host, destination, request_bytes, response_bytes,
+       receipt](std::function<void(Status)> finish) {
+        size_t exit_index = ExitIndexForDestination(host);
+        Ipv4Address exit_ip = network_.relays()[exit_index].ip;
+        Route route = RouteThroughCircuit(destination, exit_index);
+        FlowOptions options;
+        options.stall_timeout = config_.fetch_stall_timeout;
+        attachment_.sim->flows().StartFlow(
+            route, request_bytes + response_bytes, config_.cell_overhead, options,
+            [this, host, exit_ip, receipt, finish = std::move(finish)](Result<SimTime> t) {
+              if (!t.ok()) {
+                exit_by_destination_.erase(host);
+                if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
+                  meters->GetCounter("anon.tor.fetch_attempt_failures")->Increment();
+                }
+                finish(t.status());
+                return;
+              }
+              *receipt = FetchReceipt{*t, exit_ip};
+              finish(OkStatus());
+            });
+      },
+      [once, receipt](Status status) mutable {
+        if (!status.ok()) {
+          once(std::move(status));
+          return;
+        }
+        once(*receipt);
       });
 }
 

@@ -90,6 +90,15 @@ class TorNetwork {
   Ipv4Address directory_ip() const { return directory_ip_; }
   TorRelay& relay(size_t index) { return *relays_[index]; }
 
+  // Fault injection: a crashed relay vanishes from the network (packets to
+  // it drop as if the host never existed, its access link goes down so
+  // flows through it stall) until RestartRelay. Crash/restart order and
+  // timing come from the experiment's FaultInjector schedule, so they are
+  // seeded and replayable.
+  void CrashRelay(size_t index);
+  void RestartRelay(size_t index);
+  bool RelayUp(size_t index) const;
+
  private:
   // The directory authority serves consensus documents; modeled as flows,
   // so the host only needs to exist and be routable.
@@ -125,6 +134,21 @@ struct TorClientConfig {
   // relay for several months — and may increase this period further
   // [14, 20]" (§3.5). Persisted guards older than this are re-drawn.
   SimDuration guard_lifetime = Seconds(90LL * 24 * 3600);  // ~3 months
+
+  // --- Robustness knobs (fault injection / recovery) --------------------
+  // A circuit-build attempt that has not completed within this window is
+  // failed and retried with backoff (real Tor's CircuitBuildTimeout).
+  SimDuration circuit_build_timeout = Seconds(10);
+  BackoffPolicy circuit_retry;  // defaults: 500 ms, x2, 4 attempts
+  // Consecutive failed build attempts before the entry guard is marked
+  // dead and the next one is derived (seeded clients re-derive from the
+  // same seed, preserving the §3.5 persistence argument).
+  int guard_failure_threshold = 2;
+  // Directory and fetch flows fail after stalling this long at rate 0.
+  SimDuration directory_stall_timeout = Seconds(60);
+  BackoffPolicy directory_retry;
+  SimDuration fetch_stall_timeout = Seconds(30);
+  BackoffPolicy fetch_retry;
 };
 
 class TorClient : public Anonymizer {
@@ -134,7 +158,7 @@ class TorClient : public Anonymizer {
 
   AnonymizerKind kind() const override { return AnonymizerKind::kTor; }
   std::string_view Name() const override { return "Tor"; }
-  void Start(std::function<void(SimTime)> ready) override;
+  void Start(std::function<void(Result<SimTime>)> ready) override;
   bool ready() const override { return circuit_ready_; }
   void Fetch(const std::string& host, uint64_t request_bytes, uint64_t response_bytes,
              std::function<void(Result<FetchReceipt>)> done) override;
@@ -149,13 +173,16 @@ class TorClient : public Anonymizer {
   // the same guard. Must be called before Start().
   void SeedGuardSelection(uint64_t seed);
 
-  // Drops the current circuit and builds a fresh one (Tor's NEWNYM).
-  void NewIdentity(std::function<void(SimTime)> ready);
+  // Drops the current circuit and builds a fresh one (Tor's NEWNYM). An
+  // in-flight build is cancelled cleanly: its pending ready callback fires
+  // kCancelled before the new build starts (never silently dropped).
+  void NewIdentity(std::function<void(Result<SimTime>)> ready);
 
   std::optional<size_t> entry_guard_index() const { return guard_index_; }
   std::optional<size_t> exit_index() const { return exit_index_; }
   int circuits_built() const { return circuits_built_; }
   bool has_cached_consensus() const { return has_cached_consensus_; }
+  const std::set<size_t>& failed_guards() const { return failed_guards_; }
 
   // Stream isolation (IsolateDestAddr): each destination gets its own
   // exit, so two sites visited through the same nym cannot be linked by a
@@ -164,9 +191,19 @@ class TorClient : public Anonymizer {
   size_t isolated_destinations() const { return exit_by_destination_.size(); }
 
  private:
-  void DownloadDirectory(std::function<void()> then);
+  void DownloadDirectory(std::function<void(Status)> then);
   void ChooseGuardIfNeeded();
-  void BuildCircuit(std::function<void(SimTime)> ready);
+  void BuildCircuit(std::function<void(Result<SimTime>)> ready);
+  // One seeded attempt of the current build; retried with backoff on
+  // timeout until the circuit_retry budget is spent.
+  void StartBuildAttempt();
+  void OnBuildAttemptFailure(Status status);
+  // Fails over the entry guard: mark it dead and re-derive the next one
+  // (same seed for seeded clients — §3.5 persistence).
+  void MarkGuardFailed();
+  // Fires the pending ready callback (if any) with `status` and
+  // invalidates every outstanding build event (timeout, retry).
+  void CancelPendingBuild(Status status);
   void SendCircuitCell(int step);
   Route RouteThroughCircuit(Ipv4Address destination, size_t exit_index) const;
   // Trace track for this client's spans: the uplink name minus "-uplink",
@@ -176,6 +213,7 @@ class TorClient : public Anonymizer {
   ClientAttachment attachment_;
   TorNetwork& network_;
   TorClientConfig config_;
+  uint64_t seed_;
   Prng prng_;
 
   bool has_cached_consensus_ = false;
@@ -187,11 +225,21 @@ class TorClient : public Anonymizer {
   SimTime guard_chosen_at_ = 0;
   int circuits_built_ = 0;
 
-  // In-progress circuit build.
+  // Guard failover state.
+  std::set<size_t> failed_guards_;
+  int consecutive_guard_failures_ = 0;
+
+  // In-progress circuit build. The generation counter invalidates stale
+  // timeout/retry events after a build is superseded (NewIdentity) or
+  // completes; OnceCallback guarantees the ready callback fires once.
   SimTime circuit_build_started_ = 0;
   int pending_step_ = 0;
   uint32_t circuit_id_ = 0;
-  std::function<void(SimTime)> on_circuit_ready_;
+  uint64_t build_generation_ = 0;
+  uint64_t timeout_event_ = 0;
+  bool has_timeout_event_ = false;
+  Backoff circuit_backoff_;
+  OnceCallback<Result<SimTime>> on_circuit_ready_;
   Port next_port_ = 40000;
   std::map<std::string, size_t> exit_by_destination_;  // stream isolation
 };

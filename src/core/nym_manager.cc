@@ -150,6 +150,7 @@ Result<Nym*> NymManager::WireNym(const std::string& name, const CreateOptions& o
                                          DnsProxy::TransportFor(options.anonymizer));
 
   nyms_.push_back(std::move(nym));
+  options_by_name_[name] = options;
   return raw;
 }
 
@@ -185,8 +186,17 @@ void NymManager::BootNym(Nym* nym, RestoredState* restored, SimDuration ephemera
       tracer->AddComplete("core", "boot_vm", nym->name(), t0, report->boot_vm);
     }
     nym->anonymizer_->Start([this, nym, report, t0, is_load, ephemeral_phase, anonymizer_start,
-                             done](SimTime ready) {
-      report->start_anonymizer = ready - anonymizer_start;
+                             done](Result<SimTime> ready) {
+      if (!ready.ok()) {
+        // Bootstrap failed for good (retries exhausted). The nym stays
+        // wired so the caller can inspect or terminate it.
+        if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+          meters->GetCounter("core.nym_start_failures")->Increment();
+        }
+        done(ready.status(), *report);
+        return;
+      }
+      report->start_anonymizer = *ready - anonymizer_start;
       nym->browser_ = std::make_unique<BrowserModel>(
           host_.sim(), nym->anon_vm_, nym->anonymizer_.get(),
           host_.sim().prng().NextU64() ^ Mix64(next_nym_seed_ * 104729));
@@ -238,8 +248,76 @@ Status NymManager::TerminateNym(Nym* nym) {
   nym->anon_vm_ = nullptr;
   nym->comm_vm_ = nullptr;
   nym->terminated_ = true;
+  options_by_name_.erase(nym->name());
   nyms_.erase(it);
   return OkStatus();
+}
+
+void NymManager::InjectCrash(Nym& nym) {
+  NYMIX_CHECK_MSG(nym.anon_vm_ != nullptr && nym.comm_vm_ != nullptr, "nym has no VMs");
+  nym.anon_vm_->Crash();
+  nym.comm_vm_->Crash();
+  if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+    tracer->AddInstant("fault", "nym_crash", nym.name(), host_.sim().now());
+  }
+  if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+    meters->GetCounter("core.nym_crashes")->Increment();
+  }
+}
+
+Status NymManager::CheckpointNym(Nym& nym) {
+  if (nym.comm_vm_ == nullptr) {
+    return FailedPreconditionError("nym has no CommVM");
+  }
+  NYMIX_RETURN_IF_ERROR(
+      nym.anonymizer_->SaveState(nym.comm_vm_->disk().fs().writable_mutable()));
+  if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+    meters->GetCounter("core.nym_checkpoints")->Increment();
+  }
+  return OkStatus();
+}
+
+void NymManager::RecoverNym(Nym* nym, CreateCallback done) {
+  auto it = std::find_if(nyms_.begin(), nyms_.end(),
+                         [nym](const auto& owned) { return owned.get() == nym; });
+  if (it == nyms_.end()) {
+    done(NotFoundError("unknown nym"), NymStartupReport{});
+    return;
+  }
+  if (nym->anon_vm_ == nullptr || nym->comm_vm_ == nullptr) {
+    done(FailedPreconditionError("nym has no VMs"), NymStartupReport{});
+    return;
+  }
+  std::string name = nym->name();
+  auto options_it = options_by_name_.find(name);
+  NYMIX_CHECK_MSG(options_it != options_by_name_.end(), "nym without recorded options");
+  CreateOptions options = options_it->second;
+
+  // Snapshot the writable layers before teardown: RAM-backed disks are
+  // what survives a guest crash (the host process is fine; only the guest
+  // died). Anonymizer state rides in the CommVM layer iff CheckpointNym —
+  // or an earlier save — put it there.
+  RestoredState restored;
+  restored.anon_writable = std::make_unique<MemFs>();
+  restored.comm_writable = std::make_unique<MemFs>();
+  CopyInto(nym->anon_vm_->disk().fs().writable(), *restored.anon_writable);
+  CopyInto(nym->comm_vm_->disk().fs().writable(), *restored.comm_writable);
+  restored.next_sequence = nym->save_sequence_;
+
+  SimTime t0 = host_.sim().now();
+  NYMIX_CHECK(TerminateNym(nym).ok());
+  if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+    tracer->AddInstant("core", "recover_nym", name, t0);
+  }
+  if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+    meters->GetCounter("core.nym_recoveries")->Increment();
+  }
+  auto wired = WireNym(name, options);
+  if (!wired.ok()) {
+    done(wired.status(), NymStartupReport{});
+    return;
+  }
+  BootNym(*wired, &restored, 0, std::move(done));
 }
 
 std::vector<Nym*> NymManager::nyms() const {

@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_NYM_MANAGER_H_
 #define SRC_CORE_NYM_MANAGER_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,24 @@ class NymManager {
   // the VMs from the host. The pseudonym never existed (§3.4).
   Status TerminateNym(Nym* nym);
 
+  // --- Fault injection and recovery ------------------------------------
+  // Crashes both of the nym's VMs where they stand (no secure wipe — a
+  // crash is precisely the case where nothing gets to clean up).
+  void InjectCrash(Nym& nym);
+
+  // Syncs the anonymizer's state (entry guards, cached consensus) into the
+  // CommVM's writable layer, the way tor periodically rewrites its state
+  // file. A later RecoverNym picks this up even though the crash itself
+  // never got to save anything.
+  Status CheckpointNym(Nym& nym);
+
+  // Rebuilds a crashed (or live) nym from its own writable disk layers:
+  // snapshots both layers and the saved anonymizer state, terminates the
+  // wreck, then wires and boots a replacement under the same name and
+  // options. Guard choice survives because the anonymizer re-derives it
+  // from the restored state (§3.5's intersection-attack defence).
+  void RecoverNym(Nym* nym, CreateCallback done);
+
   std::vector<Nym*> nyms() const;
   Nym* FindNym(const std::string& name) const;
   HostMachine& host() { return host_; }
@@ -139,6 +158,9 @@ class NymManager {
   DissentServers* dissent_;
   Config config_;
   std::vector<std::unique_ptr<Nym>> nyms_;
+  // Creation options per live nym, so RecoverNym can rebuild a crashed nym
+  // exactly as it was wired (string-keyed: deterministic iteration).
+  std::map<std::string, CreateOptions> options_by_name_;
   uint64_t next_nym_seed_ = 1;
   int64_t last_verified_mutation_ = -1;
 };

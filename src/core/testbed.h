@@ -65,6 +65,22 @@ class Testbed {
     return result;
   }
 
+  // Crash-recovery helper: snapshots disks, terminates the wreck, boots
+  // the replacement under the same name/options.
+  Result<Nym*> RecoverNymBlocking(Nym* nym, NymStartupReport* report = nullptr) {
+    Result<Nym*> result = InternalError("pending");
+    bool done = false;
+    manager_.RecoverNym(nym, [&](Result<Nym*> recovered, NymStartupReport r) {
+      result = std::move(recovered);
+      if (report != nullptr) {
+        *report = r;
+      }
+      done = true;
+    });
+    sim_.RunUntil([&] { return done; });
+    return result;
+  }
+
   Result<SaveReceipt> SaveBlocking(Nym* nym, const std::string& account,
                                    const std::string& account_password,
                                    const std::string& archive_password) {

@@ -79,7 +79,8 @@ VirtualMachine::~VirtualMachine() {
 }
 
 void VirtualMachine::Boot(std::function<void(SimTime)> on_ready) {
-  NYMIX_CHECK_MSG(state_ == VmState::kCreated || state_ == VmState::kStopped,
+  NYMIX_CHECK_MSG(state_ == VmState::kCreated || state_ == VmState::kStopped ||
+                      state_ == VmState::kCrashed,
                   "Boot() on a VM that is not cold");
   state_ = VmState::kBooting;
   SimDuration total = config_.boot.Total();
@@ -135,6 +136,23 @@ void VirtualMachine::Shutdown(bool secure_wipe) {
   state_ = VmState::kStopped;
   if (secure_wipe) {
     memory_.Wipe();
+  }
+}
+
+void VirtualMachine::Crash() {
+  if (state_ == VmState::kStopped || state_ == VmState::kCrashed) {
+    return;  // already dead
+  }
+  if (boot_event_pending_) {
+    sim_.loop().Cancel(boot_event_);
+    boot_event_pending_ = false;
+  }
+  state_ = VmState::kCrashed;
+  if (MetricsRegistry* meters = sim_.loop().meters()) {
+    meters->GetCounter("hv.vm_crashes")->Increment();
+  }
+  if (TraceRecorder* tracer = sim_.loop().tracer()) {
+    tracer->AddInstant("fault", "vm_crash", config_.name, sim_.now());
   }
 }
 

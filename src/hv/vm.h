@@ -23,7 +23,7 @@ namespace nymix {
 enum class VmRole { kAnonVm, kCommVm, kSaniVm, kInstalledOs };
 std::string_view VmRoleName(VmRole role);
 
-enum class VmState { kCreated, kBooting, kRunning, kPaused, kStopped };
+enum class VmState { kCreated, kBooting, kRunning, kPaused, kStopped, kCrashed };
 
 struct BootProfile {
   SimDuration bios = Millis(800);
@@ -79,6 +79,12 @@ class VirtualMachine : public PacketSink {
   // hypervisor that leaves guest pages in host RAM until reuse — the
   // remanence Dunn et al. [18] measure; see HostMachine::ColdBootScan().
   void Shutdown(bool secure_wipe = true);
+  // Fault injection: the guest dies where it stands — mid-boot or running.
+  // No secure wipe runs (a crash is precisely the case where nothing gets
+  // to clean up), so guest pages stay in host RAM: the remanence window
+  // §3.4's wipe-on-teardown is designed to close. Boot() accepts a crashed
+  // VM, modeling a hypervisor restart of the same instance.
+  void Crash();
   void DiscardDisk() { disk_.DiscardWritable(); }
 
   // --- Networking ----------------------------------------------------

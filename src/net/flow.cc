@@ -17,15 +17,48 @@ Route Route::Through(std::vector<Link*> links) {
 
 FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
                                 std::function<void(SimTime)> done) {
+  // Legacy callers predate the failure model: deliver completions, swallow
+  // failures (their flows cannot fail unless a fault profile is installed
+  // on their links anyway).
+  return StartFlow(route, bytes, overhead_factor, FlowOptions{},
+                   [done = std::move(done)](Result<SimTime> finished) {
+                     if (done && finished.ok()) {
+                       done(*finished);
+                     }
+                   });
+}
+
+FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
+                                const FlowOptions& options,
+                                std::function<void(Result<SimTime>)> done) {
   NYMIX_CHECK(overhead_factor >= 1.0);
   Settle();
   FlowId id = next_id_++;
   Flow flow;
   flow.links = route.links;
   flow.remaining_bytes = static_cast<double>(bytes) * overhead_factor;
+  flow.options = options;
   flow.done = std::move(done);
   flow.started = false;
   flow.created_at = loop_.now();
+
+  // Seeded loss-abort roll: a flow crossing lossy links may be doomed from
+  // the start (loss defeating retransmission partway through). The Prng is
+  // only consumed when the route actually has loss, so fault-free runs draw
+  // nothing here.
+  if (options.fail_on_loss && loss_prng_.has_value()) {
+    double survive = 1.0;
+    for (const Link* link : route.links) {
+      const double p_abort =
+          std::min(1.0, link->loss_probability() * options.loss_abort_multiplier);
+      survive *= 1.0 - p_abort;
+    }
+    const double p_fail = 1.0 - survive;
+    if (p_fail > 0.0 && loss_prng_->NextDouble() < p_fail) {
+      flow.doomed = true;
+    }
+  }
+
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter("net.flows_started")->Increment();
     meters->GetCounter("net.flow_wire_bytes")
@@ -37,11 +70,17 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
   flows_.emplace(id, std::move(flow));
 
   // Connection setup + request takes one round trip; then the flow joins
-  // the fair-share competition.
+  // the fair-share competition (or dies, if the loss roll doomed it).
   loop_.ScheduleAfter(2 * route.one_way_latency, [this, id] {
     auto it = flows_.find(id);
     if (it == flows_.end()) {
       return;  // cancelled during setup
+    }
+    if (it->second.doomed) {
+      FailFlow(id, UnavailableError("flow aborted: packet loss on route"),
+               "net.flows_aborted_loss");
+      Reschedule();
+      return;
     }
     Settle();
     it->second.started = true;
@@ -57,12 +96,18 @@ bool FlowScheduler::CancelFlow(FlowId id) {
   if (it == flows_.end()) {
     return false;
   }
-  flows_.erase(it);
+  if (it->second.has_stall_event) {
+    loop_.Cancel(it->second.stall_event);
+  }
+  auto node = flows_.extract(it);
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter("net.flows_cancelled")->Increment();
   }
   if (TraceRecorder* tracer = loop_.tracer()) {
     tracer->AddAsyncEnd("net", "flow", id, loop_.now());
+  }
+  if (node.mapped().done) {
+    node.mapped().done(CancelledError("flow cancelled"));
   }
   Reschedule();
   return true;
@@ -74,6 +119,29 @@ uint64_t FlowScheduler::FlowRateBps(FlowId id) const {
     return 0;
   }
   return static_cast<uint64_t>(it->second.rate_bytes_per_us * 8e6);
+}
+
+void FlowScheduler::FailFlow(FlowId id, Status status, const char* counter) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  if (it->second.has_stall_event) {
+    loop_.Cancel(it->second.stall_event);
+  }
+  auto node = flows_.extract(it);
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter("net.flows_failed")->Increment();
+    meters->GetCounter(counter)->Increment();
+  }
+  if (TraceRecorder* tracer = loop_.tracer()) {
+    tracer->AddAsyncEnd("net", "flow", id, loop_.now());
+    tracer->AddInstant("fault", std::string("flow_failed:") + StatusCodeName(status.code()).data(),
+                       "faults", loop_.now());
+  }
+  if (node.mapped().done) {
+    node.mapped().done(std::move(status));
+  }
 }
 
 void FlowScheduler::Settle() {
@@ -97,6 +165,9 @@ void FlowScheduler::Settle() {
   }
   for (FlowId id : finished) {
     auto node = flows_.extract(id);
+    if (node.mapped().has_stall_event) {
+      loop_.Cancel(node.mapped().stall_event);
+    }
     if (MetricsRegistry* meters = loop_.meters()) {
       meters->GetCounter("net.flows_completed")->Increment();
       meters->GetHistogram("net.flow_duration_us")
@@ -135,7 +206,10 @@ void FlowScheduler::Reschedule() {
     }
     unfixed.push_back(&flow);
     for (Link* link : flow.links) {
-      capacity.emplace(link, static_cast<double>(link->bandwidth_bps()) / 8e6);
+      // A downed link contributes zero capacity: flows crossing it rate at
+      // 0 and (with a stall_timeout) eventually fail instead of hanging.
+      capacity.emplace(link,
+                       link->is_down() ? 0.0 : static_cast<double>(link->bandwidth_bps()) / 8e6);
       ++unfixed_count[link];
     }
   }
@@ -178,6 +252,55 @@ void FlowScheduler::Reschedule() {
     }
     NYMIX_CHECK_MSG(still_unfixed.size() < unfixed.size(), "waterfilling did not progress");
     unfixed = std::move(still_unfixed);
+  }
+
+  // Stall bookkeeping: a started flow rated 0 with a stall deadline either
+  // arms its deadline or, if rates recovered, disarms it.
+  const SimTime now = loop_.now();
+  for (auto& [id, flow] : flows_) {
+    if (!flow.started || flow.options.stall_timeout == 0) {
+      continue;
+    }
+    const bool rate_zero = flow.rate_bytes_per_us <= 0 && flow.remaining_bytes > 0;
+    if (rate_zero && !flow.stalled) {
+      flow.stalled = true;
+      flow.stalled_since = now;
+      const FlowId flow_id = id;
+      flow.stall_event = loop_.ScheduleAfter(flow.options.stall_timeout, [this, flow_id] {
+        auto it = flows_.find(flow_id);
+        if (it == flows_.end() || !it->second.stalled) {
+          return;
+        }
+        it->second.has_stall_event = false;
+        // Nothing rescheduled since the stall began; if the route flapped
+        // back up in the meantime, rejoin the competition instead of dying.
+        bool route_up = true;
+        for (const Link* link : it->second.links) {
+          if (link->is_down()) {
+            route_up = false;
+            break;
+          }
+        }
+        Settle();
+        if (route_up) {
+          it->second.stalled = false;
+          Reschedule();
+          return;
+        }
+        FailFlow(flow_id, UnavailableError("flow stalled: route down"), "net.flows_stalled");
+        Reschedule();
+      });
+      flow.has_stall_event = true;
+      if (MetricsRegistry* meters = loop_.meters()) {
+        meters->GetCounter("net.flow_stall_watches")->Increment();
+      }
+    } else if (!rate_zero && flow.stalled) {
+      flow.stalled = false;
+      if (flow.has_stall_event) {
+        loop_.Cancel(flow.stall_event);
+        flow.has_stall_event = false;
+      }
+    }
   }
 
   // Schedule the earliest completion.

@@ -11,15 +11,24 @@
 // RTT (connection + request); TCP slow-start and congestion dynamics are
 // abstracted away, which is faithful to the paper's rate-limited DeterLab
 // setup where flows are long and the bottleneck is a hard shaper.
+//
+// Failure model: a flow crossing lossy links (LinkFaultProfile) may abort
+// with a Status instead of completing — the seeded roll happens at start so
+// the event count stays flow-level — and a flow whose route goes down stalls
+// at rate 0 and fails after FlowOptions::stall_timeout rather than hanging
+// the event loop forever.
 #ifndef SRC_NET_FLOW_H_
 #define SRC_NET_FLOW_H_
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/net/link.h"
 #include "src/util/event_loop.h"
+#include "src/util/prng.h"
+#include "src/util/status.h"
 
 namespace nymix {
 
@@ -34,18 +43,46 @@ struct Route {
 
 using FlowId = uint64_t;
 
+// Failure-detection knobs for a flow. Defaults preserve the failure-free
+// pre-fault behavior: no stall deadline, and loss aborts only fire on
+// routes whose links actually carry a fault profile.
+struct FlowOptions {
+  // Fail with kUnavailable if the flow spends this long at rate 0 while
+  // started (all paths down). 0 = never (legacy behavior: hang).
+  SimDuration stall_timeout = 0;
+  // Whether lossy links may abort this flow.
+  bool fail_on_loss = true;
+  // A flow is modeled as aborting when loss defeats retransmission; the
+  // per-link abort chance is min(1, loss_probability * this multiplier),
+  // independent across route links. 4.0 makes transfers robust below ~10%
+  // loss and mostly doomed above ~25%, matching TCP-over-Tor intuition.
+  double loss_abort_multiplier = 4.0;
+};
+
 class FlowScheduler {
  public:
   explicit FlowScheduler(EventLoop& loop) : loop_(loop) {}
 
+  // Seeds the loss-abort stream (FaultInjector::SeedFor("net.flows")).
+  // Without a seed, loss aborts are disabled and flows always run to
+  // completion as before.
+  void SeedFaults(uint64_t seed) { loss_prng_.emplace(seed); }
+
   // Transfers `bytes * overhead_factor` wire bytes along `route`; calls
   // `done` with the completion time. `overhead_factor` >= 1 models protocol
-  // framing (Tor cells ~1.12, Dissent DC-net much higher).
+  // framing (Tor cells ~1.12, Dissent DC-net much higher). Legacy form:
+  // failures (loss abort, cancellation) are swallowed — `done` simply never
+  // fires — so callers that care about faults must use the Status form.
   FlowId StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
                    std::function<void(SimTime)> done);
 
+  // Status form: `done` fires exactly once — with the completion time on
+  // success, or kUnavailable (loss abort, stall) / kCancelled (CancelFlow).
+  FlowId StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
+                   const FlowOptions& options, std::function<void(Result<SimTime>)> done);
+
   // Cancels an in-progress flow (nym terminated mid-download). False if the
-  // flow already completed.
+  // flow already completed. A Status-form flow's callback fires kCancelled.
   bool CancelFlow(FlowId id);
 
   size_t active_flows() const { return flows_.size(); }
@@ -60,13 +97,23 @@ class FlowScheduler {
     double rate_bytes_per_us = 0;
     bool started = false;  // becomes true after the setup RTT
     SimTime created_at = 0;
-    std::function<void(SimTime)> done;
+    FlowOptions options;
+    // Loss abort decided at start (seeded): the flow dies when setup ends.
+    bool doomed = false;
+    // Stall tracking: set while the flow is started but rated 0.
+    bool stalled = false;
+    SimTime stalled_since = 0;
+    uint64_t stall_event = 0;
+    bool has_stall_event = false;
+    std::function<void(Result<SimTime>)> done;
   };
 
   // Advances all running flows to now, completing any that finished.
   void Settle();
   // Recomputes max-min fair rates and schedules the next completion event.
   void Reschedule();
+  // Removes the flow and fires its callback with a failure Status.
+  void FailFlow(FlowId id, Status status, const char* counter);
 
   EventLoop& loop_;
   std::map<FlowId, Flow> flows_;
@@ -74,6 +121,7 @@ class FlowScheduler {
   SimTime last_settle_ = 0;
   uint64_t pending_event_ = 0;
   bool has_pending_event_ = false;
+  std::optional<Prng> loss_prng_;
 };
 
 }  // namespace nymix

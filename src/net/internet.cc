@@ -50,8 +50,26 @@ Result<Ipv4Address> Internet::Resolve(const std::string& name) const {
 }
 
 InternetHost* Internet::FindHost(Ipv4Address ip) const {
+  if (down_hosts_.find(ip) != down_hosts_.end()) {
+    return nullptr;
+  }
   auto it = hosts_.find(ip);
   return it == hosts_.end() ? nullptr : it->second;
+}
+
+void Internet::SetHostUp(Ipv4Address ip, bool up) {
+  if (up) {
+    down_hosts_.erase(ip);
+  } else {
+    down_hosts_.insert(ip);
+  }
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter(up ? "net.host_up_events" : "net.host_down_events")->Increment();
+  }
+  if (TraceRecorder* tracer = loop_.tracer()) {
+    tracer->AddInstant("fault", (up ? "host_up:" : "host_down:") + ip.ToString(), "faults",
+                       loop_.now());
+  }
 }
 
 void Internet::SendBetweenHosts(Ipv4Address from_ip, Packet packet,

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/net/link.h"
@@ -52,6 +53,12 @@ class Internet : public PacketSink {
 
   InternetHost* FindHost(Ipv4Address ip) const;
 
+  // Marks a registered host down/up without unregistering it (relay crash /
+  // restart). Packets to a down host vanish exactly like packets to an
+  // unknown address — the §5.1 "as if the host did not exist" behavior.
+  void SetHostUp(Ipv4Address ip, bool up);
+  bool HostUp(Ipv4Address ip) const { return down_hosts_.find(ip) == down_hosts_.end(); }
+
   // Server-to-server datagram (relay-to-relay circuit extension, backend
   // replication...): delivered after both hosts' access latencies; the
   // destination's reply is routed back to `reply_to_sender`.
@@ -67,6 +74,7 @@ class Internet : public PacketSink {
   std::map<std::string, Ipv4Address> dns_;
   std::map<Ipv4Address, InternetHost*> hosts_;
   std::map<Ipv4Address, Link*> access_links_;
+  std::set<Ipv4Address> down_hosts_;
   uint32_t next_ip_ = 0;
   uint64_t dropped_no_route_ = 0;
 };

@@ -9,6 +9,20 @@ namespace {
 uint64_t next_link_id = 1;
 }  // namespace
 
+std::string_view LinkDropReasonName(LinkDropReason reason) {
+  switch (reason) {
+    case LinkDropReason::kNoSink:
+      return "no_sink";
+    case LinkDropReason::kFault:
+      return "fault";
+    case LinkDropReason::kDown:
+      return "down";
+    case LinkDropReason::kQueueOverflow:
+      return "queue_overflow";
+  }
+  return "unknown";
+}
+
 Link::Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps)
     : loop_(loop),
       id_(next_link_id++),
@@ -16,6 +30,41 @@ Link::Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t band
       latency_(latency),
       bandwidth_bps_(bandwidth_bps) {
   NYMIX_CHECK(bandwidth_bps_ > 0);
+}
+
+void Link::SetFaultProfile(const LinkFaultProfile& profile, uint64_t seed) {
+  fault_profile_ = profile;
+  fault_prng_.emplace(seed);
+}
+
+void Link::SetDown(bool down) {
+  if (down == down_) {
+    return;
+  }
+  down_ = down;
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter(down ? "net.link.down_events" : "net.link.up_events")->Increment();
+  }
+  if (TraceRecorder* tracer = loop_.tracer()) {
+    tracer->AddInstant("fault", (down ? "link_down:" : "link_up:") + name_, "faults",
+                       loop_.now());
+  }
+}
+
+uint64_t Link::packets_dropped() const {
+  uint64_t total = 0;
+  for (uint64_t count : dropped_by_reason_) {
+    total += count;
+  }
+  return total;
+}
+
+void Link::Drop(LinkDropReason reason) {
+  ++dropped_by_reason_[static_cast<size_t>(reason)];
+  if (MetricsRegistry* meters = loop_.meters()) {
+    meters->GetCounter(std::string("net.link.dropped.") + std::string(LinkDropReasonName(reason)))
+        ->Increment();
+  }
 }
 
 void Link::Send(Packet packet, bool from_a) {
@@ -26,13 +75,40 @@ void Link::Send(Packet packet, bool from_a) {
     meters->GetCounter("net.link.packets_sent")->Increment();
     meters->GetCounter("net.link.bytes_sent")->Increment(packet.WireSize());
   }
+  if (down_) {
+    Drop(LinkDropReason::kDown);
+    return;
+  }
+  if (fault_profile_.max_in_flight > 0 && in_flight_ >= fault_profile_.max_in_flight) {
+    Drop(LinkDropReason::kQueueOverflow);
+    return;
+  }
+  // Fault draws only happen on links with a profile installed, so
+  // fault-free simulations consume zero Prng state here.
+  bool lost = false;
+  SimDuration spike = 0;
+  if (fault_prng_.has_value()) {
+    if (fault_profile_.loss_probability > 0.0 &&
+        fault_prng_->NextDouble() < fault_profile_.loss_probability) {
+      lost = true;
+    } else if (fault_profile_.spike_probability > 0.0 &&
+               fault_prng_->NextDouble() < fault_profile_.spike_probability) {
+      spike = fault_profile_.spike_latency;
+    }
+  }
+  if (lost) {
+    Drop(LinkDropReason::kFault);
+    return;
+  }
   SimDuration serialization =
       static_cast<SimDuration>(packet.WireSize() * 8 * 1'000'000 / bandwidth_bps_);
-  SimDuration delay = latency_ + serialization;
+  SimDuration delay = latency_ + serialization + spike;
+  ++in_flight_;
   loop_.ScheduleAfter(delay, [this, packet = std::move(packet), from_a]() mutable {
+    --in_flight_;
     PacketSink* sink = from_a ? b_ : a_;
     if (sink == nullptr) {
-      ++dropped_;
+      Drop(LinkDropReason::kNoSink);
       return;
     }
     ++delivered_;

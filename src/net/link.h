@@ -8,15 +8,45 @@
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
+#include <array>
+#include <optional>
 #include <string>
 
 #include "src/net/capture.h"
 #include "src/net/packet.h"
 #include "src/util/event_loop.h"
+#include "src/util/prng.h"
 
 namespace nymix {
 
 class Link;
+
+// Why a packet was dropped instead of delivered. kNoSink is the benign
+// baseline (the §5.1 "as if the host did not exist" mechanism); the rest
+// are injected or induced faults.
+enum class LinkDropReason {
+  kNoSink = 0,        // no sink attached on the receiving side
+  kFault = 1,         // seeded random loss (LinkFaultProfile::loss_probability)
+  kDown = 2,          // link administratively/fault down (SetDown)
+  kQueueOverflow = 3, // more packets in flight than max_in_flight allows
+};
+inline constexpr size_t kNumLinkDropReasons = 4;
+
+std::string_view LinkDropReasonName(LinkDropReason reason);
+
+// Seeded fault behavior of a Link. All randomness flows from the seed
+// passed to SetFaultProfile, so identically-seeded runs drop and spike the
+// same packets at the same virtual times.
+struct LinkFaultProfile {
+  // Chance each packet is dropped in transit.
+  double loss_probability = 0.0;
+  // Chance each surviving packet suffers an extra latency spike.
+  double spike_probability = 0.0;
+  SimDuration spike_latency = 0;
+  // Queue bound: packets beyond this many concurrently in flight are
+  // dropped (0 = unbounded).
+  uint64_t max_in_flight = 0;
+};
 
 class PacketSink {
  public:
@@ -51,11 +81,27 @@ class Link {
   void SendFromA(Packet packet) { Send(std::move(packet), /*from_a=*/true); }
   void SendFromB(Packet packet) { Send(std::move(packet), /*from_a=*/false); }
 
+  // Installs (or clears, with a default profile) seeded fault behavior.
+  // The seed should come from FaultInjector::SeedFor so one experiment seed
+  // governs every link's loss stream.
+  void SetFaultProfile(const LinkFaultProfile& profile, uint64_t seed);
+  const LinkFaultProfile& fault_profile() const { return fault_profile_; }
+  double loss_probability() const { return fault_profile_.loss_probability; }
+
+  // A down link drops everything (flap it from a FaultInjector schedule).
+  void SetDown(bool down);
+  bool is_down() const { return down_; }
+
   uint64_t packets_delivered() const { return delivered_; }
-  uint64_t packets_dropped() const { return dropped_; }
+  // Total drops across all reasons (back-compat with pre-fault callers).
+  uint64_t packets_dropped() const;
+  uint64_t packets_dropped(LinkDropReason reason) const {
+    return dropped_by_reason_[static_cast<size_t>(reason)];
+  }
 
  private:
   void Send(Packet packet, bool from_a);
+  void Drop(LinkDropReason reason);
 
   EventLoop& loop_;
   uint64_t id_;
@@ -66,7 +112,11 @@ class Link {
   PacketSink* b_ = nullptr;
   PacketCapture* capture_ = nullptr;
   uint64_t delivered_ = 0;
-  uint64_t dropped_ = 0;
+  std::array<uint64_t, kNumLinkDropReasons> dropped_by_reason_{};
+  LinkFaultProfile fault_profile_;
+  std::optional<Prng> fault_prng_;
+  bool down_ = false;
+  uint64_t in_flight_ = 0;
 };
 
 // Comparator for Link*-keyed ordered containers: creation order, which is

@@ -10,6 +10,7 @@
 
 #include "src/net/flow.h"
 #include "src/net/internet.h"
+#include "src/util/fault.h"
 #include "src/util/prng.h"
 
 namespace nymix {
@@ -23,6 +24,7 @@ class Simulation {
   FlowScheduler& flows() { return flows_; }
   Internet& internet() { return internet_; }
   Prng& prng() { return prng_; }
+  FaultInjector& faults() { return faults_; }
 
   // Creates and owns a link.
   Link* CreateLink(std::string name, SimDuration latency, uint64_t bandwidth_bps);
@@ -37,6 +39,7 @@ class Simulation {
   FlowScheduler flows_;
   Internet internet_;
   Prng prng_;
+  FaultInjector faults_;
   std::vector<std::unique_ptr<Link>> links_;
 };
 

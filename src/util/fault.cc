@@ -1,0 +1,178 @@
+#include "src/util/fault.h"
+
+namespace nymix {
+
+void FaultInjector::Configure(const std::string& point, FaultPointConfig config) {
+  Point p{config, Prng(Mix64(seed_ ^ Fnv1a64(point)))};
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    points_.emplace(point, std::move(p));
+  } else {
+    // Reconfiguring keeps the counters but restarts the stream, so the
+    // post-reconfigure draws depend only on (seed, name, new config).
+    p.rolls = it->second.rolls;
+    p.triggers = it->second.triggers;
+    it->second = std::move(p);
+  }
+}
+
+void FaultInjector::ConfigureProbability(const std::string& point, double probability) {
+  FaultPointConfig config;
+  config.probability = probability;
+  Configure(point, config);
+}
+
+bool FaultInjector::Roll(const std::string& point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    return false;
+  }
+  Point& p = it->second;
+  ++p.rolls;
+  if (auto* m = loop_.meters()) {
+    m->GetCounter("fault.rolls")->Increment();
+  }
+  const SimTime now = loop_.now();
+  if (now < p.config.active_from || now > p.config.active_until ||
+      p.triggers >= p.config.max_triggers || p.config.probability <= 0.0) {
+    return false;
+  }
+  // Draw even when probability >= 1 so the stream's position depends only
+  // on the number of rolls, not on the configured probability.
+  const bool inject = p.prng.NextDouble() < p.config.probability;
+  if (!inject) {
+    return false;
+  }
+  ++p.triggers;
+  ++total_triggers_;
+  if (auto* m = loop_.meters()) {
+    m->GetCounter("fault.injected")->Increment();
+    m->GetCounter("fault.injected." + point)->Increment();
+  }
+  if (auto* t = loop_.tracer()) {
+    t->AddInstant("fault", "inject:" + point, "faults", now);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::At(SimTime when, const std::string& label, std::function<void()> fire) {
+  return loop_.ScheduleAt(when, [this, label, fire = std::move(fire)] {
+    ++total_triggers_;
+    if (auto* m = loop_.meters()) {
+      m->GetCounter("fault.injected")->Increment();
+      m->GetCounter("fault.injected." + label)->Increment();
+    }
+    if (auto* t = loop_.tracer()) {
+      t->AddInstant("fault", "inject:" + label, "faults", loop_.now());
+    }
+    fire();
+  });
+}
+
+uint64_t FaultInjector::rolls(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.rolls;
+}
+
+uint64_t FaultInjector::triggers(const std::string& point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+Result<SimDuration> Backoff::NextDelay() {
+  if (attempts_ + 1 >= policy_.max_attempts) {
+    return ResourceExhaustedError("retry budget exhausted after " +
+                                  std::to_string(policy_.max_attempts) + " attempts");
+  }
+  double delay = static_cast<double>(policy_.initial_delay);
+  for (int i = 0; i < attempts_; ++i) {
+    delay *= policy_.multiplier;
+    if (delay >= static_cast<double>(policy_.max_delay)) {
+      break;
+    }
+  }
+  if (delay > static_cast<double>(policy_.max_delay)) {
+    delay = static_cast<double>(policy_.max_delay);
+  }
+  if (policy_.jitter > 0.0) {
+    // Uniform in [1 - jitter, 1 + jitter], drawn from this backoff's own
+    // seeded stream.
+    const double factor = 1.0 + policy_.jitter * (2.0 * prng_.NextDouble() - 1.0);
+    delay *= factor;
+  }
+  ++attempts_;
+  return static_cast<SimDuration>(delay);
+}
+
+namespace {
+
+// Heap-held driver for one RetryWithBackoff run; keeps itself alive through
+// the shared_ptr captured in the callbacks it hands out.
+struct RetryRun : std::enable_shared_from_this<RetryRun> {
+  RetryRun(EventLoop& loop, const BackoffPolicy& policy, uint64_t seed, std::string label,
+           std::function<void(std::function<void(Status)>)> attempt,
+           std::function<void(Status)> done)
+      : loop(loop),
+        backoff(policy, seed),
+        label(std::move(label)),
+        attempt(std::move(attempt)),
+        done(std::move(done), CancelledError("retry attempt dropped its completion")) {}
+
+  void Start() {
+    if (auto* m = loop.meters()) {
+      m->GetCounter("retry." + label + ".attempts")->Increment();
+      m->GetCounter("retry.attempts")->Increment();
+    }
+    auto self = shared_from_this();
+    attempt(OnceCallback<Status>([self](Status status) { self->OnAttemptDone(status); },
+                                 CancelledError("retry attempt dropped its completion")));
+  }
+
+  void OnAttemptDone(Status status) {
+    if (status.ok()) {
+      done(OkStatus());
+      return;
+    }
+    Result<SimDuration> delay = backoff.NextDelay();
+    if (!delay.ok()) {
+      if (auto* m = loop.meters()) {
+        m->GetCounter("retry." + label + ".exhausted")->Increment();
+        m->GetCounter("retry.exhausted")->Increment();
+      }
+      if (auto* t = loop.tracer()) {
+        t->AddInstant("retry", "exhausted:" + label, "faults", loop.now());
+      }
+      done(Status(status.code(), status.message() + " (after " +
+                                     std::to_string(backoff.attempts() + 1) + " attempts)"));
+      return;
+    }
+    if (auto* m = loop.meters()) {
+      m->GetCounter("retry." + label + ".retries")->Increment();
+      m->GetCounter("retry.retries")->Increment();
+    }
+    if (auto* t = loop.tracer()) {
+      t->AddInstant("retry", "retry:" + label, "faults", loop.now());
+    }
+    auto self = shared_from_this();
+    loop.ScheduleAfter(*delay, [self] { self->Start(); });
+  }
+
+  EventLoop& loop;
+  Backoff backoff;
+  std::string label;
+  std::function<void(std::function<void(Status)>)> attempt;
+  OnceCallback<Status> done;
+};
+
+}  // namespace
+
+void RetryWithBackoff(EventLoop& loop, const BackoffPolicy& policy, uint64_t seed,
+                      std::string label,
+                      std::function<void(std::function<void(Status)>)> attempt,
+                      std::function<void(Status)> done) {
+  auto run = std::make_shared<RetryRun>(loop, policy, seed, std::move(label), std::move(attempt),
+                                        std::move(done));
+  run->Start();
+}
+
+}  // namespace nymix

@@ -29,6 +29,8 @@ enum class StatusCode {
   kDataLoss,
   kUnauthenticated,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 // Human-readable name for a status code ("NOT_FOUND", ...).
@@ -71,6 +73,8 @@ Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
 Status UnauthenticatedError(std::string message);
 Status InternalError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Result<T> holds a T on success or an error Status. Dereferencing a
 // non-OK result is a programmer error and aborts.

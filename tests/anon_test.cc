@@ -78,7 +78,7 @@ TEST(TorClientTest, BootstrapBuildsCircuit) {
   TorClient client(harness.Attachment(), network, /*seed=*/7);
   harness.AttachGuest(&client);
   SimTime ready_at = 0;
-  client.Start([&](SimTime t) { ready_at = t; });
+  client.Start([&](Result<SimTime> t) { ready_at = *t; });
   harness.sim.loop().RunUntilIdle();
   EXPECT_TRUE(client.ready());
   EXPECT_EQ(client.circuits_built(), 1);
@@ -99,7 +99,7 @@ TEST(TorClientTest, WarmBootstrapMuchFaster) {
   TorClient cold(harness.Attachment(), network, 7);
   harness.AttachGuest(&cold);
   SimTime cold_ready = 0;
-  cold.Start([&](SimTime t) { cold_ready = t; });
+  cold.Start([&](Result<SimTime> t) { cold_ready = *t; });
   harness.sim.loop().RunUntilIdle();
 
   // Persist state into a CommVM filesystem, restore into a new client.
@@ -111,7 +111,7 @@ TEST(TorClientTest, WarmBootstrapMuchFaster) {
   harness.AttachGuest(&warm);
   SimTime start = harness.sim.now();
   SimTime warm_ready = 0;
-  warm.Start([&](SimTime t) { warm_ready = t; });
+  warm.Start([&](Result<SimTime> t) { warm_ready = *t; });
   harness.sim.loop().RunUntilIdle();
   EXPECT_LT(ToSeconds(warm_ready - start), 0.6 * ToSeconds(cold_ready));
   // Restored client reuses the persisted guard (§3.5).
@@ -292,7 +292,7 @@ TEST(IncognitoTest, FastButRevealsIdentity) {
   AnonHarness harness;
   IncognitoVpn vpn(harness.Attachment());
   SimTime ready_at = 0;
-  vpn.Start([&](SimTime t) { ready_at = t; });
+  vpn.Start([&](Result<SimTime> t) { ready_at = *t; });
   harness.sim.loop().RunUntilIdle();
   EXPECT_LT(ToSeconds(ready_at), 1.0);
   EXPECT_FALSE(vpn.ProtectsNetworkIdentity());
@@ -316,7 +316,7 @@ TEST(DissentTest, JoinAssignsSlotAndFetchWorks) {
   DissentClient client(harness.Attachment(), servers, 9);
   harness.AttachGuest(&client);
   SimTime joined_at = 0;
-  client.Start([&](SimTime t) { joined_at = t; });
+  client.Start([&](Result<SimTime> t) { joined_at = *t; });
   harness.sim.loop().RunUntilIdle();
   EXPECT_TRUE(client.ready());
   ASSERT_TRUE(client.slot().has_value());
@@ -435,7 +435,7 @@ TEST(ChainTest, TorOverDissentComposition) {
   harness.AttachGuest(&chain);
 
   SimTime ready_at = 0;
-  chain.Start([&](SimTime t) { ready_at = t; });
+  chain.Start([&](Result<SimTime> t) { ready_at = *t; });
   harness.sim.loop().RunUntilIdle();
   EXPECT_TRUE(chain.ready());
   EXPECT_TRUE(inner_ptr->ready());

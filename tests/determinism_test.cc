@@ -61,6 +61,66 @@ std::string RunScenario(uint64_t seed) {
   return obs.trace.ToChromeJson();
 }
 
+// The fault-injection variant: lossy links, a flapping relay, probabilistic
+// injector rolls, and status-form flows with stall deadlines. Every fault
+// decision must come from the seeded streams, so two same-seed runs emit
+// byte-identical traces — including the fault/retry instants.
+std::string RunFaultScenario(uint64_t seed) {
+  Simulation sim(seed);
+  Observability obs;
+  obs.trace.set_enabled(true);
+  obs.trace.set_record_wall_time(false);
+  sim.loop().set_observability(&obs);
+
+  Link* uplink = sim.CreateLink("uplink", Millis(5), 8'000'000);
+  Link* relay_a = sim.CreateLink("relay-a", Millis(12), 4'000'000);
+  Link* relay_b = sim.CreateLink("relay-b", Millis(9), 2'000'000);
+
+  LinkFaultProfile lossy;
+  lossy.loss_probability = 0.04;
+  lossy.spike_probability = 0.2;
+  lossy.spike_latency = Millis(15);
+  relay_a->SetFaultProfile(lossy, sim.faults().SeedFor("relay-a"));
+  sim.faults().ConfigureProbability("chaos.extra-load", 0.25);
+  // Scheduled outage: relay-b flaps down and back up mid-experiment.
+  sim.faults().At(Millis(600), "relay-b-down", [relay_b] { relay_b->SetDown(true); });
+  sim.faults().At(Millis(1400), "relay-b-up", [relay_b] { relay_b->SetDown(false); });
+
+  int completed = 0;
+  int started = 0;
+  FlowOptions options;
+  options.stall_timeout = Seconds(3);
+  for (int i = 0; i < 24; ++i) {
+    uint64_t bytes = sim.prng().NextInRange(20'000, 400'000);
+    std::vector<Link*> path;
+    switch (sim.prng().NextBelow(3)) {
+      case 0:
+        path = {uplink};
+        break;
+      case 1:
+        path = {uplink, relay_a};
+        break;
+      default:
+        path = {uplink, relay_b};
+        break;
+    }
+    // Injector-driven extra load: some iterations double up.
+    const int copies = sim.faults().Roll("chaos.extra-load") ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      ++started;
+      sim.flows().StartFlow(Route::Through(path), bytes, 1.0, options,
+                            [&completed](Result<SimTime>) { ++completed; });
+    }
+    sim.RunFor(Millis(sim.prng().NextBelow(30)));
+  }
+
+  {
+    TraceSpan span(&obs.trace, sim.loop().clock(), "test", "drain", "main");
+    sim.RunUntil([&] { return completed == started; });
+  }
+  return obs.trace.ToChromeJson();
+}
+
 TEST(DeterminismTest, SameSeedProducesIdenticalTraceJson) {
   // Shift heap layout between the runs: if any container orders by pointer
   // value, the second run sees different addresses and the JSON diverges.
@@ -89,6 +149,23 @@ TEST(DeterminismTest, DifferentSeedsProduceDifferentTraces) {
 TEST(DeterminismTest, DisablingWallTimeStripsWallArgs) {
   const std::string json = RunScenario(3);
   EXPECT_EQ(json.find("wall_us"), std::string::npos);
+}
+
+TEST(DeterminismTest, FaultScenarioSameSeedIsByteIdentical) {
+  const std::string first = RunFaultScenario(0xFA17);
+  auto pad = std::make_unique<std::array<char, 8192>>();
+  pad->fill('y');
+  const std::string second = RunFaultScenario(0xFA17);
+  ASSERT_FALSE(first.empty());
+  // The scenario genuinely exercises the fault paths: downed links and
+  // injector triggers leave their instants in the trace.
+  EXPECT_NE(first.find("link_down:relay-b"), std::string::npos);
+  EXPECT_NE(first.find("inject:"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, FaultScenarioDifferentSeedsDiverge) {
+  EXPECT_NE(RunFaultScenario(21), RunFaultScenario(22));
 }
 
 }  // namespace
