@@ -1,0 +1,346 @@
+// Fleet-scale wall-clock benchmark: how fast does the simulator itself run
+// as the modeled deployment grows? N nyms are spread over N/8 hosts (the
+// §5.2 16 GB desktop comfortably fits 8 nymboxes), each host with live KSM
+// scanning, a private test Tor deployment, and a Tor-fetch browsing
+// workload with nym churn (terminate + replace). This is the harness for
+// the incremental hot paths (docs/performance.md): KSM delta scans,
+// dirty-driven fair-share rescheduling, and the event-loop node pool.
+//
+// Usage:
+//   scale_fleet [--n=8,64,256,1024] [--mode=both|incremental|full]
+//               [--full-recompute] [--out=BENCH_scale.json] [--seed=13]
+//               [--stats-out=...] [--trace-out=...]
+//
+// --mode=both (default) runs every N in both modes and reports the
+// wall-clock speedup; --full-recompute is shorthand for --mode=full (the
+// pre-incremental recompute-the-world reference). Virtual-time results are
+// mode-independent: the incremental paths are exact, so a --trace-out from
+// an incremental run is byte-identical to one from a full run (asserted by
+// tests/determinism_test.cc).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_stats.h"
+#include "src/core/nym_manager.h"
+#include "src/workload/website.h"
+
+using namespace nymix;
+
+namespace {
+
+constexpr int kNymsPerHost = 8;
+constexpr int kVisitsPerGeneration = 2;
+constexpr int kGenerations = 2;  // one churn (terminate + replace) per slot
+
+// One host cluster: a 16 GB machine, its own test Tor deployment, and a
+// destination site. Per-cluster Tor keeps flow competition host-local (the
+// real contention is each host's 10 Mbit uplink anyway) instead of welding
+// the whole fleet into one connected component.
+struct Cluster {
+  std::unique_ptr<HostMachine> host;
+  std::unique_ptr<TorNetwork> tor;
+  std::unique_ptr<NymManager> manager;
+  std::unique_ptr<Website> site;
+};
+
+struct SlotState {
+  Nym* nym = nullptr;
+  int visits_done = 0;
+  int generation = 0;
+  bool finished = false;
+};
+
+struct PointResult {
+  int n = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  double events_per_sec = 0;
+  double sim_seconds = 0;
+  uint64_t visits = 0;
+  uint64_t churns = 0;
+  uint64_t waterfills_full = 0;
+  uint64_t waterfills_component = 0;
+  uint64_t waterfill_skips = 0;
+  uint64_t ksm_memories_merged = 0;
+  uint64_t ksm_memories_skipped = 0;
+  uint64_t ksm_pages_sharing = 0;
+};
+
+class Fleet {
+ public:
+  Fleet(Simulation& sim, int nym_count, uint64_t seed, bool full_recompute)
+      : sim_(sim), nym_count_(nym_count), think_prng_(seed ^ 0x5ca1e) {
+    sim_.flows().set_full_recompute(full_recompute);
+    int hosts = (nym_count + kNymsPerHost - 1) / kNymsPerHost;
+    TorNetwork::Config tor_config;
+    tor_config.relay_count = 6;
+    tor_config.guard_count = 2;
+    tor_config.exit_count = 2;
+    // One distribution image for the whole fleet, like every host booting
+    // from a copy of the same Nymix release stick. Sharing the object also
+    // shares the memoized whole-image Merkle verification across hosts.
+    auto image = BaseImage::CreateDistribution("nymix", 42, 64 * kMiB);
+    for (int c = 0; c < hosts; ++c) {
+      auto cluster = std::make_unique<Cluster>();
+      cluster->host = std::make_unique<HostMachine>(sim_, HostConfig{});
+      cluster->host->ksm().set_full_rescan(full_recompute);
+      cluster->tor = std::make_unique<TorNetwork>(sim_, tor_config);
+      cluster->manager =
+          std::make_unique<NymManager>(*cluster->host, image, cluster->tor.get(), nullptr);
+      WebsiteProfile profile;
+      profile.name = "site-" + std::to_string(c);
+      profile.domain = "site" + std::to_string(c) + ".example.com";
+      cluster->site = std::make_unique<Website>(sim_, profile);
+      cluster->host->ksm().Start(Seconds(2));
+      clusters_.push_back(std::move(cluster));
+    }
+    slots_.resize(static_cast<size_t>(nym_count));
+  }
+
+  void Run() {
+    for (int i = 0; i < nym_count_; ++i) {
+      SpawnNym(i);
+    }
+    sim_.RunUntil([this] { return finished_slots_ == nym_count_; });
+    for (auto& cluster : clusters_) {
+      cluster->host->ksm().Stop();
+    }
+  }
+
+  uint64_t visits() const { return total_visits_; }
+  uint64_t churns() const { return total_churns_; }
+  const std::vector<std::unique_ptr<Cluster>>& clusters() const { return clusters_; }
+
+ private:
+  Cluster& ClusterOf(int slot) { return *clusters_[static_cast<size_t>(slot / kNymsPerHost)]; }
+
+  void SpawnNym(int slot) {
+    SlotState& state = slots_[static_cast<size_t>(slot)];
+    std::string name = "c" + std::to_string(slot / kNymsPerHost) + "-s" +
+                       std::to_string(slot % kNymsPerHost) + "-g" +
+                       std::to_string(state.generation);
+    ClusterOf(slot).manager->CreateNym(
+        name, NymManager::CreateOptions{}, [this, slot](Result<Nym*> nym, NymStartupReport) {
+          NYMIX_CHECK_MSG(nym.ok(), nym.status().ToString().c_str());
+          slots_[static_cast<size_t>(slot)].nym = *nym;
+          slots_[static_cast<size_t>(slot)].visits_done = 0;
+          VisitNext(slot);
+        });
+  }
+
+  void VisitNext(int slot) {
+    SlotState& state = slots_[static_cast<size_t>(slot)];
+    state.nym->browser()->Visit(*ClusterOf(slot).site, [this, slot](Result<SimTime> done) {
+      NYMIX_CHECK_MSG(done.ok(), done.status().ToString().c_str());
+      ++total_visits_;
+      SlotState& state = slots_[static_cast<size_t>(slot)];
+      ++state.visits_done;
+      // Think time before the next action; acting from a fresh event also
+      // means churn never tears a nym down from inside its own callback.
+      SimDuration think = Millis(500 + static_cast<SimDuration>(think_prng_.NextBelow(1500)));
+      sim_.loop().ScheduleAfter(think, [this, slot] { Advance(slot); });
+    });
+  }
+
+  void Advance(int slot) {
+    SlotState& state = slots_[static_cast<size_t>(slot)];
+    if (state.visits_done < kVisitsPerGeneration) {
+      VisitNext(slot);
+      return;
+    }
+    ++state.generation;
+    NYMIX_CHECK(ClusterOf(slot).manager->TerminateNym(state.nym).ok());
+    state.nym = nullptr;
+    if (state.generation >= kGenerations) {
+      state.finished = true;
+      ++finished_slots_;
+      return;
+    }
+    ++total_churns_;
+    SpawnNym(slot);
+  }
+
+  Simulation& sim_;
+  int nym_count_;
+  Prng think_prng_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<SlotState> slots_;
+  int finished_slots_ = 0;
+  uint64_t total_visits_ = 0;
+  uint64_t total_churns_ = 0;
+};
+
+PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
+                     bool full_recompute) {
+  // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
+  auto wall_start = std::chrono::steady_clock::now();
+  Simulation sim(seed);
+  if (attach_obs) {
+    stats.Attach(sim);
+    // The trace must be byte-identical between incremental and full modes
+    // (that is the equivalence contract this bench demonstrates), so keep
+    // the simulator's wall-clock self-profiling args out of it.
+    stats.obs().trace.set_record_wall_time(false);
+  }
+  Fleet fleet(sim, n, seed, full_recompute);
+  fleet.Run();
+  // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
+  auto wall_end = std::chrono::steady_clock::now();
+
+  PointResult result;
+  result.n = n;
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  result.events = sim.loop().events_executed();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
+  result.sim_seconds = static_cast<double>(sim.now()) / 1e6;
+  result.visits = fleet.visits();
+  result.churns = fleet.churns();
+  result.waterfills_full = sim.flows().waterfills_full();
+  result.waterfills_component = sim.flows().waterfills_component();
+  result.waterfill_skips = sim.flows().waterfill_skips();
+  for (const auto& cluster : fleet.clusters()) {
+    result.ksm_memories_merged += cluster->host->ksm().memories_merged();
+    result.ksm_memories_skipped += cluster->host->ksm().memories_skipped();
+    result.ksm_pages_sharing += cluster->host->ksm().stats().pages_sharing;
+  }
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
+               const std::vector<PointResult>& incremental,
+               const std::vector<PointResult>& full) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "scale_fleet: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  char buf[512];
+  auto emit_points = [&](const char* key, const std::vector<PointResult>& points) {
+    out << "  \"" << key << "\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const PointResult& p = points[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"n\": %d, \"wall_seconds\": %.4f, \"events\": %llu, "
+                    "\"events_per_sec\": %.1f, \"sim_seconds\": %.2f, \"visits\": %llu, "
+                    "\"churns\": %llu, \"waterfills_full\": %llu, "
+                    "\"waterfills_component\": %llu, \"waterfill_skips\": %llu, "
+                    "\"ksm_memories_merged\": %llu, \"ksm_memories_skipped\": %llu, "
+                    "\"ksm_pages_sharing\": %llu}%s\n",
+                    p.n, p.wall_seconds, static_cast<unsigned long long>(p.events),
+                    p.events_per_sec, p.sim_seconds, static_cast<unsigned long long>(p.visits),
+                    static_cast<unsigned long long>(p.churns),
+                    static_cast<unsigned long long>(p.waterfills_full),
+                    static_cast<unsigned long long>(p.waterfills_component),
+                    static_cast<unsigned long long>(p.waterfill_skips),
+                    static_cast<unsigned long long>(p.ksm_memories_merged),
+                    static_cast<unsigned long long>(p.ksm_memories_skipped),
+                    static_cast<unsigned long long>(p.ksm_pages_sharing),
+                    i + 1 < points.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]";
+  };
+
+  out << "{\n  \"bench\": \"scale_fleet\",\n  \"mode\": \"" << mode << "\",\n  \"seed\": " << seed
+      << ",\n";
+  if (!incremental.empty()) {
+    emit_points("incremental", incremental);
+    out << (full.empty() ? "\n" : ",\n");
+  }
+  if (!full.empty()) {
+    emit_points("full_recompute", full);
+    out << ",\n  \"speedup\": [\n";
+    for (size_t i = 0; i < full.size(); ++i) {
+      double speedup = 0;
+      if (i < incremental.size() && incremental[i].wall_seconds > 0) {
+        speedup = full[i].wall_seconds / incremental[i].wall_seconds;
+      }
+      std::snprintf(buf, sizeof(buf), "    {\"n\": %d, \"wall_clock\": %.2f}%s\n", full[i].n,
+                    speedup, i + 1 < full.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchStats stats("scale_fleet", argc, argv);
+  std::vector<int> ns = {8, 64, 256, 1024};
+  std::string mode = "both";
+  std::string out_path = "BENCH_scale.json";
+  uint64_t seed = 13;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      ns.clear();
+      std::string list = arg.substr(4);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        ns.push_back(std::stoi(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+    } else if (arg == "--full-recompute") {
+      mode = "full";
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    }
+  }
+  NYMIX_CHECK_MSG(mode == "both" || mode == "incremental" || mode == "full",
+                  "--mode must be both, incremental or full");
+  // Tracing/metrics change the per-event work (and trace layout is
+  // per-simulation-attach), so obs-attached runs are for equivalence
+  // checking, not for headline throughput.
+  const bool attach_obs = stats.stats_requested() || stats.trace_requested();
+
+  std::printf("# scale_fleet: %d-nym-per-host clusters, live KSM, Tor fetch + churn\n",
+              kNymsPerHost);
+  std::printf("%-6s %-12s %12s %12s %14s\n", "n", "mode", "wall (s)", "events", "events/s");
+
+  std::vector<PointResult> incremental;
+  std::vector<PointResult> full;
+  for (int n : ns) {
+    if (mode != "full") {
+      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/false);
+      std::printf("%-6d %-12s %12.3f %12llu %14.0f\n", n, "incremental", p.wall_seconds,
+                  static_cast<unsigned long long>(p.events), p.events_per_sec);
+      incremental.push_back(p);
+    }
+    if (mode != "incremental") {
+      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/true);
+      std::printf("%-6d %-12s %12.3f %12llu %14.0f\n", n, "full", p.wall_seconds,
+                  static_cast<unsigned long long>(p.events), p.events_per_sec);
+      full.push_back(p);
+    }
+    if (mode == "both") {
+      std::printf("%-6d %-12s %12.2fx\n", n, "speedup",
+                  full.back().wall_seconds / incremental.back().wall_seconds);
+    }
+  }
+
+  WriteJson(out_path, mode, seed, incremental, full);
+  std::printf("# wrote %s\n", out_path.c_str());
+
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    std::string prefix = "n" + std::to_string(incremental[i].n);
+    stats.Set(prefix + ".events_per_sec", incremental[i].events_per_sec);
+    stats.Set(prefix + ".wall_seconds", incremental[i].wall_seconds);
+  }
+  return stats.Finish();
+}

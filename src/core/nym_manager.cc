@@ -104,11 +104,17 @@ Result<Nym*> NymManager::WireNym(const std::string& name, const CreateOptions& o
   // result is cached until the on-disk image changes.
   if (config_.verify_base_image &&
       last_verified_mutation_ != static_cast<int64_t>(image_->mutation_count())) {
-    for (uint64_t block = 0; block < image_->block_count(); ++block) {
-      if (!image_->VerifyBlock(block)) {
-        return FailedPreconditionError("base image block " + std::to_string(block) +
-                                       " failed Merkle verification; refusing to start nym");
+    if (!image_->VerifyAllBlocks()) {
+      // Only on failure is the per-leaf scan worth its cost: find the
+      // first tampered block so the error names it.
+      for (uint64_t block = 0; block < image_->block_count(); ++block) {
+        if (!image_->VerifyBlock(block)) {
+          return FailedPreconditionError("base image block " + std::to_string(block) +
+                                         " failed Merkle verification; refusing to start nym");
+        }
       }
+      return FailedPreconditionError(
+          "base image failed Merkle verification; refusing to start nym");
     }
     last_verified_mutation_ = static_cast<int64_t>(image_->mutation_count());
   }

@@ -4,8 +4,16 @@
 
 namespace nymix {
 
+namespace {
+// Process-wide creation counter, same reasoning as Link's: the sim is
+// single-threaded and only the relative order of ids matters, so a plain
+// static is deterministic.
+uint64_t next_memory_id = 1;
+}  // namespace
+
 GuestMemory::GuestMemory(uint64_t ram_bytes)
-    : total_pages_((ram_bytes + kPageSize - 1) / kPageSize),
+    : id_(next_memory_id++),
+      total_pages_((ram_bytes + kPageSize - 1) / kPageSize),
       zero_pages_(total_pages_),
       next_unique_tag_(1) {
   pages_by_content_[kZeroPageContent] = zero_pages_;
@@ -21,6 +29,7 @@ uint64_t GuestMemory::ImagePageCount() const {
 }
 
 void GuestMemory::MapImagePages(const BaseImage& image, uint64_t count) {
+  ++generation_;
   count = std::min(count, zero_pages_);
   uint64_t blocks = image.block_count();
   NYMIX_CHECK(blocks > 0);
@@ -39,6 +48,7 @@ void GuestMemory::MapImagePages(const BaseImage& image, uint64_t count) {
 
 void GuestMemory::DirtyPages(uint64_t count, Prng& prng) {
   (void)prng;  // unique pages are count-only; no ids needed
+  ++generation_;
   count = std::min(count, zero_pages_ + ImagePageCount());
 
   uint64_t from_zero = std::min(count, zero_pages_);
@@ -71,6 +81,7 @@ void GuestMemory::DirtyPages(uint64_t count, Prng& prng) {
 }
 
 void GuestMemory::Wipe() {
+  ++generation_;
   pages_by_content_.clear();
   image_contents_.clear();
   zero_pages_ = total_pages_;

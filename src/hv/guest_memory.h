@@ -34,6 +34,17 @@ class GuestMemory {
   uint64_t total_pages() const { return total_pages_; }
   uint64_t total_bytes() const { return total_pages_ * kPageSize; }
 
+  // Creation-order sequence number (same contract as Link::id()): the KSM
+  // daemon keys its per-memory delta state by this instead of by pointer,
+  // so iteration order is reproducible run to run.
+  uint64_t id() const { return id_; }
+
+  // Monotonic write-generation, bumped by every mutation (image mapping,
+  // page dirtying, wipe). KsmDaemon::ScanNow compares this against the
+  // generation it last merged at and skips memories that have not changed —
+  // the invariant is: equal generation ⇒ pages_by_content() is unchanged.
+  uint64_t generation() const { return generation_; }
+
   uint64_t zero_pages() const { return zero_pages_; }
   uint64_t image_pages() const { return ImagePageCount(); }
   uint64_t unique_pages() const { return unique_pages_; }
@@ -61,6 +72,8 @@ class GuestMemory {
  private:
   uint64_t ImagePageCount() const;
 
+  uint64_t id_;
+  uint64_t generation_ = 1;
   uint64_t total_pages_;
   uint64_t zero_pages_;
   uint64_t unique_pages_ = 0;

@@ -1,22 +1,99 @@
 #include "src/hv/ksm.h"
 
-#include <map>
+#include <set>
 
 namespace nymix {
 
 KsmDaemon::KsmDaemon(EventLoop& loop, std::function<std::vector<const GuestMemory*>()> memories)
     : loop_(loop), memories_(std::move(memories)) {}
 
-KsmStats KsmDaemon::ScanNow() {
-  TraceSpan span(loop_.tracer(), loop_.clock(), "hv", "ksm_scan", "ksm");
-  uint64_t pages_scanned = 0;
-  std::map<uint64_t, uint64_t> merged;
-  for (const GuestMemory* memory : memories_()) {
-    for (const auto& [content, count] : memory->pages_by_content()) {
-      merged[content] += count;
-      pages_scanned += count;
+void KsmDaemon::RefreshMeters() {
+  if (meters_epoch_ == loop_.observability_epoch()) {
+    return;
+  }
+  meters_epoch_ = loop_.observability_epoch();
+  passes_counter_ = nullptr;
+  pages_scanned_counter_ = nullptr;
+  memories_skipped_counter_ = nullptr;
+  pages_shared_gauge_ = nullptr;
+  pages_sharing_gauge_ = nullptr;
+  if (MetricsRegistry* meters = loop_.meters()) {
+    passes_counter_ = meters->GetCounter("hv.ksm.passes");
+    pages_scanned_counter_ = meters->GetCounter("hv.ksm.pages_scanned");
+    memories_skipped_counter_ = meters->GetCounter("hv.ksm.memories_skipped");
+    pages_shared_gauge_ = meters->GetGauge("hv.ksm.pages_shared");
+    pages_sharing_gauge_ = meters->GetGauge("hv.ksm.pages_sharing");
+  }
+}
+
+void KsmDaemon::set_full_rescan(bool full) {
+  if (full == full_rescan_) {
+    return;
+  }
+  full_rescan_ = full;
+  // Either direction invalidates the delta baseline: the full path does not
+  // maintain it, so re-entering incremental mode must start from scratch.
+  tracked_.clear();
+  content_counts_.clear();
+  shared_ = 0;
+  sharing_ = 0;
+}
+
+void KsmDaemon::RetotalContent(uint64_t content, uint64_t old_total, uint64_t new_total) {
+  if (old_total > 1) {
+    shared_ -= 1;
+    sharing_ -= old_total;
+  }
+  if (new_total > 1) {
+    shared_ += 1;
+    sharing_ += new_total;
+  }
+  if (new_total == 0) {
+    content_counts_.erase(content);
+  } else {
+    content_counts_[content] = new_total;
+  }
+}
+
+void KsmDaemon::ApplyDelta(TrackedMemory& tracked, const std::map<uint64_t, uint64_t>& next) {
+  // Merge-walk the old and new histograms (both sorted by content id) and
+  // re-total every content whose per-memory count moved.
+  auto old_it = tracked.last_contents.begin();
+  auto new_it = next.begin();
+  auto retotal = [this](uint64_t content, uint64_t was, uint64_t now) {
+    auto idx = content_counts_.find(content);
+    uint64_t old_total = idx == content_counts_.end() ? 0 : idx->second;
+    RetotalContent(content, old_total, old_total - was + now);
+  };
+  while (old_it != tracked.last_contents.end() || new_it != next.end()) {
+    if (new_it == next.end() ||
+        (old_it != tracked.last_contents.end() && old_it->first < new_it->first)) {
+      retotal(old_it->first, old_it->second, 0);
+      ++old_it;
+    } else if (old_it == tracked.last_contents.end() || new_it->first < old_it->first) {
+      retotal(new_it->first, 0, new_it->second);
+      ++new_it;
+    } else {
+      if (old_it->second != new_it->second) {
+        retotal(new_it->first, old_it->second, new_it->second);
+      }
+      ++old_it;
+      ++new_it;
     }
   }
+  tracked.last_contents = next;
+}
+
+KsmStats KsmDaemon::FullRescan(const std::vector<const GuestMemory*>& memories,
+                               uint64_t* pages_scanned) {
+  std::map<uint64_t, uint64_t> merged;
+  for (const GuestMemory* memory : memories) {
+    for (const auto& [content, count] : memory->pages_by_content()) {
+      merged[content] += count;
+      *pages_scanned += count;
+    }
+  }
+  memories_merged_ += memories.size();
   KsmStats stats;
   for (const auto& [content, count] : merged) {
     (void)content;
@@ -25,20 +102,77 @@ KsmStats KsmDaemon::ScanNow() {
       stats.pages_sharing += count;
     }
   }
-  stats_ = stats;
-  if (MetricsRegistry* meters = loop_.meters()) {
-    meters->GetCounter("hv.ksm.passes")->Increment();
-    meters->GetCounter("hv.ksm.pages_scanned")->Increment(pages_scanned);
-    meters->GetGauge("hv.ksm.pages_shared")->Set(static_cast<double>(stats.pages_shared));
-    meters->GetGauge("hv.ksm.pages_sharing")->Set(static_cast<double>(stats.pages_sharing));
-  }
   return stats;
+}
+
+KsmStats KsmDaemon::ScanNow() {
+  TraceSpan span(loop_.tracer(), loop_.clock(), "hv", "ksm_scan", "ksm");
+  RefreshMeters();
+  ++passes_;
+  uint64_t pages_scanned = 0;
+  uint64_t skipped = 0;
+  std::vector<const GuestMemory*> memories = memories_();
+
+  if (full_rescan_) {
+    stats_ = FullRescan(memories, &pages_scanned);
+  } else {
+    // Delta pass: re-merge only memories whose generation moved since the
+    // last pass (all of them, on the first pass), and retire memories that
+    // disappeared (VM stopped or destroyed). Deltas are integer-exact and
+    // commutative, so the result is bit-identical to a full re-merge.
+    std::set<uint64_t> seen;
+    for (const GuestMemory* memory : memories) {
+      seen.insert(memory->id());
+      TrackedMemory& tracked = tracked_[memory->id()];
+      if (tracked.last_generation == memory->generation()) {
+        ++skipped;
+        continue;
+      }
+      ++memories_merged_;
+      for (const auto& [content, count] : memory->pages_by_content()) {
+        (void)content;
+        pages_scanned += count;
+      }
+      ApplyDelta(tracked, memory->pages_by_content());
+      tracked.last_generation = memory->generation();
+    }
+    static const std::map<uint64_t, uint64_t> kEmptyContents;
+    for (auto it = tracked_.begin(); it != tracked_.end();) {
+      if (seen.count(it->first) == 0) {
+        ApplyDelta(it->second, kEmptyContents);
+        it = tracked_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_ = KsmStats{shared_, sharing_};
+  }
+
+  memories_skipped_ += skipped;
+  if (passes_counter_ != nullptr) {
+    passes_counter_->Increment();
+    pages_scanned_counter_->Increment(pages_scanned);
+    memories_skipped_counter_->Increment(skipped);
+    pages_shared_gauge_->Set(static_cast<double>(stats_.pages_shared));
+    pages_sharing_gauge_->Set(static_cast<double>(stats_.pages_sharing));
+  }
+  return stats_;
 }
 
 void KsmDaemon::Start(SimDuration interval) {
   NYMIX_CHECK(interval > 0);
   interval_ = interval;
   if (running_) {
+    // Already running: adopt the new cadence now. Without this the pending
+    // tick would still fire on the old interval (and the first Start's
+    // cadence would persist forever, since Tick reschedules from interval_
+    // only after the stale event fires).
+    loop_.Cancel(pending_event_);
+    pending_event_ = loop_.ScheduleAfter(interval_, [this] {
+      if (running_) {
+        Tick();
+      }
+    });
     return;
   }
   running_ = true;
@@ -51,6 +185,7 @@ void KsmDaemon::Stop() {
   }
   running_ = false;
   loop_.Cancel(pending_event_);
+  pending_event_ = 0;
 }
 
 void KsmDaemon::Tick() {

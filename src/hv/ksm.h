@@ -3,10 +3,21 @@
 // same content cost one physical page after merging. Because all Nymix VMs
 // boot from the same base image, image-backed pages merge across nyms —
 // the paper measures "over 5% saving at 8 nyms".
+//
+// Scans are incremental: the daemon keeps a host-level content-count index
+// (content hash → pages across all tracked memories) plus, per memory, the
+// write-generation and content histogram it last merged. A pass re-merges
+// only memories whose GuestMemory::generation() moved, applying the
+// histogram delta to the index and to the running shared/sharing
+// aggregates. The invariant (docs/performance.md): after any pass, stats()
+// is bit-identical to what a from-scratch merge over all live memories
+// would produce — enforced by tests/perf_equivalence_test.cc against the
+// reference full-rescan path kept behind set_full_rescan(true).
 #ifndef SRC_HV_KSM_H_
 #define SRC_HV_KSM_H_
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "src/hv/guest_memory.h"
@@ -30,20 +41,54 @@ class KsmDaemon {
   // `memories` enumerates the live VMs' guest memories at scan time.
   KsmDaemon(EventLoop& loop, std::function<std::vector<const GuestMemory*>()> memories);
 
-  // One full scan pass (instantaneous in virtual time). Real ksmd sweeps
+  // One scan pass (instantaneous in virtual time). Real ksmd sweeps
   // incrementally; Nymix's measurement points are all post-stabilization,
-  // so a full pass at each tick is the faithful summary.
+  // so a full merge summary at each tick is the faithful result — this
+  // implementation just reaches it by delta instead of by rescanning the
+  // world.
   KsmStats ScanNow();
 
-  // Enables periodic scanning.
+  // Enables periodic scanning. Calling Start while already running adopts
+  // the new cadence immediately: the pending tick is rescheduled to fire
+  // `interval` from now instead of riding out the old interval.
   void Start(SimDuration interval);
   void Stop();
 
   const KsmStats& stats() const { return stats_; }
   bool running() const { return running_; }
 
+  // Reference implementation hook: rescan and re-merge everything on every
+  // pass (the pre-incremental behavior). Benches use it for wall-clock
+  // comparison; the equivalence tests assert bit-identical stats against
+  // it. Enabling it drops the incremental state, so switching back starts
+  // from a clean first-scan baseline.
+  void set_full_rescan(bool full);
+  bool full_rescan() const { return full_rescan_; }
+
+  // Scan-effort introspection (always counted, metrics attached or not).
+  uint64_t passes() const { return passes_; }
+  uint64_t memories_merged() const { return memories_merged_; }
+  uint64_t memories_skipped() const { return memories_skipped_; }
+
  private:
+  // Per-memory delta state, keyed by GuestMemory::id().
+  struct TrackedMemory {
+    uint64_t last_generation = 0;
+    // The content histogram as of the last merge; diffed against the live
+    // histogram to produce index deltas.
+    std::map<uint64_t, uint64_t> last_contents;
+  };
+
   void Tick();
+  // Applies `next` minus `tracked.last_contents` to the content index and
+  // aggregates, then snapshots `next` into the tracked state.
+  void ApplyDelta(TrackedMemory& tracked, const std::map<uint64_t, uint64_t>& next);
+  // Moves one content's total from `old_total` to `new_total`, maintaining
+  // the shared/sharing aggregates.
+  void RetotalContent(uint64_t content, uint64_t old_total, uint64_t new_total);
+  KsmStats FullRescan(const std::vector<const GuestMemory*>& memories,
+                      uint64_t* pages_scanned);
+  void RefreshMeters();
 
   EventLoop& loop_;
   std::function<std::vector<const GuestMemory*>()> memories_;
@@ -51,6 +96,26 @@ class KsmDaemon {
   SimDuration interval_ = 0;
   bool running_ = false;
   uint64_t pending_event_ = 0;
+
+  // --- Incremental index -------------------------------------------------
+  bool full_rescan_ = false;
+  std::map<uint64_t, TrackedMemory> tracked_;      // by GuestMemory::id()
+  std::map<uint64_t, uint64_t> content_counts_;    // content → total pages
+  uint64_t shared_ = 0;   // contents with total > 1
+  uint64_t sharing_ = 0;  // pages under those contents
+
+  uint64_t passes_ = 0;
+  uint64_t memories_merged_ = 0;
+  uint64_t memories_skipped_ = 0;
+
+  // Cached instruments, refreshed when the loop's observability epoch
+  // moves (see EventLoop::observability_epoch()).
+  uint64_t meters_epoch_ = 0;
+  Counter* passes_counter_ = nullptr;
+  Counter* pages_scanned_counter_ = nullptr;
+  Counter* memories_skipped_counter_ = nullptr;
+  Gauge* pages_shared_gauge_ = nullptr;
+  Gauge* pages_sharing_gauge_ = nullptr;
 };
 
 }  // namespace nymix

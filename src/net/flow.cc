@@ -15,6 +15,27 @@ Route Route::Through(std::vector<Link*> links) {
   return route;
 }
 
+void FlowScheduler::RefreshMeters() {
+  if (meters_epoch_ == loop_.observability_epoch()) {
+    return;
+  }
+  meters_epoch_ = loop_.observability_epoch();
+  recomputes_counter_ = nullptr;
+  skipped_counter_ = nullptr;
+  flows_started_counter_ = nullptr;
+  wire_bytes_counter_ = nullptr;
+  flows_completed_counter_ = nullptr;
+  flow_duration_histogram_ = nullptr;
+  if (MetricsRegistry* meters = loop_.meters()) {
+    recomputes_counter_ = meters->GetCounter("net.fair_share_recomputes");
+    skipped_counter_ = meters->GetCounter("net.fair_share_skipped");
+    flows_started_counter_ = meters->GetCounter("net.flows_started");
+    wire_bytes_counter_ = meters->GetCounter("net.flow_wire_bytes");
+    flows_completed_counter_ = meters->GetCounter("net.flows_completed");
+    flow_duration_histogram_ = meters->GetHistogram("net.flow_duration_us");
+  }
+}
+
 FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overhead_factor,
                                 std::function<void(SimTime)> done) {
   // Legacy callers predate the failure model: deliver completions, swallow
@@ -33,6 +54,7 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
                                 std::function<void(Result<SimTime>)> done) {
   NYMIX_CHECK(overhead_factor >= 1.0);
   Settle();
+  RefreshMeters();
   FlowId id = next_id_++;
   Flow flow;
   flow.links = route.links;
@@ -59,10 +81,9 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
     }
   }
 
-  if (MetricsRegistry* meters = loop_.meters()) {
-    meters->GetCounter("net.flows_started")->Increment();
-    meters->GetCounter("net.flow_wire_bytes")
-        ->Increment(static_cast<uint64_t>(flow.remaining_bytes));
+  if (flows_started_counter_ != nullptr) {
+    flows_started_counter_->Increment();
+    wire_bytes_counter_->Increment(static_cast<uint64_t>(flow.remaining_bytes));
   }
   if (TraceRecorder* tracer = loop_.tracer()) {
     tracer->AddAsyncBegin("net", "flow", id, loop_.now());
@@ -84,6 +105,7 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
     }
     Settle();
     it->second.started = true;
+    AddFlowMembership(id, it->second);
     Reschedule();
   });
   Reschedule();
@@ -100,6 +122,9 @@ bool FlowScheduler::CancelFlow(FlowId id) {
     loop_.Cancel(it->second.stall_event);
   }
   auto node = flows_.extract(it);
+  if (node.mapped().started) {
+    RemoveFlowMembership(id, node.mapped());
+  }
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter("net.flows_cancelled")->Increment();
   }
@@ -130,6 +155,9 @@ void FlowScheduler::FailFlow(FlowId id, Status status, const char* counter) {
     loop_.Cancel(it->second.stall_event);
   }
   auto node = flows_.extract(it);
+  if (node.mapped().started) {
+    RemoveFlowMembership(id, node.mapped());
+  }
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter("net.flows_failed")->Increment();
     meters->GetCounter(counter)->Increment();
@@ -144,11 +172,48 @@ void FlowScheduler::FailFlow(FlowId id, Status status, const char* counter) {
   }
 }
 
+void FlowScheduler::AddFlowMembership(FlowId id, const Flow& flow) {
+  if (flow.links.empty()) {
+    // Empty-route flows are rated at the global first-round min share — a
+    // value no component-restricted pass can see — so force a full pass.
+    ++started_empty_route_flows_;
+    global_dirty_ = true;
+    return;
+  }
+  for (Link* link : flow.links) {
+    LinkState& state = link_states_[link];
+    state.flow_ids.insert(std::upper_bound(state.flow_ids.begin(), state.flow_ids.end(), id), id);
+    dirty_links_.insert(link);
+  }
+}
+
+void FlowScheduler::RemoveFlowMembership(FlowId id, const Flow& flow) {
+  if (flow.links.empty()) {
+    // Removal changes nobody else's rate (empty routes consume no capacity),
+    // so no recompute is forced.
+    --started_empty_route_flows_;
+    return;
+  }
+  for (Link* link : flow.links) {
+    auto it = link_states_.find(link);
+    NYMIX_CHECK_MSG(it != link_states_.end(), "flow removed from untracked link");
+    std::vector<FlowId>& ids = it->second.flow_ids;
+    auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+    NYMIX_CHECK_MSG(pos != ids.end() && *pos == id, "flow missing from link membership");
+    ids.erase(pos);
+    dirty_links_.insert(link);
+    if (ids.empty()) {
+      link_states_.erase(it);
+    }
+  }
+}
+
 void FlowScheduler::Settle() {
   SimTime now = loop_.now();
   if (now == last_settle_) {
     return;
   }
+  RefreshMeters();
   double elapsed_us = static_cast<double>(now - last_settle_);
   last_settle_ = now;
 
@@ -165,13 +230,15 @@ void FlowScheduler::Settle() {
   }
   for (FlowId id : finished) {
     auto node = flows_.extract(id);
+    if (node.mapped().started) {
+      RemoveFlowMembership(id, node.mapped());
+    }
     if (node.mapped().has_stall_event) {
       loop_.Cancel(node.mapped().stall_event);
     }
-    if (MetricsRegistry* meters = loop_.meters()) {
-      meters->GetCounter("net.flows_completed")->Increment();
-      meters->GetHistogram("net.flow_duration_us")
-          ->Record(static_cast<double>(now - node.mapped().created_at));
+    if (flows_completed_counter_ != nullptr) {
+      flows_completed_counter_->Increment();
+      flow_duration_histogram_->Record(static_cast<double>(now - node.mapped().created_at));
     }
     if (TraceRecorder* tracer = loop_.tracer()) {
       tracer->AddAsyncEnd("net", "flow", id, now);
@@ -182,28 +249,19 @@ void FlowScheduler::Settle() {
   }
 }
 
-void FlowScheduler::Reschedule() {
-  if (has_pending_event_) {
-    loop_.Cancel(pending_event_);
-    has_pending_event_ = false;
-  }
-  if (MetricsRegistry* meters = loop_.meters()) {
-    meters->GetCounter("net.fair_share_recomputes")->Increment();
-  }
-
-  // Max-min fair allocation by progressive filling over links. Keyed by
-  // creation order (LinkIdLess), not pointer: the min-share scan iterates
-  // these maps, and address-ordered iteration would make float rounding —
-  // and therefore reported bandwidths — vary run to run.
+void FlowScheduler::Waterfill(const std::vector<FlowId>& flow_ids) {
+  // Max-min fair allocation by progressive filling over exactly the links
+  // the given flows cross. Keyed by creation order (LinkIdLess), not
+  // pointer: the min-share scan iterates these maps, and address-ordered
+  // iteration would make float rounding — and therefore reported
+  // bandwidths — vary run to run.
   std::map<Link*, double, LinkIdLess> capacity;    // bytes/us remaining per link
   std::map<Link*, int, LinkIdLess> unfixed_count;  // unfixed flows per link
   std::vector<Flow*> unfixed;
-  for (auto& [id, flow] : flows_) {
-    (void)id;
+  unfixed.reserve(flow_ids.size());
+  for (FlowId id : flow_ids) {
+    Flow& flow = flows_.at(id);
     flow.rate_bytes_per_us = 0;
-    if (!flow.started) {
-      continue;
-    }
     unfixed.push_back(&flow);
     for (Link* link : flow.links) {
       // A downed link contributes zero capacity: flows crossing it rate at
@@ -230,20 +288,30 @@ void FlowScheduler::Reschedule() {
       }
       break;
     }
-    // Fix every flow bottlenecked at that share.
+    // Fix every flow bottlenecked at that share. A bottlenecked flow is
+    // fixed at its OWN tightest link's share rather than at min_share:
+    // min_share can come from an unrelated connected component whose
+    // arithmetic history differs in the last bits, and rounding that noise
+    // into the rate would make a component-restricted waterfill disagree
+    // with a global one by one ulp. The flow's own share is computed purely
+    // from links it crosses, so it is bit-identical either way; it is
+    // always >= min_share (min_share minimizes over a superset of links),
+    // so the epsilon window and the progress guarantee are unchanged.
     std::vector<Flow*> still_unfixed;
     for (Flow* flow : unfixed) {
-      bool bottlenecked = flow->links.empty();
+      double own_share = std::numeric_limits<double>::infinity();
       for (Link* link : flow->links) {
-        if (capacity[link] / unfixed_count[link] <= min_share + 1e-12) {
-          bottlenecked = true;
-          break;
-        }
+        own_share = std::min(own_share, capacity[link] / unfixed_count[link]);
       }
-      if (bottlenecked) {
+      if (flow->links.empty()) {
+        // Empty route mixed into a constrained set: matched to the round
+        // minimum. Live empty-route flows force a full waterfill in both
+        // modes (see Reschedule), so this coupling is mode-invariant.
         flow->rate_bytes_per_us = min_share;
+      } else if (own_share <= min_share + 1e-12) {
+        flow->rate_bytes_per_us = own_share;
         for (Link* link : flow->links) {
-          capacity[link] -= min_share;
+          capacity[link] -= own_share;
           --unfixed_count[link];
         }
       } else {
@@ -253,11 +321,16 @@ void FlowScheduler::Reschedule() {
     NYMIX_CHECK_MSG(still_unfixed.size() < unfixed.size(), "waterfilling did not progress");
     unfixed = std::move(still_unfixed);
   }
+}
 
+void FlowScheduler::UpdateStallWatches(const std::vector<FlowId>& flow_ids) {
   // Stall bookkeeping: a started flow rated 0 with a stall deadline either
-  // arms its deadline or, if rates recovered, disarms it.
+  // arms its deadline or, if rates recovered, disarms it. Scanning only the
+  // just-recomputed flows (ascending id, like a full scan would visit them)
+  // is exact: a flow whose rate was not recomputed cannot transition.
   const SimTime now = loop_.now();
-  for (auto& [id, flow] : flows_) {
+  for (FlowId id : flow_ids) {
+    Flow& flow = flows_.at(id);
     if (!flow.started || flow.options.stall_timeout == 0) {
       continue;
     }
@@ -302,8 +375,86 @@ void FlowScheduler::Reschedule() {
       }
     }
   }
+}
 
-  // Schedule the earliest completion.
+void FlowScheduler::Reschedule() {
+  if (has_pending_event_) {
+    loop_.Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  RefreshMeters();
+
+  // Dirty-driven dispatch. Only the rate computation varies by mode; the
+  // completion-event scan below is shared, which is what keeps full and
+  // incremental runs byte-identical in their traces.
+  const bool dirty = global_dirty_ || !dirty_links_.empty();
+  if (full_recompute_ || global_dirty_ || (dirty && started_empty_route_flows_ > 0)) {
+    std::vector<FlowId> started;
+    started.reserve(flows_.size());
+    for (const auto& [id, flow] : flows_) {
+      if (flow.started) {
+        started.push_back(id);
+      }
+    }
+    Waterfill(started);
+    UpdateStallWatches(started);
+    ++waterfills_full_;
+    if (recomputes_counter_ != nullptr) {
+      recomputes_counter_->Increment();
+    }
+    dirty_links_.clear();
+    global_dirty_ = false;
+  } else if (!dirty) {
+    // Nothing changed since the last waterfill: every rate is still exact.
+    ++waterfill_skips_;
+    if (skipped_counter_ != nullptr) {
+      skipped_counter_->Increment();
+    }
+  } else {
+    // Re-waterfill only the connected component(s) touching a dirty link.
+    // Closure: any flow on a dirty link, any link of such a flow, and so on.
+    // Links outside the closure saw no membership or capacity change and
+    // share no flow with one that did, so their flows' max-min rates are
+    // unchanged by definition of the waterfill.
+    std::set<Link*, LinkIdLess> comp_links;
+    std::set<FlowId> comp_flows;
+    std::vector<Link*> frontier;
+    for (Link* link : dirty_links_) {
+      // A dirty link with no started flows (flap on an idle link, or the
+      // last flow just left) constrains nobody — skip it.
+      if (link_states_.count(link) != 0 && comp_links.insert(link).second) {
+        frontier.push_back(link);
+      }
+    }
+    while (!frontier.empty()) {
+      Link* link = frontier.back();
+      frontier.pop_back();
+      for (FlowId id : link_states_.at(link).flow_ids) {
+        if (!comp_flows.insert(id).second) {
+          continue;
+        }
+        for (Link* next : flows_.at(id).links) {
+          if (comp_links.insert(next).second) {
+            frontier.push_back(next);
+          }
+        }
+      }
+    }
+    std::vector<FlowId> ids(comp_flows.begin(), comp_flows.end());
+    Waterfill(ids);
+    UpdateStallWatches(ids);
+    ++waterfills_component_;
+    if (recomputes_counter_ != nullptr) {
+      recomputes_counter_->Increment();
+    }
+    dirty_links_.clear();
+  }
+
+  // Schedule the earliest completion. Runs identically in every mode and on
+  // the skip path: the scan is over all flows, and the cancel/reschedule of
+  // the pending event above/below keeps the event table in lockstep with a
+  // full-recompute run (EventLoop's pending_events trace counter sees the
+  // same sizes).
   double min_eta_us = std::numeric_limits<double>::infinity();
   for (const auto& [id, flow] : flows_) {
     (void)id;

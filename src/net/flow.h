@@ -7,6 +7,20 @@
 // N nyms share the 10 Mbit bottleneck almost exactly N-ways, and the Tor
 // cell overhead appears as a per-flow byte inflation factor.
 //
+// Rescheduling is dirty-driven (docs/performance.md): the scheduler keeps
+// per-link membership (which started flows cross each link) and a set of
+// links whose membership or capacity changed since the last waterfill. A
+// Reschedule with nothing dirty skips the waterfill outright; otherwise it
+// re-waterfills only the connected component(s) reachable from the dirty
+// links. Components cannot affect each other's max-min rates, so the
+// restricted waterfill assigns the same rates the global one would — the
+// one cross-component coupling is flows with empty routes (rated at the
+// global first-round min share), so any dirt while one is live forces a
+// full pass. set_full_recompute(true) restores the pre-incremental
+// recompute-the-world behavior as the reference for equivalence tests and
+// wall-clock benchmarks; both modes produce byte-identical traces because
+// the completion-event scan and scheduling below are shared.
+//
 // Model notes (documented substitutions): transfers begin after one route
 // RTT (connection + request); TCP slow-start and congestion dynamics are
 // abstracted away, which is faithful to the paper's rate-limited DeterLab
@@ -23,6 +37,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "src/net/link.h"
@@ -90,6 +105,25 @@ class FlowScheduler {
   // Current fair-share rate of a flow in bits/s (0 if unknown/not started).
   uint64_t FlowRateBps(FlowId id) const;
 
+  // Marks `link` dirty (capacity changed: SetDown flap). Rates only move at
+  // the next Reschedule, exactly as before the incremental scheduler. Wired
+  // from Link::SetDown via Link::set_flow_scheduler.
+  void NoteLinkStateChanged(Link* link) { dirty_links_.insert(link); }
+
+  // Reference implementation hook: waterfill every flow over every link on
+  // every Reschedule (the pre-incremental behavior). Benches use it for
+  // wall-clock comparison; equivalence tests assert identical rates and
+  // byte-identical traces against it.
+  void set_full_recompute(bool full) { full_recompute_ = full; }
+  bool full_recompute() const { return full_recompute_; }
+
+  // Waterfill-effort introspection (always counted, metrics attached or
+  // not): how many Reschedules ran the full waterfill, a component-restricted
+  // one, or skipped the computation entirely.
+  uint64_t waterfills_full() const { return waterfills_full_; }
+  uint64_t waterfills_component() const { return waterfills_component_; }
+  uint64_t waterfill_skips() const { return waterfill_skips_; }
+
  private:
   struct Flow {
     std::vector<Link*> links;
@@ -108,12 +142,35 @@ class FlowScheduler {
     std::function<void(Result<SimTime>)> done;
   };
 
+  // Which started flows cross a link. flow_ids is kept sorted and may hold
+  // duplicates (a route may cross the same link twice — each crossing claims
+  // a capacity share, matching the waterfill's multiplicity accounting).
+  struct LinkState {
+    std::vector<FlowId> flow_ids;
+  };
+
   // Advances all running flows to now, completing any that finished.
   void Settle();
-  // Recomputes max-min fair rates and schedules the next completion event.
+  // Refreshes rates (full / component / skip as dirtiness requires) and
+  // schedules the next completion event.
   void Reschedule();
   // Removes the flow and fires its callback with a failure Status.
   void FailFlow(FlowId id, Status status, const char* counter);
+
+  // Membership bookkeeping: called when a flow becomes started / when a
+  // started flow is removed. Marks the flow's links dirty.
+  void AddFlowMembership(FlowId id, const Flow& flow);
+  void RemoveFlowMembership(FlowId id, const Flow& flow);
+
+  // Waterfills `flow_ids` (ascending) over exactly the links they cross.
+  // Pass every started flow for the reference full pass; pass one dirty
+  // closure for the restricted pass.
+  void Waterfill(const std::vector<FlowId>& flow_ids);
+  // Stall-deadline arm/disarm for `flow_ids` (ascending). Only flows whose
+  // rate was just recomputed can transition, so restricting the scan keeps
+  // the scheduled-event sequence identical to a full scan.
+  void UpdateStallWatches(const std::vector<FlowId>& flow_ids);
+  void RefreshMeters();
 
   EventLoop& loop_;
   std::map<FlowId, Flow> flows_;
@@ -122,6 +179,31 @@ class FlowScheduler {
   uint64_t pending_event_ = 0;
   bool has_pending_event_ = false;
   std::optional<Prng> loss_prng_;
+
+  // --- Incremental fair-share state --------------------------------------
+  bool full_recompute_ = false;
+  // Keyed by creation order (LinkIdLess), never address: iteration reaches
+  // the waterfill's float rounding and must be reproducible run to run.
+  std::map<Link*, LinkState, LinkIdLess> link_states_;
+  std::set<Link*, LinkIdLess> dirty_links_;
+  // Set when an empty-route flow starts: its rate is the global first-round
+  // min share, the one value a component-restricted pass cannot see.
+  bool global_dirty_ = false;
+  int started_empty_route_flows_ = 0;
+
+  uint64_t waterfills_full_ = 0;
+  uint64_t waterfills_component_ = 0;
+  uint64_t waterfill_skips_ = 0;
+
+  // Cached instruments, refreshed when the loop's observability epoch
+  // moves (see EventLoop::observability_epoch()).
+  uint64_t meters_epoch_ = 0;
+  Counter* recomputes_counter_ = nullptr;
+  Counter* skipped_counter_ = nullptr;
+  Counter* flows_started_counter_ = nullptr;
+  Counter* wire_bytes_counter_ = nullptr;
+  Counter* flows_completed_counter_ = nullptr;
+  Histogram* flow_duration_histogram_ = nullptr;
 };
 
 }  // namespace nymix

@@ -1,5 +1,7 @@
 #include "src/net/link.h"
 
+#include "src/net/flow.h"
+
 namespace nymix {
 
 namespace {
@@ -42,6 +44,11 @@ void Link::SetDown(bool down) {
     return;
   }
   down_ = down;
+  if (scheduler_ != nullptr) {
+    // Dirty only — rates move at the scheduler's next Reschedule, matching
+    // the pre-incremental behavior where a flap was observed lazily.
+    scheduler_->NoteLinkStateChanged(this);
+  }
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter(down ? "net.link.down_events" : "net.link.up_events")->Increment();
   }

@@ -19,6 +19,7 @@
 
 namespace nymix {
 
+class FlowScheduler;
 class Link;
 
 // Why a packet was dropped instead of delivered. kNoSink is the benign
@@ -92,6 +93,12 @@ class Link {
   void SetDown(bool down);
   bool is_down() const { return down_; }
 
+  // Wired by Simulation::CreateLink so SetDown can mark this link dirty in
+  // the flow scheduler's incremental fair-share state. Rates still only
+  // move at the next Reschedule — flapping a link does not itself trigger
+  // a recompute, exactly as before the incremental scheduler existed.
+  void set_flow_scheduler(FlowScheduler* scheduler) { scheduler_ = scheduler; }
+
   uint64_t packets_delivered() const { return delivered_; }
   // Total drops across all reasons (back-compat with pre-fault callers).
   uint64_t packets_dropped() const;
@@ -115,6 +122,7 @@ class Link {
   std::array<uint64_t, kNumLinkDropReasons> dropped_by_reason_{};
   LinkFaultProfile fault_profile_;
   std::optional<Prng> fault_prng_;
+  FlowScheduler* scheduler_ = nullptr;
   bool down_ = false;
   uint64_t in_flight_ = 0;
 };

@@ -14,6 +14,7 @@ Simulation::Simulation(uint64_t seed)
 
 Link* Simulation::CreateLink(std::string name, SimDuration latency, uint64_t bandwidth_bps) {
   links_.push_back(std::make_unique<Link>(loop_, std::move(name), latency, bandwidth_bps));
+  links_.back()->set_flow_scheduler(&flows_);
   return links_.back().get();
 }
 

@@ -84,6 +84,17 @@ bool BaseImage::VerifyBlock(uint64_t block_index) const {
   return MerkleTree::VerifyProof(merkle_.root(), ReadBlockDigest(block_index), *proof);
 }
 
+bool BaseImage::VerifyAllBlocks() const {
+  if (verified_mutation_ == static_cast<int64_t>(mutation_count_)) {
+    return verified_ok_;
+  }
+  // One bottom-up rebuild covers every leaf: the recomputed root matches
+  // the published root iff every stored block digest is untampered.
+  verified_ok_ = MerkleTree::Build(block_digests_).root() == merkle_.root();
+  verified_mutation_ = static_cast<int64_t>(mutation_count_);
+  return verified_ok_;
+}
+
 void BaseImage::TamperBlock(uint64_t block_index, uint64_t new_seed) {
   NYMIX_CHECK(block_index < block_digests_.size());
   block_digests_[block_index] = BlockDigestFor(new_seed ^ 0xdeadbeefULL, block_index);

@@ -17,14 +17,41 @@ uint64_t EventLoop::ScheduleAt(SimTime when, Callback fn) {
   }
   uint64_t id = next_id_++;
   heap_.push(Event{when, next_sequence_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  if (!node_pool_.empty()) {
+    auto node = std::move(node_pool_.back());
+    node_pool_.pop_back();
+    node.key() = id;
+    node.mapped() = std::move(fn);
+    callbacks_.insert(std::move(node));
+    if (node_reuses_ != nullptr) {
+      node_reuses_->Increment();
+    }
+  } else {
+    callbacks_.emplace(id, std::move(fn));
+    if (node_allocs_ != nullptr) {
+      node_allocs_->Increment();
+    }
+  }
   return id;
+}
+
+void EventLoop::RecycleNode(std::map<uint64_t, Callback>::node_type node) {
+  if (node_pool_.size() >= kMaxPooledNodes) {
+    return;  // node freed here; the pool stays bounded
+  }
+  node.mapped() = nullptr;  // drop the closure now, not at eventual reuse
+  node_pool_.push_back(std::move(node));
 }
 
 bool EventLoop::Cancel(uint64_t event_id) {
   // The heap entry stays behind as a tombstone and is dropped lazily when
   // it reaches the top; only the callback table is authoritative.
-  return callbacks_.erase(event_id) > 0;
+  auto it = callbacks_.find(event_id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  RecycleNode(callbacks_.extract(it));
+  return true;
 }
 
 void EventLoop::PruneCancelledTop() {
@@ -43,7 +70,7 @@ bool EventLoop::RunOne() {
   auto it = callbacks_.find(event.id);
   NYMIX_CHECK(it != callbacks_.end());
   Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  RecycleNode(callbacks_.extract(it));
   clock_.AdvanceTo(event.when);
   ++executed_count_;
   if (events_executed_ != nullptr) {
@@ -105,13 +132,18 @@ bool EventLoop::RunUntilCondition(const std::function<bool()>& done) {
 
 void EventLoop::set_observability(Observability* obs) {
   obs_ = obs;
+  ++obs_epoch_;
   events_executed_ = nullptr;
   event_wall_ns_ = nullptr;
   queue_depth_ = nullptr;
+  node_reuses_ = nullptr;
+  node_allocs_ = nullptr;
   if (obs_ != nullptr && obs_->metrics.enabled()) {
     events_executed_ = obs_->metrics.GetCounter("core.event_loop.events_executed");
     event_wall_ns_ = obs_->metrics.GetHistogram("core.event_loop.event_wall_ns");
     queue_depth_ = obs_->metrics.GetHistogram("core.event_loop.queue_depth");
+    node_reuses_ = obs_->metrics.GetCounter("core.event_loop.callback_node_reuses");
+    node_allocs_ = obs_->metrics.GetCounter("core.event_loop.callback_node_allocs");
   }
 }
 

@@ -56,6 +56,11 @@ class EventLoop {
   // eagerly.
   size_t pending_events() const { return callbacks_.size(); }
 
+  // Lifetime total of events executed, counted whether or not metrics are
+  // attached — benches derive events/sec from this without paying for a
+  // registry.
+  uint64_t events_executed() const { return executed_count_; }
+
   // --- Observability ----------------------------------------------------
   // The loop does not own the Observability; benches/tests attach one for
   // the runs they want instrumented. Metrics recorded here: events
@@ -63,6 +68,11 @@ class EventLoop {
   // simulator profiling itself).
   void set_observability(Observability* obs);
   Observability* observability() const { return obs_; }
+  // Bumped on every set_observability call. Layers that cache instrument
+  // pointers (FlowScheduler, KsmDaemon) compare this against the epoch they
+  // cached under, so the hot path pays an integer compare instead of a
+  // registry map lookup, yet never holds pointers across an attach/detach.
+  uint64_t observability_epoch() const { return obs_epoch_; }
   TraceRecorder* tracer() const {
     return obs_ != nullptr && obs_->trace.enabled() ? &obs_->trace : nullptr;
   }
@@ -90,6 +100,9 @@ class EventLoop {
   // Drops cancelled entries from the top of the heap so heap_.top() (when
   // the heap is non-empty) is a live event.
   void PruneCancelledTop();
+  // Returns a callback-table node to the recycling pool (releasing its
+  // closure immediately) instead of freeing it.
+  void RecycleNode(std::map<uint64_t, Callback>::node_type node);
 
   SimClock clock_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
@@ -99,15 +112,25 @@ class EventLoop {
   // hash/allocation order into outputs. Lookups are O(log n) on ids that
   // are dense and small; the heap dominates scheduling cost regardless.
   std::map<uint64_t, Callback> callbacks_;
+  // Allocation diet for the schedule→run→erase cycle: spent callback-table
+  // nodes are parked here (closure released, key stale) and reused by the
+  // next ScheduleAt, so steady-state event traffic performs zero node
+  // allocations. Bounded so a one-off scheduling burst cannot pin memory.
+  std::vector<std::map<uint64_t, Callback>::node_type> node_pool_;
+  static constexpr size_t kMaxPooledNodes = 256;
   uint64_t next_id_ = 1;
   uint64_t next_sequence_ = 1;
 
   Observability* obs_ = nullptr;
+  uint64_t obs_epoch_ = 1;
   // Cached instruments (non-null only while metrics are enabled) so the
   // per-event cost is a pointer check + increment, not a map lookup.
   Counter* events_executed_ = nullptr;
   Histogram* event_wall_ns_ = nullptr;
   Histogram* queue_depth_ = nullptr;
+  // Schedule fast-path stats: node reuses vs fresh allocations.
+  Counter* node_reuses_ = nullptr;
+  Counter* node_allocs_ = nullptr;
   uint64_t executed_count_ = 0;
 };
 

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/core/nym_manager.h"
 #include "src/net/simulation.h"
 #include "src/obs/observability.h"
+#include "src/workload/website.h"
 
 namespace nymix {
 namespace {
@@ -19,8 +21,13 @@ namespace {
 // leak: several links sharing flows (FlowScheduler's per-link maps), PRNG-
 // driven sizes and routes, and trace spans. Wall-time self-profiling is
 // disabled so the exported JSON contains virtual-time content only.
-std::string RunScenario(uint64_t seed) {
+//
+// `full_recompute` selects the FlowScheduler mode: the incremental
+// dirty-driven rescheduler must emit the same trace bytes as the
+// recompute-the-world reference (docs/performance.md).
+std::string RunScenario(uint64_t seed, bool full_recompute = false) {
   Simulation sim(seed);
+  sim.flows().set_full_recompute(full_recompute);
   Observability obs;
   obs.trace.set_enabled(true);
   obs.trace.set_record_wall_time(false);
@@ -65,8 +72,9 @@ std::string RunScenario(uint64_t seed) {
 // injector rolls, and status-form flows with stall deadlines. Every fault
 // decision must come from the seeded streams, so two same-seed runs emit
 // byte-identical traces — including the fault/retry instants.
-std::string RunFaultScenario(uint64_t seed) {
+std::string RunFaultScenario(uint64_t seed, bool full_recompute = false) {
   Simulation sim(seed);
+  sim.flows().set_full_recompute(full_recompute);
   Observability obs;
   obs.trace.set_enabled(true);
   obs.trace.set_record_wall_time(false);
@@ -121,6 +129,65 @@ std::string RunFaultScenario(uint64_t seed) {
   return obs.trace.ToChromeJson();
 }
 
+// A compact version of bench/scale_fleet.cc: two host clusters, each with
+// live KSM scanning, a private Tor deployment, and a browsing nym. This
+// covers the other incremental hot path (KSM delta scans) and the whole
+// boot/visit/terminate machinery, at a size small enough for a unit test.
+std::string RunFleetScenario(uint64_t seed, bool full_recompute) {
+  Simulation sim(seed);
+  sim.flows().set_full_recompute(full_recompute);
+  Observability obs;
+  obs.trace.set_enabled(true);
+  obs.trace.set_record_wall_time(false);
+  sim.loop().set_observability(&obs);
+
+  auto image = BaseImage::CreateDistribution("nymix", 42, 4 * kMiB);
+  struct Cluster {
+    std::unique_ptr<HostMachine> host;
+    std::unique_ptr<TorNetwork> tor;
+    std::unique_ptr<NymManager> manager;
+    std::unique_ptr<Website> site;
+  };
+  std::vector<Cluster> clusters(2);
+  TorNetwork::Config tor_config;
+  tor_config.relay_count = 6;
+  tor_config.guard_count = 2;
+  tor_config.exit_count = 2;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].host = std::make_unique<HostMachine>(sim, HostConfig{});
+    clusters[c].host->ksm().set_full_rescan(full_recompute);
+    clusters[c].tor = std::make_unique<TorNetwork>(sim, tor_config);
+    clusters[c].manager =
+        std::make_unique<NymManager>(*clusters[c].host, image, clusters[c].tor.get(), nullptr);
+    WebsiteProfile profile;
+    profile.name = "site-" + std::to_string(c);
+    profile.domain = "site" + std::to_string(c) + ".example.com";
+    clusters[c].site = std::make_unique<Website>(sim, profile);
+    clusters[c].host->ksm().Start(Seconds(2));
+  }
+
+  int done = 0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    Cluster& cluster = clusters[c];
+    cluster.manager->CreateNym(
+        "nym-" + std::to_string(c), NymManager::CreateOptions{},
+        [&sim, &cluster, &done](Result<Nym*> nym, NymStartupReport) {
+          NYMIX_CHECK(nym.ok());
+          (*nym)->browser()->Visit(*cluster.site, [&cluster, nym, &done](Result<SimTime> visit) {
+            NYMIX_CHECK(visit.ok());
+            NYMIX_CHECK(cluster.manager->TerminateNym(*nym).ok());
+            ++done;
+          });
+        });
+  }
+  sim.RunUntil([&] { return done == 2; });
+  sim.RunFor(Seconds(5));  // a few more KSM ticks after the churn
+  for (Cluster& cluster : clusters) {
+    cluster.host->ksm().Stop();
+  }
+  return obs.trace.ToChromeJson();
+}
+
 TEST(DeterminismTest, SameSeedProducesIdenticalTraceJson) {
   // Shift heap layout between the runs: if any container orders by pointer
   // value, the second run sees different addresses and the JSON diverges.
@@ -166,6 +233,47 @@ TEST(DeterminismTest, FaultScenarioSameSeedIsByteIdentical) {
 
 TEST(DeterminismTest, FaultScenarioDifferentSeedsDiverge) {
   EXPECT_NE(RunFaultScenario(21), RunFaultScenario(22));
+}
+
+// The incremental schedulers' equivalence contract, stated at the trace
+// level: a same-seed run in incremental mode and in full-recompute mode
+// must not differ by a single byte — not just final rates, but every event
+// instant and every pending-event count along the way.
+TEST(DeterminismTest, IncrementalAndFullRecomputeTracesAreByteIdentical) {
+  for (uint64_t seed : {3ull, 0xA11CEull, 0xBEEFull}) {
+    const std::string incremental = RunScenario(seed, /*full_recompute=*/false);
+    const std::string full = RunScenario(seed, /*full_recompute=*/true);
+    ASSERT_FALSE(incremental.empty());
+    EXPECT_EQ(incremental, full) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, FaultScenarioModesAreByteIdentical) {
+  // Link flaps and stall deadlines are exactly the paths where a
+  // dirty-driven rescheduler could drift from the reference.
+  for (uint64_t seed : {0xFA17ull, 99ull}) {
+    const std::string incremental = RunFaultScenario(seed, /*full_recompute=*/false);
+    const std::string full = RunFaultScenario(seed, /*full_recompute=*/true);
+    ASSERT_FALSE(incremental.empty());
+    EXPECT_EQ(incremental, full) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, FleetScenarioModesAreByteIdentical) {
+  const std::string incremental = RunFleetScenario(0x5CA1E, /*full_recompute=*/false);
+  const std::string full = RunFleetScenario(0x5CA1E, /*full_recompute=*/true);
+  ASSERT_FALSE(incremental.empty());
+  // The scenario really ran the hv path: KSM scan events are in the trace.
+  EXPECT_NE(incremental.find("ksm_scan"), std::string::npos);
+  EXPECT_EQ(incremental, full);
+}
+
+TEST(DeterminismTest, FleetScenarioSameSeedIsByteIdentical) {
+  const std::string first = RunFleetScenario(7, /*full_recompute=*/false);
+  auto pad = std::make_unique<std::array<char, 8192>>();
+  pad->fill('z');
+  const std::string second = RunFleetScenario(7, /*full_recompute=*/false);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -103,6 +103,45 @@ TEST(KsmTest, PeriodicScanUpdatesStats) {
   EXPECT_FALSE(ksm.running());
 }
 
+TEST(KsmTest, RestartWhileRunningAdoptsNewCadenceImmediately) {
+  EventLoop loop;
+  GuestMemory a(4 * kMiB);
+  KsmDaemon ksm(loop, [&] { return std::vector<const GuestMemory*>{&a}; });
+  ksm.Start(Seconds(10));
+  loop.RunUntil(Seconds(1));
+  const uint64_t passes_before = ksm.passes();
+  // Re-Start with a shorter interval: the pending 10 s tick must be
+  // rescheduled, so the next pass lands 2 s from now, not 9 s out.
+  ksm.Start(Seconds(2));
+  loop.RunUntil(Seconds(4));
+  EXPECT_EQ(ksm.passes(), passes_before + 1);
+  // And the old cadence is fully replaced, not stacked: exactly one tick
+  // per 2 s interval from the restart.
+  loop.RunUntil(Seconds(10));
+  EXPECT_EQ(ksm.passes(), passes_before + 4);  // ticks at 3, 5, 7, 9
+  ksm.Stop();
+}
+
+TEST(KsmTest, StopCancelsThePendingTick) {
+  EventLoop loop;
+  GuestMemory a(4 * kMiB);
+  KsmDaemon ksm(loop, [&] { return std::vector<const GuestMemory*>{&a}; });
+  ksm.Start(Seconds(2));
+  loop.RunUntil(Seconds(1));
+  const uint64_t passes_at_stop = ksm.passes();
+  ksm.Stop();
+  EXPECT_FALSE(ksm.running());
+  loop.RunUntil(Seconds(10));
+  EXPECT_EQ(ksm.passes(), passes_at_stop);
+  // Start after Stop works from a clean slate: an immediate pass, then
+  // the periodic cadence.
+  ksm.Start(Seconds(2));
+  EXPECT_EQ(ksm.passes(), passes_at_stop + 1);
+  loop.RunUntil(Seconds(15));
+  EXPECT_EQ(ksm.passes(), passes_at_stop + 3);  // ticks at 12, 14
+  ksm.Stop();
+}
+
 // ---------------------------------------------------------------- CpuScheduler
 
 TEST(CpuSchedulerTest, SingleNativeTaskRunsAtFullSpeed) {

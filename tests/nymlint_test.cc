@@ -182,6 +182,24 @@ TEST(NymlintRules, PointerValueIsFine) {
                      "determinism-pointer-key"));
 }
 
+TEST(NymlintRules, DirtyTrackingStateShapePassesClean) {
+  // The incremental FlowScheduler's dirty-tracking state (src/net/flow.h):
+  // pointer-keyed containers with the stable-id comparator, plus an id-set.
+  // This is the sanctioned shape for membership indexes over Link*; the
+  // fixture pins that the linter keeps accepting it (and keeps rejecting
+  // the comparator-free spelling someone will eventually "simplify" it to).
+  const std::string sanctioned =
+      "std::map<Link*, LinkState, LinkIdLess> link_states_;\n"
+      "std::set<Link*, LinkIdLess> dirty_links_;\n"
+      "std::map<uint64_t, TrackedMemory> tracked_;\n";
+  EXPECT_TRUE(LintOne("src/net/flow.cc", sanctioned).diagnostics.empty());
+  EXPECT_TRUE(Fired(LintOne("src/net/flow.cc", "std::set<Link*> dirty_links_;\n"),
+                    "determinism-pointer-key"));
+  EXPECT_TRUE(
+      Fired(LintOne("src/net/flow.cc", "std::unordered_set<Link*> dirty_links_;\n"),
+            "determinism-unordered-container"));
+}
+
 // --- sim-thread -----------------------------------------------------------
 
 TEST(NymlintRules, FlagsThreadingPrimitives) {

@@ -264,6 +264,24 @@ TEST(BaseImageTest, MerkleVerificationCatchesTampering) {
   EXPECT_TRUE(image->VerifyBlock(4));  // other blocks still verify
 }
 
+TEST(BaseImageTest, VerifyAllBlocksMatchesPerBlockVerification) {
+  auto image = BaseImage::CreateDistribution("nymix", 7, 1 * kMiB);
+  EXPECT_TRUE(image->VerifyAllBlocks());
+  // Memoized: the verdict tracks mutation_count, so a repeat is free and a
+  // tamper invalidates it.
+  EXPECT_TRUE(image->VerifyAllBlocks());
+  image->TamperBlock(11, 999);
+  EXPECT_FALSE(image->VerifyAllBlocks());
+  EXPECT_FALSE(image->VerifyAllBlocks());
+  // A second tamper moves the epoch again; still corrupt.
+  image->TamperBlock(12, 1000);
+  EXPECT_FALSE(image->VerifyAllBlocks());
+  // Batch and per-block verdicts agree block by block.
+  for (uint64_t i = 0; i < image->block_count(); ++i) {
+    EXPECT_EQ(image->VerifyBlock(i), i != 11 && i != 12) << "block " << i;
+  }
+}
+
 TEST(VmDiskTest, UnionStackWithConfigLayer) {
   auto image = BaseImage::CreateDistribution("nymix", 1, 1 * kMiB);
   auto config = std::make_shared<MemFs>();

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a scale_fleet result against a checked-in baseline.
+
+Reads the BENCH_scale.json written by bench/scale_fleet and compares the
+incremental-mode events_per_sec for every N against the baseline file. The
+check fails when any point drops below --min-ratio of its baseline (default
+0.7: a >30% throughput regression). Faster-than-baseline results pass; use
+--update-baseline to ratchet the baseline forward after a deliberate
+improvement.
+
+Wall-clock numbers differ between machines, so the baseline is a floor
+against catastrophic regressions (an accidentally-disabled incremental
+path shows up as a 2-7x drop), not a precise performance contract.
+
+Usage:
+  tools/bench_diff.py RESULT.json [--baseline=bench/baselines/scale_fleet.json]
+                                  [--min-ratio=0.7] [--update-baseline]
+
+Exit codes: 0 ok / baseline seeded or updated, 1 regression, 2 usage error.
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+
+
+def load_points(path):
+    """Returns {n: events_per_sec} for the incremental series in `path`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    series = doc.get("incremental")
+    if not series:
+        raise ValueError(f"{path}: no incremental series; run with --mode=both or incremental")
+    points = {}
+    for point in series:
+        points[int(point["n"])] = float(point["events_per_sec"])
+    return points
+
+
+def main(argv):
+    baseline_path = os.path.join("bench", "baselines", "scale_fleet.json")
+    min_ratio = 0.7
+    update = False
+    result_path = None
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif arg.startswith("--min-ratio="):
+            min_ratio = float(arg.split("=", 1)[1])
+        elif arg == "--update-baseline":
+            update = True
+        elif arg.startswith("--"):
+            print(f"bench_diff: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            result_path = arg
+    if result_path is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        result = load_points(result_path)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    if update or not os.path.exists(baseline_path):
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        with open(baseline_path, "w") as fh:
+            json.dump({"bench": "scale_fleet", "events_per_sec": result}, fh, indent=2)
+            fh.write("\n")
+        verb = "updated" if update else "seeded"
+        print(f"bench_diff: {verb} baseline {baseline_path} from {result_path}")
+        return 0
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = {int(n): float(v) for n, v in json.load(fh)["events_per_sec"].items()}
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_diff: bad baseline {baseline_path}: {err}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for n in sorted(result):
+        if n not in baseline:
+            print(f"  n={n}: {result[n]:.0f} events/s (no baseline point, skipped)")
+            continue
+        ratio = result[n] / baseline[n] if baseline[n] > 0 else float("inf")
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        failed = failed or ratio < min_ratio
+        print(
+            f"  n={n}: {result[n]:.0f} events/s vs baseline {baseline[n]:.0f} "
+            f"(x{ratio:.2f}, floor x{min_ratio:.2f}) {status}"
+        )
+    if failed:
+        print(f"bench_diff: below {min_ratio:.2f}x of baseline; investigate or "
+              f"re-baseline deliberately with --update-baseline", file=sys.stderr)
+        return 1
+    print("bench_diff: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
