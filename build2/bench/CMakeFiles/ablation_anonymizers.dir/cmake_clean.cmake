@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anonymizers.dir/ablation_anonymizers.cc.o"
+  "CMakeFiles/ablation_anonymizers.dir/ablation_anonymizers.cc.o.d"
+  "ablation_anonymizers"
+  "ablation_anonymizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anonymizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fingerprint.dir/ablation_fingerprint.cc.o"
+  "CMakeFiles/ablation_fingerprint.dir/ablation_fingerprint.cc.o.d"
+  "ablation_fingerprint"
+  "ablation_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

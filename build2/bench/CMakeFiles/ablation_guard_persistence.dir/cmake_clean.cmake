@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guard_persistence.dir/ablation_guard_persistence.cc.o"
+  "CMakeFiles/ablation_guard_persistence.dir/ablation_guard_persistence.cc.o.d"
+  "ablation_guard_persistence"
+  "ablation_guard_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guard_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ksm.dir/ablation_ksm.cc.o"
+  "CMakeFiles/ablation_ksm.dir/ablation_ksm.cc.o.d"
+  "ablation_ksm"
+  "ablation_ksm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ksm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

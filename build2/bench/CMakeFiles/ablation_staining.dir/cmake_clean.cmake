@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staining.dir/ablation_staining.cc.o"
+  "CMakeFiles/ablation_staining.dir/ablation_staining.cc.o.d"
+  "ablation_staining"
+  "ablation_staining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_memory.dir/fig3_memory.cc.o"
+  "CMakeFiles/fig3_memory.dir/fig3_memory.cc.o.d"
+  "fig3_memory"
+  "fig3_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu.dir/fig4_cpu.cc.o"
+  "CMakeFiles/fig4_cpu.dir/fig4_cpu.cc.o.d"
+  "fig4_cpu"
+  "fig4_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

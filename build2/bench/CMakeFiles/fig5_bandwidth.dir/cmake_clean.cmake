@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bandwidth.dir/fig5_bandwidth.cc.o"
+  "CMakeFiles/fig5_bandwidth.dir/fig5_bandwidth.cc.o.d"
+  "fig5_bandwidth"
+  "fig5_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_storage.dir/fig6_storage.cc.o"
+  "CMakeFiles/fig6_storage.dir/fig6_storage.cc.o.d"
+  "fig6_storage"
+  "fig6_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

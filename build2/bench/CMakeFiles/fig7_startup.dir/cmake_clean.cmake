@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_startup.dir/fig7_startup.cc.o"
+  "CMakeFiles/fig7_startup.dir/fig7_startup.cc.o.d"
+  "fig7_startup"
+  "fig7_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

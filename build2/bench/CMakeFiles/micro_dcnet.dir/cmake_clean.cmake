@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dcnet.dir/micro_dcnet.cc.o"
+  "CMakeFiles/micro_dcnet.dir/micro_dcnet.cc.o.d"
+  "micro_dcnet"
+  "micro_dcnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dcnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_unionfs.dir/micro_unionfs.cc.o"
+  "CMakeFiles/micro_unionfs.dir/micro_unionfs.cc.o.d"
+  "micro_unionfs"
+  "micro_unionfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_unionfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

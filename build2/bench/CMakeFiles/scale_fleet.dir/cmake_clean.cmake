@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_fleet.dir/scale_fleet.cc.o"
+  "CMakeFiles/scale_fleet.dir/scale_fleet.cc.o.d"
+  "scale_fleet"
+  "scale_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_installed_os.dir/tab1_installed_os.cc.o"
+  "CMakeFiles/tab1_installed_os.dir/tab1_installed_os.cc.o.d"
+  "tab1_installed_os"
+  "tab1_installed_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_installed_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

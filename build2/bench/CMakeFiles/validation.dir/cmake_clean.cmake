@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation.dir/validation.cc.o"
+  "CMakeFiles/validation.dir/validation.cc.o.d"
+  "validation"
+  "validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

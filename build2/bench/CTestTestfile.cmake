@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_validation "/root/repo/build2/bench/validation")
+set_tests_properties(bench_validation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_guard_persistence "/root/repo/build2/bench/ablation_guard_persistence")
+set_tests_properties(bench_guard_persistence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_faults "/root/repo/build2/bench/ablation_faults")
+set_tests_properties(bench_ablation_faults PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

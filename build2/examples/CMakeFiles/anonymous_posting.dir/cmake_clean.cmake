@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_posting.dir/anonymous_posting.cpp.o"
+  "CMakeFiles/anonymous_posting.dir/anonymous_posting.cpp.o.d"
+  "anonymous_posting"
+  "anonymous_posting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_posting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

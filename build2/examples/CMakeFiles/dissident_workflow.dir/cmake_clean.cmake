@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissident_workflow.dir/dissident_workflow.cpp.o"
+  "CMakeFiles/dissident_workflow.dir/dissident_workflow.cpp.o.d"
+  "dissident_workflow"
+  "dissident_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissident_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/installed_os_nym.dir/installed_os_nym.cpp.o"
+  "CMakeFiles/installed_os_nym.dir/installed_os_nym.cpp.o.d"
+  "installed_os_nym"
+  "installed_os_nym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/installed_os_nym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

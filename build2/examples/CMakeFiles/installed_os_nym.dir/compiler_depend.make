@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for installed_os_nym.
+# This may be replaced when dependencies are built.

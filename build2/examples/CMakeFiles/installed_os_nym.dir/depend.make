@@ -1,0 +1,2 @@
+# Empty dependencies file for installed_os_nym.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_role_browsing.dir/multi_role_browsing.cpp.o"
+  "CMakeFiles/multi_role_browsing.dir/multi_role_browsing.cpp.o.d"
+  "multi_role_browsing"
+  "multi_role_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_role_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_cli.dir/nymix_cli.cpp.o"
+  "CMakeFiles/nymix_cli.dir/nymix_cli.cpp.o.d"
+  "nymix_cli"
+  "nymix_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

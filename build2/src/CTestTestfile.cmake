@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("util")
+subdirs("crypto")
+subdirs("compress")
+subdirs("unionfs")
+subdirs("net")
+subdirs("hv")
+subdirs("anon")
+subdirs("storage")
+subdirs("sanitize")
+subdirs("workload")
+subdirs("core")

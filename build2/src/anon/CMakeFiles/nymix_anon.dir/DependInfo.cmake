@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/dcnet.cc" "src/anon/CMakeFiles/nymix_anon.dir/dcnet.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/dcnet.cc.o.d"
+  "/root/repo/src/anon/dissent.cc" "src/anon/CMakeFiles/nymix_anon.dir/dissent.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/dissent.cc.o.d"
+  "/root/repo/src/anon/dns_proxy.cc" "src/anon/CMakeFiles/nymix_anon.dir/dns_proxy.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/dns_proxy.cc.o.d"
+  "/root/repo/src/anon/incognito.cc" "src/anon/CMakeFiles/nymix_anon.dir/incognito.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/incognito.cc.o.d"
+  "/root/repo/src/anon/sweet.cc" "src/anon/CMakeFiles/nymix_anon.dir/sweet.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/sweet.cc.o.d"
+  "/root/repo/src/anon/tor.cc" "src/anon/CMakeFiles/nymix_anon.dir/tor.cc.o" "gcc" "src/anon/CMakeFiles/nymix_anon.dir/tor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/net/CMakeFiles/nymix_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/unionfs/CMakeFiles/nymix_unionfs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/nymix_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/nymix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_anon.dir/dcnet.cc.o"
+  "CMakeFiles/nymix_anon.dir/dcnet.cc.o.d"
+  "CMakeFiles/nymix_anon.dir/dissent.cc.o"
+  "CMakeFiles/nymix_anon.dir/dissent.cc.o.d"
+  "CMakeFiles/nymix_anon.dir/dns_proxy.cc.o"
+  "CMakeFiles/nymix_anon.dir/dns_proxy.cc.o.d"
+  "CMakeFiles/nymix_anon.dir/incognito.cc.o"
+  "CMakeFiles/nymix_anon.dir/incognito.cc.o.d"
+  "CMakeFiles/nymix_anon.dir/sweet.cc.o"
+  "CMakeFiles/nymix_anon.dir/sweet.cc.o.d"
+  "CMakeFiles/nymix_anon.dir/tor.cc.o"
+  "CMakeFiles/nymix_anon.dir/tor.cc.o.d"
+  "libnymix_anon.a"
+  "libnymix_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

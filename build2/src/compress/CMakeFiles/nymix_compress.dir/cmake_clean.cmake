@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_compress.dir/nymzip.cc.o"
+  "CMakeFiles/nymix_compress.dir/nymzip.cc.o.d"
+  "libnymix_compress.a"
+  "libnymix_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

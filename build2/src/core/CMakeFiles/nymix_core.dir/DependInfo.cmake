@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/installed_os.cc" "src/core/CMakeFiles/nymix_core.dir/installed_os.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/installed_os.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/nymix_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/nym.cc" "src/core/CMakeFiles/nymix_core.dir/nym.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/nym.cc.o.d"
+  "/root/repo/src/core/nym_manager.cc" "src/core/CMakeFiles/nymix_core.dir/nym_manager.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/nym_manager.cc.o.d"
+  "/root/repo/src/core/sanivm.cc" "src/core/CMakeFiles/nymix_core.dir/sanivm.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/sanivm.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/core/CMakeFiles/nymix_core.dir/validation.cc.o" "gcc" "src/core/CMakeFiles/nymix_core.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/hv/CMakeFiles/nymix_hv.dir/DependInfo.cmake"
+  "/root/repo/build2/src/anon/CMakeFiles/nymix_anon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/storage/CMakeFiles/nymix_storage.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sanitize/CMakeFiles/nymix_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workload/CMakeFiles/nymix_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/unionfs/CMakeFiles/nymix_unionfs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/nymix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/nymix_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/nymix_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_core.dir/installed_os.cc.o"
+  "CMakeFiles/nymix_core.dir/installed_os.cc.o.d"
+  "CMakeFiles/nymix_core.dir/metrics.cc.o"
+  "CMakeFiles/nymix_core.dir/metrics.cc.o.d"
+  "CMakeFiles/nymix_core.dir/nym.cc.o"
+  "CMakeFiles/nymix_core.dir/nym.cc.o.d"
+  "CMakeFiles/nymix_core.dir/nym_manager.cc.o"
+  "CMakeFiles/nymix_core.dir/nym_manager.cc.o.d"
+  "CMakeFiles/nymix_core.dir/sanivm.cc.o"
+  "CMakeFiles/nymix_core.dir/sanivm.cc.o.d"
+  "CMakeFiles/nymix_core.dir/validation.cc.o"
+  "CMakeFiles/nymix_core.dir/validation.cc.o.d"
+  "libnymix_core.a"
+  "libnymix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

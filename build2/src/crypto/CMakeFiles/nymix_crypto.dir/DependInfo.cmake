@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/aead.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/aead.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/poly1305.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/poly1305.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/poly1305.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/nymix_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/nymix_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_crypto.dir/aead.cc.o"
+  "CMakeFiles/nymix_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/nymix_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/nymix_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/nymix_crypto.dir/hmac.cc.o"
+  "CMakeFiles/nymix_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/nymix_crypto.dir/merkle.cc.o"
+  "CMakeFiles/nymix_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/nymix_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/nymix_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/nymix_crypto.dir/sha256.cc.o"
+  "CMakeFiles/nymix_crypto.dir/sha256.cc.o.d"
+  "libnymix_crypto.a"
+  "libnymix_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_hv.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/nymix_hv.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/nymix_hv.dir/guest_memory.cc.o"
+  "CMakeFiles/nymix_hv.dir/guest_memory.cc.o.d"
+  "CMakeFiles/nymix_hv.dir/host.cc.o"
+  "CMakeFiles/nymix_hv.dir/host.cc.o.d"
+  "CMakeFiles/nymix_hv.dir/ksm.cc.o"
+  "CMakeFiles/nymix_hv.dir/ksm.cc.o.d"
+  "CMakeFiles/nymix_hv.dir/vm.cc.o"
+  "CMakeFiles/nymix_hv.dir/vm.cc.o.d"
+  "libnymix_hv.a"
+  "libnymix_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/nymix_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/address.cc.o.d"
+  "/root/repo/src/net/capture.cc" "src/net/CMakeFiles/nymix_net.dir/capture.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/capture.cc.o.d"
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/nymix_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/internet.cc" "src/net/CMakeFiles/nymix_net.dir/internet.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/internet.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/nymix_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/link.cc.o.d"
+  "/root/repo/src/net/nat.cc" "src/net/CMakeFiles/nymix_net.dir/nat.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/nat.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/nymix_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/simulation.cc" "src/net/CMakeFiles/nymix_net.dir/simulation.cc.o" "gcc" "src/net/CMakeFiles/nymix_net.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

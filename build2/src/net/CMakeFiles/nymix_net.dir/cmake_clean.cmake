@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_net.dir/address.cc.o"
+  "CMakeFiles/nymix_net.dir/address.cc.o.d"
+  "CMakeFiles/nymix_net.dir/capture.cc.o"
+  "CMakeFiles/nymix_net.dir/capture.cc.o.d"
+  "CMakeFiles/nymix_net.dir/flow.cc.o"
+  "CMakeFiles/nymix_net.dir/flow.cc.o.d"
+  "CMakeFiles/nymix_net.dir/internet.cc.o"
+  "CMakeFiles/nymix_net.dir/internet.cc.o.d"
+  "CMakeFiles/nymix_net.dir/link.cc.o"
+  "CMakeFiles/nymix_net.dir/link.cc.o.d"
+  "CMakeFiles/nymix_net.dir/nat.cc.o"
+  "CMakeFiles/nymix_net.dir/nat.cc.o.d"
+  "CMakeFiles/nymix_net.dir/packet.cc.o"
+  "CMakeFiles/nymix_net.dir/packet.cc.o.d"
+  "CMakeFiles/nymix_net.dir/simulation.cc.o"
+  "CMakeFiles/nymix_net.dir/simulation.cc.o.d"
+  "libnymix_net.a"
+  "libnymix_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

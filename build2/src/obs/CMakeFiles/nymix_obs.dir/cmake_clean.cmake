@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_obs.dir/json.cc.o"
+  "CMakeFiles/nymix_obs.dir/json.cc.o.d"
+  "CMakeFiles/nymix_obs.dir/metrics.cc.o"
+  "CMakeFiles/nymix_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/nymix_obs.dir/trace.cc.o"
+  "CMakeFiles/nymix_obs.dir/trace.cc.o.d"
+  "libnymix_obs.a"
+  "libnymix_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitize/document.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/document.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/document.cc.o.d"
+  "/root/repo/src/sanitize/exif.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/exif.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/exif.cc.o.d"
+  "/root/repo/src/sanitize/image.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/image.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/image.cc.o.d"
+  "/root/repo/src/sanitize/jpeg.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/jpeg.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/jpeg.cc.o.d"
+  "/root/repo/src/sanitize/png.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/png.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/png.cc.o.d"
+  "/root/repo/src/sanitize/scrubber.cc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/scrubber.cc.o" "gcc" "src/sanitize/CMakeFiles/nymix_sanitize.dir/scrubber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_sanitize.dir/document.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/document.cc.o.d"
+  "CMakeFiles/nymix_sanitize.dir/exif.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/exif.cc.o.d"
+  "CMakeFiles/nymix_sanitize.dir/image.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/image.cc.o.d"
+  "CMakeFiles/nymix_sanitize.dir/jpeg.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/jpeg.cc.o.d"
+  "CMakeFiles/nymix_sanitize.dir/png.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/png.cc.o.d"
+  "CMakeFiles/nymix_sanitize.dir/scrubber.cc.o"
+  "CMakeFiles/nymix_sanitize.dir/scrubber.cc.o.d"
+  "libnymix_sanitize.a"
+  "libnymix_sanitize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_sanitize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cloud.cc" "src/storage/CMakeFiles/nymix_storage.dir/cloud.cc.o" "gcc" "src/storage/CMakeFiles/nymix_storage.dir/cloud.cc.o.d"
+  "/root/repo/src/storage/local_store.cc" "src/storage/CMakeFiles/nymix_storage.dir/local_store.cc.o" "gcc" "src/storage/CMakeFiles/nymix_storage.dir/local_store.cc.o.d"
+  "/root/repo/src/storage/nym_archive.cc" "src/storage/CMakeFiles/nymix_storage.dir/nym_archive.cc.o" "gcc" "src/storage/CMakeFiles/nymix_storage.dir/nym_archive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/net/CMakeFiles/nymix_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/unionfs/CMakeFiles/nymix_unionfs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/nymix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/nymix_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_storage.dir/cloud.cc.o"
+  "CMakeFiles/nymix_storage.dir/cloud.cc.o.d"
+  "CMakeFiles/nymix_storage.dir/local_store.cc.o"
+  "CMakeFiles/nymix_storage.dir/local_store.cc.o.d"
+  "CMakeFiles/nymix_storage.dir/nym_archive.cc.o"
+  "CMakeFiles/nymix_storage.dir/nym_archive.cc.o.d"
+  "libnymix_storage.a"
+  "libnymix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

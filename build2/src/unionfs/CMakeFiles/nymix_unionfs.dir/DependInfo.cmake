@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unionfs/disk_image.cc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/disk_image.cc.o" "gcc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/disk_image.cc.o.d"
+  "/root/repo/src/unionfs/mem_fs.cc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/mem_fs.cc.o" "gcc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/mem_fs.cc.o.d"
+  "/root/repo/src/unionfs/path.cc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/path.cc.o" "gcc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/path.cc.o.d"
+  "/root/repo/src/unionfs/serialize.cc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/serialize.cc.o" "gcc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/serialize.cc.o.d"
+  "/root/repo/src/unionfs/union_fs.cc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/union_fs.cc.o" "gcc" "src/unionfs/CMakeFiles/nymix_unionfs.dir/union_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/nymix_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/nymix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_unionfs.dir/disk_image.cc.o"
+  "CMakeFiles/nymix_unionfs.dir/disk_image.cc.o.d"
+  "CMakeFiles/nymix_unionfs.dir/mem_fs.cc.o"
+  "CMakeFiles/nymix_unionfs.dir/mem_fs.cc.o.d"
+  "CMakeFiles/nymix_unionfs.dir/path.cc.o"
+  "CMakeFiles/nymix_unionfs.dir/path.cc.o.d"
+  "CMakeFiles/nymix_unionfs.dir/serialize.cc.o"
+  "CMakeFiles/nymix_unionfs.dir/serialize.cc.o.d"
+  "CMakeFiles/nymix_unionfs.dir/union_fs.cc.o"
+  "CMakeFiles/nymix_unionfs.dir/union_fs.cc.o.d"
+  "libnymix_unionfs.a"
+  "libnymix_unionfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_unionfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

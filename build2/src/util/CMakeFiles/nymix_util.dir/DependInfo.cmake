@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/blob.cc" "src/util/CMakeFiles/nymix_util.dir/blob.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/blob.cc.o.d"
+  "/root/repo/src/util/bytes.cc" "src/util/CMakeFiles/nymix_util.dir/bytes.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/bytes.cc.o.d"
+  "/root/repo/src/util/event_loop.cc" "src/util/CMakeFiles/nymix_util.dir/event_loop.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/event_loop.cc.o.d"
+  "/root/repo/src/util/fault.cc" "src/util/CMakeFiles/nymix_util.dir/fault.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/fault.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/nymix_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/prng.cc" "src/util/CMakeFiles/nymix_util.dir/prng.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/prng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/nymix_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/nymix_util.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_util.dir/blob.cc.o"
+  "CMakeFiles/nymix_util.dir/blob.cc.o.d"
+  "CMakeFiles/nymix_util.dir/bytes.cc.o"
+  "CMakeFiles/nymix_util.dir/bytes.cc.o.d"
+  "CMakeFiles/nymix_util.dir/event_loop.cc.o"
+  "CMakeFiles/nymix_util.dir/event_loop.cc.o.d"
+  "CMakeFiles/nymix_util.dir/fault.cc.o"
+  "CMakeFiles/nymix_util.dir/fault.cc.o.d"
+  "CMakeFiles/nymix_util.dir/logging.cc.o"
+  "CMakeFiles/nymix_util.dir/logging.cc.o.d"
+  "CMakeFiles/nymix_util.dir/prng.cc.o"
+  "CMakeFiles/nymix_util.dir/prng.cc.o.d"
+  "CMakeFiles/nymix_util.dir/status.cc.o"
+  "CMakeFiles/nymix_util.dir/status.cc.o.d"
+  "libnymix_util.a"
+  "libnymix_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymix_workload.dir/browser.cc.o"
+  "CMakeFiles/nymix_workload.dir/browser.cc.o.d"
+  "CMakeFiles/nymix_workload.dir/downloader.cc.o"
+  "CMakeFiles/nymix_workload.dir/downloader.cc.o.d"
+  "CMakeFiles/nymix_workload.dir/peacekeeper.cc.o"
+  "CMakeFiles/nymix_workload.dir/peacekeeper.cc.o.d"
+  "CMakeFiles/nymix_workload.dir/website.cc.o"
+  "CMakeFiles/nymix_workload.dir/website.cc.o.d"
+  "libnymix_workload.a"
+  "libnymix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

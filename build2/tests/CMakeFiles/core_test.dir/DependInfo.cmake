@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/nymix_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/storage/CMakeFiles/nymix_storage.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sanitize/CMakeFiles/nymix_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workload/CMakeFiles/nymix_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hv/CMakeFiles/nymix_hv.dir/DependInfo.cmake"
+  "/root/repo/build2/src/anon/CMakeFiles/nymix_anon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/unionfs/CMakeFiles/nymix_unionfs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/nymix_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/nymix_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/nymix_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/nymix_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/nymix_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

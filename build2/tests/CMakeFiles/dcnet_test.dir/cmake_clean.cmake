@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnet_test.dir/dcnet_test.cc.o"
+  "CMakeFiles/dcnet_test.dir/dcnet_test.cc.o.d"
+  "dcnet_test"
+  "dcnet_test.pdb"
+  "dcnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

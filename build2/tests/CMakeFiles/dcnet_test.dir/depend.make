@@ -1,0 +1,2 @@
+# Empty dependencies file for dcnet_test.
+# This may be replaced when dependencies are built.

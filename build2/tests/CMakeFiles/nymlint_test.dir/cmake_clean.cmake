@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymlint_test.dir/nymlint_test.cc.o"
+  "CMakeFiles/nymlint_test.dir/nymlint_test.cc.o.d"
+  "nymlint_test"
+  "nymlint_test.pdb"
+  "nymlint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymlint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

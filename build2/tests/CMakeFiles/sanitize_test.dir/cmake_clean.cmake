@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sanitize_test.dir/sanitize_test.cc.o"
+  "CMakeFiles/sanitize_test.dir/sanitize_test.cc.o.d"
+  "sanitize_test"
+  "sanitize_test.pdb"
+  "sanitize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sanitize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unionfs_test.dir/unionfs_test.cc.o"
+  "CMakeFiles/unionfs_test.dir/unionfs_test.cc.o.d"
+  "unionfs_test"
+  "unionfs_test.pdb"
+  "unionfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unionfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/util_test[1]_include.cmake")
+include("/root/repo/build2/tests/obs_test[1]_include.cmake")
+include("/root/repo/build2/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build2/tests/compress_test[1]_include.cmake")
+include("/root/repo/build2/tests/unionfs_test[1]_include.cmake")
+include("/root/repo/build2/tests/net_test[1]_include.cmake")
+include("/root/repo/build2/tests/hv_test[1]_include.cmake")
+include("/root/repo/build2/tests/anon_test[1]_include.cmake")
+include("/root/repo/build2/tests/storage_test[1]_include.cmake")
+include("/root/repo/build2/tests/sanitize_test[1]_include.cmake")
+include("/root/repo/build2/tests/workload_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build2/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build2/tests/dcnet_test[1]_include.cmake")
+include("/root/repo/build2/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build2/tests/fault_test[1]_include.cmake")
+include("/root/repo/build2/tests/nymlint_test[1]_include.cmake")
+include("/root/repo/build2/tests/perf_equivalence_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymlint.dir/main.cc.o"
+  "CMakeFiles/nymlint.dir/main.cc.o.d"
+  "nymlint"
+  "nymlint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymlint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/nymlint/analyzer.cc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/analyzer.cc.o" "gcc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/analyzer.cc.o.d"
+  "/root/repo/tools/nymlint/lexer.cc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/lexer.cc.o" "gcc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/lexer.cc.o.d"
+  "/root/repo/tools/nymlint/rules.cc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/rules.cc.o" "gcc" "tools/nymlint/CMakeFiles/nymlint_lib.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

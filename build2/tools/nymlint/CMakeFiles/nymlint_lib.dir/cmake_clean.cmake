@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nymlint_lib.dir/analyzer.cc.o"
+  "CMakeFiles/nymlint_lib.dir/analyzer.cc.o.d"
+  "CMakeFiles/nymlint_lib.dir/lexer.cc.o"
+  "CMakeFiles/nymlint_lib.dir/lexer.cc.o.d"
+  "CMakeFiles/nymlint_lib.dir/rules.cc.o"
+  "CMakeFiles/nymlint_lib.dir/rules.cc.o.d"
+  "libnymlint_lib.a"
+  "libnymlint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nymlint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
