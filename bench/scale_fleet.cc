@@ -9,6 +9,7 @@
 // Usage:
 //   scale_fleet [--n=8,64,256,1024] [--mode=both|incremental|full]
 //               [--full-recompute] [--out=BENCH_scale.json] [--seed=13]
+//               [--threads=1,8] [--shards=8]
 //               [--stats-out=...] [--trace-out=...]
 //
 // --mode=both (default) runs every N in both modes and reports the
@@ -17,16 +18,30 @@
 // mode-independent: the incremental paths are exact, so a --trace-out from
 // an incremental run is byte-identical to one from a full run (asserted by
 // tests/determinism_test.cc).
+//
+// --threads=T1,T2,... additionally runs each N through the sharded
+// parallel executor (src/parallel) at each thread count, with --shards
+// fixing the partition (default 8). Every threaded point records a SHA-256
+// of its merged trace and metrics dump; the bench FAILS (exit 1) if any
+// two thread counts disagree for the same N — that is the executor's
+// byte-identity contract, checked on every bench run. The JSON gains
+// "threaded", "threads_speedup" and "hardware_threads" entries;
+// tools/bench_diff.py gates the speedup only when the recorded hardware
+// actually has the cores to show one.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_stats.h"
+#include "src/core/fleet.h"
 #include "src/core/nym_manager.h"
+#include "src/crypto/sha256.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/website.h"
 
 using namespace nymix;
@@ -70,6 +85,94 @@ struct PointResult {
   uint64_t ksm_memories_skipped = 0;
   uint64_t ksm_pages_sharing = 0;
 };
+
+struct ThreadedPointResult {
+  int n = 0;
+  int shards = 0;
+  int threads = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  double events_per_sec = 0;
+  uint64_t epochs = 0;
+  uint64_t cross_deliveries = 0;
+  uint64_t visits = 0;
+  uint64_t churns = 0;
+  uint64_t ksm_pages_sharing = 0;
+  uint64_t fleet_pages_sharing = 0;
+  uint64_t cross_host_extra_sharing = 0;
+  std::string trace_sha256;
+  std::string stats_sha256;
+};
+
+std::string HexDigest(const Sha256Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+// One sharded-executor run. Observability is always attached here (wall
+// clock off): the per-point digests ARE the byte-identity check, so the
+// threaded series measures obs-attached throughput — both thread counts
+// pay the same cost, which is what the speedup ratio needs.
+ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int threads,
+                                     uint64_t seed) {
+  // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
+  auto wall_start = std::chrono::steady_clock::now();
+  ShardedSimulation sharded(seed, ShardPlan{shards, threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+  FleetOptions options;
+  options.nym_count = n;
+  ShardedFleet fleet(sharded, options, seed);
+  fleet.Run();
+  // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
+  auto wall_end = std::chrono::steady_clock::now();
+  sharded.MergeObservability();
+
+  ThreadedPointResult result;
+  result.n = n;
+  result.shards = shards;
+  result.threads = sharded.thread_count();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  result.events = fleet.events_executed();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
+  result.epochs = sharded.epochs();
+  result.cross_deliveries = sharded.cross_deliveries();
+  result.visits = fleet.visits();
+  result.churns = fleet.churns();
+  result.ksm_pages_sharing = fleet.ksm_pages_sharing();
+  FleetKsmStats fleet_ksm = fleet.ReconcileKsm();
+  result.fleet_pages_sharing = fleet_ksm.pages_sharing;
+  result.cross_host_extra_sharing = fleet_ksm.cross_host_extra_sharing();
+
+  result.trace_sha256 = HexDigest(Sha256::Hash(sharded.merged().trace.ToChromeJson()));
+  std::ostringstream metrics_json;
+  sharded.merged().metrics.WriteJson(metrics_json);
+  result.stats_sha256 = HexDigest(Sha256::Hash(metrics_json.str()));
+
+  // Fold the run into the --trace-out / --stats-out artifacts: the merged
+  // stream depends only on (seed, shards, workload), so traces written at
+  // different --threads diff byte-identical.
+  if (stats.trace_requested()) {
+    stats.obs().trace.set_enabled(true);
+    stats.obs().trace.set_record_wall_time(false);
+    std::vector<const TraceRecorder*> parts;
+    for (int s = 0; s < sharded.shard_count(); ++s) {
+      parts.push_back(&sharded.shard_obs(s).trace);
+    }
+    stats.obs().trace.MergeShardTraces(parts);
+    stats.obs().trace.NextTimeline();
+  }
+  if (stats.stats_requested()) {
+    stats.obs().metrics.MergeFrom(sharded.merged().metrics);
+  }
+  return result;
+}
 
 class Fleet {
  public:
@@ -213,8 +316,8 @@ PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
 }
 
 void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
-               const std::vector<PointResult>& incremental,
-               const std::vector<PointResult>& full) {
+               const std::vector<PointResult>& incremental, const std::vector<PointResult>& full,
+               const std::vector<ThreadedPointResult>& threaded) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "scale_fleet: cannot write %s\n", path.c_str());
@@ -267,6 +370,63 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
     }
     out << "  ]\n";
   }
+  if (!threaded.empty()) {
+    // hardware_threads lets bench_diff.py gate the parallel speedup on
+    // machines that can actually exhibit one (CI containers are often
+    // single-core; byte-identity is still checked there).
+    out << ",\n  \"shards\": " << threaded.front().shards
+        << ",\n  \"hardware_threads\": " << ThreadPool::HardwareThreads()
+        << ",\n  \"threaded\": [\n";
+    char tbuf[768];  // two 64-char digests push a row past the shared buf
+    for (size_t i = 0; i < threaded.size(); ++i) {
+      const ThreadedPointResult& p = threaded[i];
+      std::snprintf(tbuf, sizeof(tbuf),
+                    "    {\"n\": %d, \"threads\": %d, \"wall_seconds\": %.4f, "
+                    "\"events\": %llu, \"events_per_sec\": %.1f, \"epochs\": %llu, "
+                    "\"cross_deliveries\": %llu, \"visits\": %llu, \"churns\": %llu, "
+                    "\"ksm_pages_sharing\": %llu, \"fleet_pages_sharing\": %llu, "
+                    "\"cross_host_extra_sharing\": %llu,\n"
+                    "     \"trace_sha256\": \"%s\", \"stats_sha256\": \"%s\"}%s\n",
+                    p.n, p.threads, p.wall_seconds, static_cast<unsigned long long>(p.events),
+                    p.events_per_sec, static_cast<unsigned long long>(p.epochs),
+                    static_cast<unsigned long long>(p.cross_deliveries),
+                    static_cast<unsigned long long>(p.visits),
+                    static_cast<unsigned long long>(p.churns),
+                    static_cast<unsigned long long>(p.ksm_pages_sharing),
+                    static_cast<unsigned long long>(p.fleet_pages_sharing),
+                    static_cast<unsigned long long>(p.cross_host_extra_sharing),
+                    p.trace_sha256.c_str(), p.stats_sha256.c_str(),
+                    i + 1 < threaded.size() ? "," : "");
+      out << tbuf;
+    }
+    out << "  ],\n  \"threads_speedup\": [\n";
+    // Speedup and identity of each point vs the threads=1 run of the same n
+    // (the serial reference execution of the same sharded structure).
+    bool first_row = true;
+    for (const ThreadedPointResult& p : threaded) {
+      const ThreadedPointResult* base = nullptr;
+      for (const ThreadedPointResult& candidate : threaded) {
+        if (candidate.n == p.n && candidate.threads == 1) {
+          base = &candidate;
+          break;
+        }
+      }
+      if (base == nullptr || p.threads == 1) {
+        continue;
+      }
+      double speedup = p.wall_seconds > 0 ? base->wall_seconds / p.wall_seconds : 0;
+      bool identical =
+          p.trace_sha256 == base->trace_sha256 && p.stats_sha256 == base->stats_sha256;
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"n\": %d, \"threads\": %d, \"wall_clock\": %.2f, "
+                    "\"trace_identical\": %s}",
+                    first_row ? "" : ",\n", p.n, p.threads, speedup,
+                    identical ? "true" : "false");
+      out << buf;
+      first_row = false;
+    }
+    out << "\n  ]\n";
+  }
   out << "}\n";
 }
 
@@ -275,6 +435,8 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
 int main(int argc, char** argv) {
   BenchStats stats("scale_fleet", argc, argv);
   std::vector<int> ns = {8, 64, 256, 1024};
+  std::vector<int> threads_list;
+  int shards = 8;
   std::string mode = "both";
   std::string out_path = "BENCH_scale.json";
   uint64_t seed = 13;
@@ -292,6 +454,19 @@ int main(int argc, char** argv) {
         ns.push_back(std::stoi(list.substr(pos, comma - pos)));
         pos = comma + 1;
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        threads_list.push_back(std::stoi(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::stoi(arg.substr(9));
     } else if (arg.rfind("--mode=", 0) == 0) {
       mode = arg.substr(7);
     } else if (arg == "--full-recompute") {
@@ -334,7 +509,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  WriteJson(out_path, mode, seed, incremental, full);
+  std::vector<ThreadedPointResult> threaded;
+  bool identity_ok = true;
+  if (!threads_list.empty()) {
+    NYMIX_CHECK_MSG(shards >= 1, "--shards must be >= 1");
+    std::printf("# sharded executor: %d shards, hardware threads: %d\n", shards,
+                ThreadPool::HardwareThreads());
+    for (int n : ns) {
+      ThreadedPointResult base;  // first thread count of this n (by value:
+                                 // threaded reallocates as points append)
+      for (int threads : threads_list) {
+        ThreadedPointResult p = RunThreadedPoint(stats, n, shards, threads, seed);
+        std::printf("%-6d %-12s %12.3f %12llu %14.0f  trace=%.12s\n", n,
+                    ("threads=" + std::to_string(threads)).c_str(), p.wall_seconds,
+                    static_cast<unsigned long long>(p.events), p.events_per_sec,
+                    p.trace_sha256.c_str());
+        if (base.trace_sha256.empty()) {
+          base = p;
+        } else if (p.trace_sha256 != base.trace_sha256 ||
+                   p.stats_sha256 != base.stats_sha256) {
+          // The contract this whole subsystem exists for: thread count is
+          // execution mechanics and must not move a single output byte.
+          std::fprintf(stderr,
+                       "scale_fleet: DETERMINISM VIOLATION at n=%d: threads=%d "
+                       "disagrees with threads=%d (trace %s vs %s)\n",
+                       n, p.threads, base.threads, p.trace_sha256.c_str(),
+                       base.trace_sha256.c_str());
+          identity_ok = false;
+        }
+        threaded.push_back(std::move(p));
+      }
+    }
+  }
+
+  WriteJson(out_path, mode, seed, incremental, full, threaded);
   std::printf("# wrote %s\n", out_path.c_str());
 
   for (size_t i = 0; i < incremental.size(); ++i) {
@@ -342,5 +550,11 @@ int main(int argc, char** argv) {
     stats.Set(prefix + ".events_per_sec", incremental[i].events_per_sec);
     stats.Set(prefix + ".wall_seconds", incremental[i].wall_seconds);
   }
-  return stats.Finish();
+  for (const ThreadedPointResult& p : threaded) {
+    std::string prefix = "n" + std::to_string(p.n) + ".t" + std::to_string(p.threads);
+    stats.Set(prefix + ".events_per_sec", p.events_per_sec);
+    stats.Set(prefix + ".wall_seconds", p.wall_seconds);
+  }
+  int rc = stats.Finish();
+  return identity_ok ? rc : 1;
 }

@@ -1,0 +1,223 @@
+#include "src/core/fleet.h"
+
+namespace nymix {
+
+ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& options,
+                           uint64_t seed)
+    : sharded_(sharded), options_(options) {
+  NYMIX_CHECK(options_.nym_count >= 1);
+  NYMIX_CHECK(options_.nyms_per_host >= 1);
+  int shards = sharded_.shard_count();
+  for (int s = 0; s < shards; ++s) {
+    // Think-time randomness is per shard and derived from (seed, shard id):
+    // a slot's think stream must not depend on how other shards interleave.
+    shard_states_.push_back(std::make_unique<ShardState>(
+        Mix64(seed ^ Fnv1a64("fleet.think") ^ static_cast<uint64_t>(s))));
+  }
+
+  int hosts = (options_.nym_count + options_.nyms_per_host - 1) / options_.nyms_per_host;
+  // One distribution image per shard, like every host booting from a copy
+  // of the same release stick. Per shard, not fleet-global: the image
+  // memoizes its whole-image Merkle verification, and two shards verifying
+  // concurrently must not race on (or order-depend on) that cache. Content
+  // is a pure function of (name, seed, size), so every copy is identical.
+  std::vector<std::shared_ptr<BaseImage>> images;
+  for (int s = 0; s < shards; ++s) {
+    images.push_back(BaseImage::CreateDistribution("nymix", 42, 64 * kMiB));
+  }
+
+  for (int c = 0; c < hosts; ++c) {
+    int shard = ShardForIndex(static_cast<size_t>(c), shards);
+    Simulation& sim = sharded_.shard(shard);
+    auto cluster = std::make_unique<Cluster>();
+    cluster->shard = shard;
+    cluster->host = std::make_unique<HostMachine>(sim, HostConfig{});
+    cluster->host->ksm().set_full_rescan(options_.full_recompute);
+    sim.flows().set_full_recompute(options_.full_recompute);
+    cluster->tor = std::make_unique<TorNetwork>(sim, options_.tor);
+    cluster->manager = std::make_unique<NymManager>(*cluster->host, images[static_cast<size_t>(shard)],
+                                                    cluster->tor.get(), nullptr);
+    WebsiteProfile profile;
+    profile.name = "site-" + std::to_string(c);
+    profile.domain = "site" + std::to_string(c) + ".example.com";
+    cluster->site = std::make_unique<Website>(sim, profile);
+    cluster->host->ksm().Start(options_.ksm_interval);
+    clusters_.push_back(std::move(cluster));
+    // Snapshot this host's shareable-content histogram mid-run for the
+    // cross-host reconcile. A plain scheduled event on the host's own loop:
+    // shard-local, so exact virtual-time capture with no cross-thread read.
+    Cluster* raw = clusters_.back().get();
+    sim.loop().ScheduleAt(options_.ksm_snapshot_time, [raw] {
+      raw->ksm_snapshot = raw->host->ksm().ContentHistogram();
+    });
+  }
+
+  slots_.resize(static_cast<size_t>(options_.nym_count));
+  for (int i = 0; i < options_.nym_count; ++i) {
+    slots_[static_cast<size_t>(i)].cluster = i / options_.nyms_per_host;
+    ++ShardOf(i).total_slots;
+  }
+  // Shards that got hosts but no remaining live slots never occur (every
+  // host owns at least one slot), but a plan with more shards than hosts
+  // leaves some shards empty — they simply idle through every epoch.
+}
+
+ShardedFleet::~ShardedFleet() = default;
+
+void ShardedFleet::Run() {
+  for (int i = 0; i < options_.nym_count; ++i) {
+    SpawnNym(i);
+  }
+  sharded_.RunUntilIdle();
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    const ShardState& state = *shard_states_[static_cast<size_t>(s)];
+    NYMIX_CHECK(state.finished_slots == state.total_slots);
+  }
+}
+
+void ShardedFleet::SpawnNym(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  std::string name = "c" + std::to_string(state.cluster) + "-s" +
+                     std::to_string(slot % options_.nyms_per_host) + "-g" +
+                     std::to_string(state.generation);
+  ClusterOf(slot).manager->CreateNym(
+      name, NymManager::CreateOptions{}, [this, slot](Result<Nym*> nym, NymStartupReport) {
+        NYMIX_CHECK_MSG(nym.ok(), nym.status().ToString().c_str());
+        slots_[static_cast<size_t>(slot)].nym = *nym;
+        slots_[static_cast<size_t>(slot)].visits_done = 0;
+        VisitNext(slot);
+      });
+}
+
+void ShardedFleet::VisitNext(int slot) {
+  Cluster& cluster = ClusterOf(slot);
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  state.nym->browser()->Visit(*cluster.site, [this, slot](Result<SimTime> done) {
+    NYMIX_CHECK_MSG(done.ok(), done.status().ToString().c_str());
+    Cluster& cluster = ClusterOf(slot);
+    ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+    ++shard.visits;
+    ++slots_[static_cast<size_t>(slot)].visits_done;
+    // Think time before the next action; acting from a fresh event also
+    // means churn never tears a nym down from inside its own callback.
+    SimDuration think =
+        Millis(500 + static_cast<SimDuration>(shard.think_prng.NextBelow(1500)));
+    sharded_.shard(cluster.shard).loop().ScheduleAfter(think, [this, slot] { Advance(slot); });
+  });
+}
+
+void ShardedFleet::Advance(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.visits_done < options_.visits_per_generation) {
+    VisitNext(slot);
+    return;
+  }
+  ++state.generation;
+  NYMIX_CHECK(ClusterOf(slot).manager->TerminateNym(state.nym).ok());
+  state.nym = nullptr;
+  if (state.generation >= options_.generations) {
+    FinishSlot(slot);
+    return;
+  }
+  ++ShardOf(slot).churns;
+  SpawnNym(slot);
+}
+
+void ShardedFleet::FinishSlot(int slot) {
+  int shard = ClusterOf(slot).shard;
+  ShardState& state = *shard_states_[static_cast<size_t>(shard)];
+  ++state.finished_slots;
+  if (state.finished_slots < state.total_slots) {
+    return;
+  }
+  // Last slot on this shard: stop the shard's periodic KSM daemons so the
+  // shard can go idle. Shard-local state only — safe on a worker thread.
+  for (auto& cluster : clusters_) {
+    if (cluster->shard == shard) {
+      cluster->host->ksm().Stop();
+    }
+  }
+}
+
+uint64_t ShardedFleet::visits() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->visits;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::churns() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->churns;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::events_executed() const {
+  uint64_t total = 0;
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    total += sharded_.shard(s).loop().events_executed();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::waterfills_full() const {
+  uint64_t total = 0;
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    total += sharded_.shard(s).flows().waterfills_full();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::waterfills_component() const {
+  uint64_t total = 0;
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    total += sharded_.shard(s).flows().waterfills_component();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::waterfill_skips() const {
+  uint64_t total = 0;
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    total += sharded_.shard(s).flows().waterfill_skips();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::ksm_memories_merged() const {
+  uint64_t total = 0;
+  for (const auto& cluster : clusters_) {
+    total += cluster->host->ksm().memories_merged();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::ksm_memories_skipped() const {
+  uint64_t total = 0;
+  for (const auto& cluster : clusters_) {
+    total += cluster->host->ksm().memories_skipped();
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::ksm_pages_sharing() const {
+  uint64_t total = 0;
+  for (const auto& cluster : clusters_) {
+    total += cluster->host->ksm().stats().pages_sharing;
+  }
+  return total;
+}
+
+FleetKsmStats ShardedFleet::ReconcileKsm() const {
+  std::vector<std::map<uint64_t, uint64_t>> hosts;
+  hosts.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    hosts.push_back(cluster->ksm_snapshot);
+  }
+  return FleetKsmIndex::ReconcileHistograms(hosts);
+}
+
+}  // namespace nymix

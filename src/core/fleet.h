@@ -1,0 +1,137 @@
+// ShardedFleet: a fleet of Nymix host clusters driven through the parallel
+// executor — the "core accepts a shard plan" integration point.
+//
+// The workload is the scale_fleet benchmark's: N nyms over ceil(N/8) hosts,
+// each host a cluster with its own test Tor deployment and destination
+// site, every nym visiting its cluster's site with think time and one
+// churn (terminate + replace) per slot. Hosts are assigned to shards
+// round-robin by creation index (ShardForIndex), so the partition — and
+// therefore every per-shard seed stream — depends only on (seed,
+// plan.shards), never on the thread count.
+//
+// Thread confinement: all per-slot callbacks run on the owning shard's
+// event loop, so every mutable field they touch (slot state, think Prng,
+// visit/churn counters) is per-shard. The only cross-shard operations are
+// the executor's epoch barrier and the post-run aggregations below.
+//
+// KSM: each host's daemon scans periodically while its shard has active
+// slots; when a shard's last slot finishes, a shard-local event stops that
+// shard's daemons (a periodic daemon would otherwise keep its loop from
+// ever going idle). ReconcileKsm() then runs the deterministic cross-host
+// reconcile (src/hv/ksm_fleet.h) over all hosts in creation order.
+#ifndef SRC_CORE_FLEET_H_
+#define SRC_CORE_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/nym_manager.h"
+#include "src/hv/ksm_fleet.h"
+#include "src/parallel/sharded_sim.h"
+#include "src/workload/website.h"
+
+namespace nymix {
+
+struct FleetOptions {
+  int nym_count = 8;
+  int nyms_per_host = 8;  // §5.2: a 16 GB desktop comfortably fits 8 nymboxes
+  int visits_per_generation = 2;
+  int generations = 2;  // one churn (terminate + replace) per slot
+  // Reference-mode toggles (flow waterfill / KSM rescan), for wall-clock
+  // comparison benches. Virtual-time results are identical either way.
+  bool full_recompute = false;
+  SimDuration ksm_interval = Seconds(2);
+  // Virtual time at which each host snapshots its KSM content histogram
+  // for the cross-host reconcile (shard-local event, so it is exact and
+  // thread-count-invariant). Mid-run by default: reconciling at the end
+  // would see only wiped memory, since every nym terminates.
+  SimDuration ksm_snapshot_time = Seconds(30);
+  // Per-cluster test Tor deployment; small so flow competition stays
+  // host-local (the real contention is each host's uplink anyway).
+  TorNetwork::Config tor = MakeClusterTorConfig();
+
+  static TorNetwork::Config MakeClusterTorConfig() {
+    TorNetwork::Config config;
+    config.relay_count = 6;
+    config.guard_count = 2;
+    config.exit_count = 2;
+    return config;
+  }
+};
+
+class ShardedFleet {
+ public:
+  // Builds every cluster up front (constructors only schedule shard-local
+  // events). `sharded` must outlive the fleet; its plan fixes the host
+  // partition.
+  ShardedFleet(ShardedSimulation& sharded, const FleetOptions& options, uint64_t seed);
+  ~ShardedFleet();
+
+  // Spawns every slot's first nym and drives the executor to quiescence.
+  void Run();
+
+  // Post-run aggregates, summed over shards in shard-id order.
+  uint64_t visits() const;
+  uint64_t churns() const;
+  uint64_t events_executed() const;
+  uint64_t waterfills_full() const;
+  uint64_t waterfills_component() const;
+  uint64_t waterfill_skips() const;
+  uint64_t ksm_memories_merged() const;
+  uint64_t ksm_memories_skipped() const;
+  uint64_t ksm_pages_sharing() const;
+
+  // Deterministic cross-host KSM reconcile over the per-host histograms
+  // snapshotted at ksm_snapshot_time, in host creation order.
+  FleetKsmStats ReconcileKsm() const;
+
+  int host_count() const { return static_cast<int>(clusters_.size()); }
+
+ private:
+  struct Cluster {
+    int shard = 0;
+    std::unique_ptr<HostMachine> host;
+    std::unique_ptr<TorNetwork> tor;
+    std::unique_ptr<NymManager> manager;
+    std::unique_ptr<Website> site;
+    // Captured at ksm_snapshot_time by a shard-local event.
+    std::map<uint64_t, uint64_t> ksm_snapshot;
+  };
+
+  struct Slot {
+    int cluster = 0;
+    Nym* nym = nullptr;
+    int visits_done = 0;
+    int generation = 0;
+  };
+
+  // Everything a worker thread mutates while running one shard's epoch.
+  struct ShardState {
+    Prng think_prng;
+    int total_slots = 0;
+    int finished_slots = 0;
+    uint64_t visits = 0;
+    uint64_t churns = 0;
+
+    explicit ShardState(uint64_t seed) : think_prng(seed) {}
+  };
+
+  Cluster& ClusterOf(int slot) { return *clusters_[static_cast<size_t>(slots_[static_cast<size_t>(slot)].cluster)]; }
+  ShardState& ShardOf(int slot) { return *shard_states_[static_cast<size_t>(ClusterOf(slot).shard)]; }
+
+  void SpawnNym(int slot);
+  void VisitNext(int slot);
+  void Advance(int slot);
+  void FinishSlot(int slot);
+
+  ShardedSimulation& sharded_;
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<ShardState>> shard_states_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_CORE_FLEET_H_

@@ -5,14 +5,17 @@
 namespace nymix {
 
 namespace {
-// Process-wide creation counter, same reasoning as Link's: the sim is
-// single-threaded and only the relative order of ids matters, so a plain
-// static is deterministic.
+// Process-wide creation counter for the id-less constructor, used by
+// standalone tests that build a GuestMemory without an EventLoop. Sim code
+// paths (VirtualMachine) pass an explicit per-loop id instead, so parallel
+// shards never touch this.
 uint64_t next_memory_id = 1;
 }  // namespace
 
-GuestMemory::GuestMemory(uint64_t ram_bytes)
-    : id_(next_memory_id++),
+GuestMemory::GuestMemory(uint64_t ram_bytes) : GuestMemory(ram_bytes, next_memory_id++) {}
+
+GuestMemory::GuestMemory(uint64_t ram_bytes, uint64_t id)
+    : id_(id),
       total_pages_((ram_bytes + kPageSize - 1) / kPageSize),
       zero_pages_(total_pages_),
       next_unique_tag_(1) {

@@ -28,8 +28,12 @@ class GuestMemory {
  public:
   // All pages are obtained from the host at initialization ("KVM obtains
   // most of the requested memory for a VM at VM initialization", §5.2) and
-  // start as zero pages.
+  // start as zero pages. The single-argument form draws the id from a
+  // process-wide counter (fine for standalone tests); loop-owned callers
+  // (VirtualMachine) pass EventLoop::AllocateObjectId() so parallel shards
+  // allocate ids without racing or depending on shard interleaving.
   explicit GuestMemory(uint64_t ram_bytes);
+  GuestMemory(uint64_t ram_bytes, uint64_t id);
 
   uint64_t total_pages() const { return total_pages_; }
   uint64_t total_bytes() const { return total_pages_ * kPageSize; }

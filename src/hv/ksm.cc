@@ -188,6 +188,20 @@ void KsmDaemon::Stop() {
   pending_event_ = 0;
 }
 
+std::map<uint64_t, uint64_t> KsmDaemon::ContentHistogram() const {
+  // Rebuilt from the live memories, not from content_counts_: the
+  // incremental index lags mutations made since the last ScanNow and is
+  // empty entirely under full_rescan, while the fleet reconcile
+  // (src/hv/ksm_fleet.h) must see the same histogram either way.
+  std::map<uint64_t, uint64_t> histogram;
+  for (const GuestMemory* memory : memories_()) {
+    for (const auto& [content, pages] : memory->pages_by_content()) {
+      histogram[content] += pages;
+    }
+  }
+  return histogram;
+}
+
 void KsmDaemon::Tick() {
   ScanNow();
   pending_event_ = loop_.ScheduleAfter(interval_, [this] {

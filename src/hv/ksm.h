@@ -65,6 +65,12 @@ class KsmDaemon {
   void set_full_rescan(bool full);
   bool full_rescan() const { return full_rescan_; }
 
+  // Fleet-wide reconcile input (src/hv/ksm_fleet.h): the live content
+  // histogram (content id → total pages) across every tracked memory,
+  // rebuilt from the memories themselves so the result is independent of
+  // scan mode (incremental vs full_rescan) and of when ScanNow last ran.
+  std::map<uint64_t, uint64_t> ContentHistogram() const;
+
   // Scan-effort introspection (always counted, metrics attached or not).
   uint64_t passes() const { return passes_; }
   uint64_t memories_merged() const { return memories_merged_; }

@@ -1,0 +1,60 @@
+// Fleet-wide KSM reconcile: what samepage merging *would* save if the whole
+// fleet's memory sat on one machine.
+//
+// Each host's KsmDaemon only merges within its own machine — that is the
+// real kernel's scope, and in the parallel executor it is also the shard
+// boundary. The fleet index answers the cross-host question (every Nymix
+// box boots the same release image, so image-backed pages duplicate across
+// hosts exactly as they do across VMs): it folds per-host content
+// histograms into one fleet histogram and re-derives shared/sharing totals.
+//
+// Determinism: Reconcile is pure — it reads per-host histograms (rebuilt
+// from live memories, scan-mode independent) and merges std::maps in the
+// order the daemons are passed. ShardedFleet passes hosts in creation
+// order, so the result is byte-identical across thread counts and
+// identical between a sharded run and an unsharded one with the same
+// per-host contents.
+#ifndef SRC_HV_KSM_FLEET_H_
+#define SRC_HV_KSM_FLEET_H_
+
+#include <vector>
+
+#include "src/hv/ksm.h"
+
+namespace nymix {
+
+struct FleetKsmStats {
+  uint64_t hosts = 0;
+  // Fleet-wide merge result (KsmStats semantics, §4.2 / Figure 3, but over
+  // every host's pages at once).
+  uint64_t pages_shared = 0;
+  uint64_t pages_sharing = 0;
+  // Sum of what per-host merging already achieves on its own.
+  uint64_t local_pages_sharing = 0;
+
+  uint64_t pages_saved() const { return pages_sharing - pages_shared; }
+  uint64_t bytes_saved() const { return pages_saved() * kPageSize; }
+  // Sharing visible only fleet-wide: pages whose content is unique within
+  // their host but duplicated on another host.
+  uint64_t cross_host_extra_sharing() const { return pages_sharing - local_pages_sharing; }
+};
+
+class FleetKsmIndex {
+ public:
+  // Pass daemons in host creation order (the caller's stable order is part
+  // of the determinism contract, though the merged totals are order-
+  // independent anyway since histogram addition commutes). Reads the LIVE
+  // histograms — a fleet whose nyms have all terminated reconciles to zero
+  // by design (§3.4: wiped memory holds nothing to merge).
+  static FleetKsmStats Reconcile(const std::vector<const KsmDaemon*>& daemons);
+
+  // Same reconcile over captured per-host histograms (one per host, in
+  // host creation order) — what ShardedFleet feeds it from its fixed-
+  // virtual-time snapshots, taken while the nyms are still alive.
+  static FleetKsmStats ReconcileHistograms(
+      const std::vector<std::map<uint64_t, uint64_t>>& hosts);
+};
+
+}  // namespace nymix
+
+#endif  // SRC_HV_KSM_FLEET_H_

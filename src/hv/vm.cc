@@ -59,7 +59,9 @@ VirtualMachine::VirtualMachine(Simulation& sim, VmConfig config,
                                std::shared_ptr<const MemFs> config_layer)
     : sim_(sim),
       config_(std::move(config)),
-      memory_(config_.ram_bytes),
+      // Loop-scoped id: KSM keys per-memory state by it, and parallel shards
+      // must not share (or race on) a process-wide counter.
+      memory_(config_.ram_bytes, sim.loop().AllocateObjectId()),
       disk_(image, std::move(config_layer), config_.disk_capacity),
       image_(std::move(image)) {}
 

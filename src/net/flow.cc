@@ -57,6 +57,13 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
   RefreshMeters();
   FlowId id = next_id_++;
   Flow flow;
+  for (Link* link : route.links) {
+    // Flows fair-share inside one shard's scheduler; a cross-shard half-link
+    // has no local receiving side, so routing a flow over it would silently
+    // model half a wire. Cross-shard traffic goes packet-by-packet through
+    // CrossShardChannel (src/parallel) instead.
+    NYMIX_CHECK(!link->remote());
+  }
   flow.links = route.links;
   flow.remaining_bytes = static_cast<double>(bytes) * overhead_factor;
   flow.options = options;

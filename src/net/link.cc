@@ -4,13 +4,6 @@
 
 namespace nymix {
 
-namespace {
-// Process-wide creation counter. The sim is single-threaded (enforced by
-// nymlint's sim-thread rule), and only the *relative* order of ids matters,
-// so a plain static is deterministic.
-uint64_t next_link_id = 1;
-}  // namespace
-
 std::string_view LinkDropReasonName(LinkDropReason reason) {
   switch (reason) {
     case LinkDropReason::kNoSink:
@@ -27,7 +20,10 @@ std::string_view LinkDropReasonName(LinkDropReason reason) {
 
 Link::Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps)
     : loop_(loop),
-      id_(next_link_id++),
+      // Per-loop, not process-wide: parallel shards create links
+      // concurrently, and a shard's ids must depend only on its own event
+      // order (LinkIdLess feeds fair-share iteration).
+      id_(loop.AllocateObjectId()),
       name_(std::move(name)),
       latency_(latency),
       bandwidth_bps_(bandwidth_bps) {
@@ -110,6 +106,16 @@ void Link::Send(Packet packet, bool from_a) {
   SimDuration serialization =
       static_cast<SimDuration>(packet.WireSize() * 8 * 1'000'000 / bandwidth_bps_);
   SimDuration delay = latency_ + serialization + spike;
+  if (remote_forward_) {
+    // Cross-shard half-link: the full local pipeline above (capture, meters,
+    // drop reasons, fault draws, delay computation) has run; delivery is the
+    // executor's job, at deliver_at in the peer shard. Only the local side
+    // (A) ever sends on a half-link, and max_in_flight is not modeled across
+    // shards (in_flight_ stays 0, so the overflow check never trips).
+    NYMIX_CHECK(from_a);
+    remote_forward_(std::move(packet), loop_.now() + delay);
+    return;
+  }
   ++in_flight_;
   loop_.ScheduleAfter(delay, [this, packet = std::move(packet), from_a]() mutable {
     --in_flight_;
@@ -121,6 +127,16 @@ void Link::Send(Packet packet, bool from_a) {
     ++delivered_;
     sink->OnPacket(packet, *this, from_a);
   });
+}
+
+void Link::DeliverFromRemote(const Packet& packet) {
+  PacketSink* sink = a_;
+  if (sink == nullptr) {
+    Drop(LinkDropReason::kNoSink);
+    return;
+  }
+  ++delivered_;
+  sink->OnPacket(packet, *this, /*from_a=*/false);
 }
 
 }  // namespace nymix

@@ -9,6 +9,7 @@
 #define SRC_NET_LINK_H_
 
 #include <array>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -60,10 +61,12 @@ class Link {
  public:
   Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps);
 
-  // Creation-order sequence number. Containers keyed on Link* must order by
-  // this (LinkIdLess below), never by address: link creation order is
-  // deterministic, heap addresses are not, and iteration order reaches
-  // simulation outputs (fair-share rounding, NIC scan order).
+  // Creation-order sequence number, drawn from the owning loop's per-loop
+  // fountain (EventLoop::AllocateObjectId) so parallel shards allocate
+  // without racing. Containers keyed on Link* must order by this
+  // (LinkIdLess below), never by address: link creation order within a
+  // shard is deterministic, heap addresses are not, and iteration order
+  // reaches simulation outputs (fair-share rounding, NIC scan order).
   uint64_t id() const { return id_; }
 
   const std::string& name() const { return name_; }
@@ -92,6 +95,26 @@ class Link {
   // A down link drops everything (flap it from a FaultInjector schedule).
   void SetDown(bool down);
   bool is_down() const { return down_; }
+
+  // --- Cross-shard endpoints (src/parallel) -----------------------------
+  // A cross-shard wire is modeled as two half-links, one per shard, bridged
+  // by a mailbox: on each half-link the local endpoint is side A and side B
+  // is remote. With a forward installed, SendFromA runs the normal local
+  // pipeline (capture, drop reasons, fault draws, latency + serialization
+  // into `deliver_at`) but hands (packet, deliver_at) to the forward
+  // instead of scheduling local delivery; the peer half-link's
+  // DeliverFromRemote is the inbound end, invoked by the executor at
+  // exactly `deliver_at` in the destination shard. Cross-shard causality is
+  // safe because deliver_at >= send time + latency >= the executor's
+  // lookahead horizon (ShardedSimulation computes its lookahead as the
+  // minimum latency over all cross-shard half-links).
+  void set_remote_forward(std::function<void(Packet, SimTime deliver_at)> forward) {
+    remote_forward_ = std::move(forward);
+  }
+  bool remote() const { return static_cast<bool>(remote_forward_); }
+  // Delivers an inbound cross-shard packet to the local side-A sink (drops
+  // with kNoSink when nothing is attached, like any other link).
+  void DeliverFromRemote(const Packet& packet);
 
   // Wired by Simulation::CreateLink so SetDown can mark this link dirty in
   // the flow scheduler's incremental fair-share state. Rates still only
@@ -125,6 +148,7 @@ class Link {
   FlowScheduler* scheduler_ = nullptr;
   bool down_ = false;
   uint64_t in_flight_ = 0;
+  std::function<void(Packet, SimTime)> remote_forward_;
 };
 
 // Comparator for Link*-keyed ordered containers: creation order, which is

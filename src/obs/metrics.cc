@@ -44,6 +44,36 @@ void Histogram::Record(double value) {
   ++buckets_[BucketIndex(value)];
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [index, bucket_count] : other.buckets_) {
+    buckets_[index] += bucket_count;
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].Increment(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].Add(gauge.value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].MergeFrom(histogram);
+  }
+}
+
 double Histogram::Percentile(double p) const {
   if (count_ == 0) {
     return 0;

@@ -44,6 +44,12 @@ class Histogram {
  public:
   void Record(double value);
 
+  // Folds `other` in: bucket-exact, so merging shard histograms in any
+  // grouping yields the same result as recording every sample into one
+  // histogram (up to float-summation order of `sum`, which is why merges
+  // must happen in a deterministic order — see MetricsRegistry::MergeFrom).
+  void MergeFrom(const Histogram& other);
+
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0 : min_; }
@@ -80,6 +86,21 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  // Wall-clock self-profiling instruments (EventLoop's event_wall_ns) are
+  // recorded by default. Turn them off to make the registry dump
+  // byte-identical across identically-seeded runs — the metrics-side twin
+  // of TraceRecorder::set_record_wall_time(false). Virtual-time metrics
+  // are unaffected.
+  bool record_wall_time() const { return record_wall_time_; }
+  void set_record_wall_time(bool record) { record_wall_time_ = record; }
+
+  // Folds `other` into this registry: counters and gauges add, histograms
+  // bucket-merge; instruments missing here are created. The parallel
+  // executor merges per-shard registries in shard-id order, which fixes
+  // the float-summation order and keeps the merged dump byte-identical
+  // across thread counts.
+  void MergeFrom(const MetricsRegistry& other);
+
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   // min, max, mean, p50, p95, p99}}} — keys in lexicographic order, so the
   // document is stable across runs.
@@ -90,6 +111,7 @@ class MetricsRegistry {
 
  private:
   bool enabled_ = false;
+  bool record_wall_time_ = true;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

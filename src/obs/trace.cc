@@ -96,6 +96,75 @@ void TraceRecorder::AddAsyncEnd(const char* category, const std::string& name, u
   events_.push_back(std::move(event));
 }
 
+void TraceRecorder::MergeShardTraces(const std::vector<const TraceRecorder*>& parts) {
+  if (!enabled_) {
+    return;
+  }
+  // Reverse tid -> track-name view of every part, so merged events can be
+  // re-homed onto prefixed tracks through this recorder's own tid table.
+  std::vector<std::vector<const std::string*>> part_tracks(parts.size());
+  std::vector<std::string> part_prefixes(parts.size());
+  size_t total = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    part_tracks[p].resize(parts[p]->next_tid_, nullptr);
+    for (const auto& [track, tid] : parts[p]->track_tids_) {
+      part_tracks[p][tid] = &track;
+    }
+    part_prefixes[p] = "s" + std::to_string(p) + "/";
+    total += parts[p]->events_.size();
+  }
+
+  struct Ref {
+    uint32_t part;
+    uint32_t index;
+  };
+  std::vector<Ref> order;
+  order.reserve(total);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (size_t i = 0; i < parts[p]->events_.size(); ++i) {
+      order.push_back(Ref{static_cast<uint32_t>(p), static_cast<uint32_t>(i)});
+    }
+  }
+  // Stable sort on virtual time only: ties keep the (shard id, in-shard
+  // recording order) sequence the loop above laid down.
+  std::stable_sort(order.begin(), order.end(), [&](const Ref& a, const Ref& b) {
+    return parts[a.part]->events_[a.index].ts < parts[b.part]->events_[b.index].ts;
+  });
+
+  events_.reserve(events_.size() + total);
+  for (const Ref& ref : order) {
+    Event event = parts[ref.part]->events_[ref.index];
+    const std::string& prefix = part_prefixes[ref.part];
+    event.ts += offset_;
+    switch (event.phase) {
+      case 'X':
+        if (!record_wall_time_) {
+          event.wall_us = -1.0;
+        }
+        [[fallthrough]];
+      case 'i':
+        event.tid = TidForTrack(prefix + *part_tracks[ref.part][event.tid]);
+        break;
+      case 'C':
+        // Counters carry no track; the shard prefix on the name keeps one
+        // shard's series from interleaving into another's.
+        event.name = prefix + event.name;
+        break;
+      case 'b':
+      case 'e':
+        // Shard-salted async ids: per-shard flow ids restart at 1, so two
+        // shards' flow 7 must not pair up in the merged stream. Real ids
+        // are small (event counters), far below the 2^48 salt boundary.
+        event.async_id |= static_cast<uint64_t>(ref.part) << 48;
+        break;
+      default:
+        break;
+    }
+    max_ts_ = std::max(max_ts_, event.ts + (event.phase == 'X' ? event.dur : 0));
+    events_.push_back(std::move(event));
+  }
+}
+
 void TraceRecorder::NextTimeline(SimDuration gap) {
   if (!enabled_) {
     return;

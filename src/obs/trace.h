@@ -58,6 +58,17 @@ class TraceRecorder {
   size_t event_count() const { return events_.size(); }
   void Clear();
 
+  // Folds per-shard recorders into this one as one stream, deterministically:
+  // events are interleaved by (virtual time, position in `parts`, in-shard
+  // recording order), tracks and counter names gain an "s<i>/" shard prefix,
+  // and async ids are salted with the shard index so same-numbered flows in
+  // different shards stay distinct. Because the order depends only on
+  // recorded virtual times and the caller passing shards in id order, the
+  // merged JSON is byte-identical no matter how many threads produced the
+  // parts (src/parallel's determinism contract). Events land after this
+  // recorder's current timeline offset, so NextTimeline() composes.
+  void MergeShardTraces(const std::vector<const TraceRecorder*>& parts);
+
   // Wall-clock self-profiling args ("wall_us" on 'X' events) are recorded
   // by default. Turn them off to make exported JSON byte-identical across
   // identically-seeded runs: all virtual-time content is reproducible, the

@@ -1,0 +1,53 @@
+#include "src/parallel/channel.h"
+
+#include "src/net/simulation.h"
+#include "src/util/check.h"
+
+namespace nymix {
+
+CrossShardChannel::CrossShardChannel(uint64_t id, std::string name, int shard_a, int shard_b,
+                                     Simulation& sim_a, Simulation& sim_b, SimDuration latency,
+                                     uint64_t bandwidth_bps)
+    : id_(id),
+      name_(std::move(name)),
+      shard_a_(shard_a),
+      shard_b_(shard_b),
+      latency_(latency) {
+  // Zero latency would make the executor's lookahead horizon degenerate: a
+  // send could demand delivery inside the epoch that produced it.
+  NYMIX_CHECK(latency_ > 0);
+  NYMIX_CHECK(shard_a_ != shard_b_);
+  link_a_ = sim_a.CreateLink(name_ + "/a", latency_, bandwidth_bps);
+  link_b_ = sim_b.CreateLink(name_ + "/b", latency_, bandwidth_bps);
+  link_a_->set_remote_forward([this](Packet packet, SimTime deliver_at) {
+    outbox_to_b_.push_back(Buffered{deliver_at, seq_to_b_++, std::move(packet)});
+  });
+  link_b_->set_remote_forward([this](Packet packet, SimTime deliver_at) {
+    outbox_to_a_.push_back(Buffered{deliver_at, seq_to_a_++, std::move(packet)});
+  });
+}
+
+void CrossShardChannel::SetFaultProfile(const LinkFaultProfile& profile, uint64_t seed) {
+  link_a_->SetFaultProfile(profile, Mix64(seed ^ Fnv1a64("channel.a_to_b")));
+  link_b_->SetFaultProfile(profile, Mix64(seed ^ Fnv1a64("channel.b_to_a")));
+}
+
+void CrossShardChannel::SetDown(bool down) {
+  link_a_->SetDown(down);
+  link_b_->SetDown(down);
+}
+
+void CrossShardChannel::DrainInto(std::vector<PendingDelivery>& out) {
+  for (Buffered& buffered : outbox_to_b_) {
+    out.push_back(PendingDelivery{buffered.deliver_at, shard_a_, id_, buffered.seq, shard_b_,
+                                  link_b_, std::move(buffered.packet)});
+  }
+  outbox_to_b_.clear();
+  for (Buffered& buffered : outbox_to_a_) {
+    out.push_back(PendingDelivery{buffered.deliver_at, shard_b_, id_, buffered.seq, shard_a_,
+                                  link_a_, std::move(buffered.packet)});
+  }
+  outbox_to_a_.clear();
+}
+
+}  // namespace nymix

@@ -1,0 +1,34 @@
+// ShardPlan: how a sharded simulation is split and driven.
+//
+// `shards` is part of the experiment definition: it fixes the partition of
+// hosts/VMs into independent event loops and thereby the per-shard seed
+// streams. `threads` is pure execution mechanics: any thread count run
+// against the same plan produces byte-identical merged traces and metrics
+// (src/parallel/sharded_sim.h states the full contract). Comparing results
+// across *shard counts* is NOT expected to be identical — changing the
+// partition changes per-shard seeds and link creation order, just like
+// changing a topology.
+#ifndef SRC_PARALLEL_SHARD_PLAN_H_
+#define SRC_PARALLEL_SHARD_PLAN_H_
+
+#include <cstddef>
+
+namespace nymix {
+
+struct ShardPlan {
+  // Number of independent simulation shards (>= 1).
+  int shards = 1;
+  // Worker threads driving the shards (>= 1). 1 runs every shard inline on
+  // the caller, in shard-id order — the serial reference execution.
+  int threads = 1;
+};
+
+// Canonical host -> shard assignment: round-robin by creation index, so the
+// partition depends only on the experiment definition.
+inline int ShardForIndex(size_t index, int shards) {
+  return static_cast<int>(index % static_cast<size_t>(shards));
+}
+
+}  // namespace nymix
+
+#endif  // SRC_PARALLEL_SHARD_PLAN_H_

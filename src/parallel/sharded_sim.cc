@@ -1,0 +1,131 @@
+#include "src/parallel/sharded_sim.h"
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace nymix {
+
+ShardedSimulation::ShardedSimulation(uint64_t seed, ShardPlan plan)
+    : plan_(plan), pool_(plan.threads) {
+  NYMIX_CHECK(plan_.shards >= 1);
+  shard_obs_.reserve(static_cast<size_t>(plan_.shards));
+  shards_.reserve(static_cast<size_t>(plan_.shards));
+  for (int i = 0; i < plan_.shards; ++i) {
+    // Shard seeds depend on (experiment seed, shard id) only — never on the
+    // thread count — so the plan fully determines every shard's randomness.
+    uint64_t shard_seed =
+        Mix64(seed ^ Fnv1a64("nymix.shard") ^ static_cast<uint64_t>(i));
+    shard_obs_.push_back(std::make_unique<Observability>());
+    shards_.push_back(std::make_unique<Simulation>(shard_seed));
+    shards_.back()->loop().set_observability(shard_obs_.back().get());
+  }
+}
+
+void ShardedSimulation::EnableObservability(bool record_wall_time) {
+  for (int i = 0; i < plan_.shards; ++i) {
+    Observability& obs = *shard_obs_[static_cast<size_t>(i)];
+    obs.EnableAll();
+    obs.trace.set_record_wall_time(record_wall_time);
+    obs.metrics.set_record_wall_time(record_wall_time);
+    // Re-attach so the loop re-resolves its cached instrument pointers now
+    // that the registry is enabled.
+    shards_[static_cast<size_t>(i)]->loop().set_observability(&obs);
+  }
+  merged_obs_.EnableAll();
+  merged_obs_.trace.set_record_wall_time(record_wall_time);
+  merged_obs_.metrics.set_record_wall_time(record_wall_time);
+}
+
+CrossShardChannel* ShardedSimulation::CreateChannel(std::string name, int shard_a, int shard_b,
+                                                    SimDuration latency,
+                                                    uint64_t bandwidth_bps) {
+  NYMIX_CHECK(shard_a >= 0 && shard_a < plan_.shards);
+  NYMIX_CHECK(shard_b >= 0 && shard_b < plan_.shards);
+  auto channel = std::make_unique<CrossShardChannel>(
+      static_cast<uint64_t>(channels_.size()), std::move(name), shard_a, shard_b,
+      shard(shard_a), shard(shard_b), latency, bandwidth_bps);
+  if (lookahead_ == 0 || latency < lookahead_) {
+    lookahead_ = latency;
+  }
+  channels_.push_back(std::move(channel));
+  return channels_.back().get();
+}
+
+void ShardedSimulation::RunUntilIdle() {
+  size_t n = shards_.size();
+  if (channels_.empty()) {
+    // No cross-shard edges: the shards are fully independent simulations.
+    // One "epoch" of run-to-idle each; worker assignment is irrelevant
+    // because no state is shared.
+    pool_.RunIndexed(n, [&](size_t i) { shards_[i]->loop().RunUntilIdle(); });
+    ++epochs_;
+    return;
+  }
+  for (;;) {
+    // Outboxes are always empty here (drained at every barrier), so global
+    // quiescence is exactly "no shard has a pending event".
+    std::optional<SimTime> t_min;
+    for (auto& s : shards_) {
+      std::optional<SimTime> t = s->loop().NextEventTime();
+      if (t.has_value() && (!t_min.has_value() || *t < *t_min)) {
+        t_min = *t;
+      }
+    }
+    if (!t_min.has_value()) {
+      return;
+    }
+    // Strict horizon: a send at time t >= t_min delivers at
+    // t + lookahead >= t_min + lookahead = horizon + 1, so nothing executed
+    // this epoch can demand delivery inside it.
+    SimTime horizon = *t_min + lookahead_ - 1;
+    pool_.RunIndexed(n, [&](size_t i) { shards_[i]->loop().RunUntil(horizon); });
+    ++epochs_;
+    DispatchDeliveries();
+  }
+}
+
+void ShardedSimulation::DispatchDeliveries() {
+  std::vector<CrossShardChannel::PendingDelivery> pending;
+  for (auto& channel : channels_) {
+    channel->DrainInto(pending);
+  }
+  if (pending.empty()) {
+    return;
+  }
+  // The total order that makes cross-shard traffic thread-count-invariant:
+  // virtual delivery time, then source shard, then channel creation order,
+  // then per-direction send sequence. Every component is deterministic.
+  std::sort(pending.begin(), pending.end(),
+            [](const CrossShardChannel::PendingDelivery& a,
+               const CrossShardChannel::PendingDelivery& b) {
+              return std::tie(a.deliver_at, a.src_shard, a.channel_id, a.seq) <
+                     std::tie(b.deliver_at, b.src_shard, b.channel_id, b.seq);
+            });
+  for (CrossShardChannel::PendingDelivery& delivery : pending) {
+    Link* link = delivery.dst_link;
+    shards_[static_cast<size_t>(delivery.dst_shard)]->loop().ScheduleAt(
+        delivery.deliver_at,
+        [link, packet = std::move(delivery.packet)]() { link->DeliverFromRemote(packet); });
+  }
+  cross_deliveries_ += pending.size();
+}
+
+void ShardedSimulation::MergeObservability() {
+  NYMIX_CHECK(!merged_done_);
+  merged_done_ = true;
+  std::vector<const TraceRecorder*> parts;
+  parts.reserve(shard_obs_.size());
+  for (auto& obs : shard_obs_) {
+    parts.push_back(&obs->trace);
+  }
+  merged_obs_.trace.MergeShardTraces(parts);
+  for (auto& obs : shard_obs_) {
+    merged_obs_.metrics.MergeFrom(obs->metrics);
+  }
+}
+
+}  // namespace nymix

@@ -1,0 +1,97 @@
+// ShardedSimulation: a conservative (lookahead-synchronized) parallel
+// executor over K independent Simulation shards.
+//
+// Determinism contract — the reason this subsystem exists:
+//
+//   For a fixed (seed, ShardPlan::shards, experiment definition), the
+//   merged trace JSON and metrics dump are byte-identical for EVERY thread
+//   count, including threads=1. Thread count is execution mechanics, not
+//   experiment definition.
+//
+// How the contract is kept:
+//   * Shard seeds derive from (experiment seed, shard id) only.
+//   * Within an epoch, shards touch disjoint state, so worker assignment
+//     cannot matter; the epoch barrier is the only synchronization.
+//   * Cross-shard packets are buffered in per-direction channel outboxes
+//     (single-writer: the source shard) and scheduled at the barrier by the
+//     coordinator in (deliver_at, src shard, channel id, seq) order.
+//   * Per-shard Observability is merged in shard-id order
+//     (TraceRecorder::MergeShardTraces, MetricsRegistry::MergeFrom).
+//   * threads=1 runs the SAME sharded structure inline in shard order — the
+//     serial reference that tests/parallel_equivalence_test.cc compares
+//     against.
+//
+// Epoch algorithm (classic conservative PDES with static lookahead): let
+// t_min be the earliest pending event across all shards, and lookahead the
+// minimum latency over all cross-shard channels. Every shard may safely run
+// to horizon = t_min + lookahead - 1, because any cross-shard send at time
+// t >= t_min arrives no earlier than t + lookahead > horizon. With no
+// channels the shards are fully independent and run to idle in one epoch.
+#ifndef SRC_PARALLEL_SHARDED_SIM_H_
+#define SRC_PARALLEL_SHARDED_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/simulation.h"
+#include "src/obs/observability.h"
+#include "src/parallel/channel.h"
+#include "src/parallel/shard_plan.h"
+#include "src/util/thread_pool.h"
+
+namespace nymix {
+
+class ShardedSimulation {
+ public:
+  ShardedSimulation(uint64_t seed, ShardPlan plan);
+
+  int shard_count() const { return plan_.shards; }
+  int thread_count() const { return pool_.thread_count(); }
+  Simulation& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  Observability& shard_obs(int i) { return *shard_obs_[static_cast<size_t>(i)]; }
+
+  // Enables tracing + metrics on every shard (and the merged sink).
+  // record_wall_time=false is what byte-identity comparisons need: all
+  // virtual-time content is reproducible, the simulator's own wall clock
+  // never is.
+  void EnableObservability(bool record_wall_time);
+
+  // Creates a cross-shard wire (owned by this executor; see channel.h).
+  // Must be called before Run — channels define the lookahead.
+  CrossShardChannel* CreateChannel(std::string name, int shard_a, int shard_b,
+                                   SimDuration latency, uint64_t bandwidth_bps);
+
+  // Runs epochs until every shard is idle and no cross-shard deliveries are
+  // pending. Callable repeatedly (schedule more work between calls).
+  void RunUntilIdle();
+
+  // Folds per-shard traces and metrics into merged() in shard-id order.
+  // Call once, after the run; the merged trace interleaves shard events by
+  // virtual time with "s<i>/" track prefixes.
+  void MergeObservability();
+  Observability& merged() { return merged_obs_; }
+
+  // Executor introspection (for benches and tests).
+  uint64_t epochs() const { return epochs_; }
+  uint64_t cross_deliveries() const { return cross_deliveries_; }
+  SimDuration lookahead() const { return lookahead_; }
+
+ private:
+  void DispatchDeliveries();
+
+  ShardPlan plan_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Observability>> shard_obs_;
+  std::vector<std::unique_ptr<Simulation>> shards_;
+  std::vector<std::unique_ptr<CrossShardChannel>> channels_;
+  Observability merged_obs_;
+  SimDuration lookahead_ = 0;  // min channel latency; 0 = no channels yet
+  uint64_t epochs_ = 0;
+  uint64_t cross_deliveries_ = 0;
+  bool merged_done_ = false;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_PARALLEL_SHARDED_SIM_H_

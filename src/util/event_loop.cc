@@ -60,6 +60,14 @@ void EventLoop::PruneCancelledTop() {
   }
 }
 
+std::optional<SimTime> EventLoop::NextEventTime() {
+  PruneCancelledTop();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().when;
+}
+
 bool EventLoop::RunOne() {
   PruneCancelledTop();
   if (heap_.empty()) {
@@ -78,14 +86,20 @@ bool EventLoop::RunOne() {
     queue_depth_->Record(static_cast<double>(callbacks_.size()));
     // Wall time below is the simulator profiling its own execution cost.
     // It feeds a metrics histogram only; virtual time moves solely through
-    // clock_.AdvanceTo above, so determinism of results is unaffected.
-    // nymlint:allow(determinism-wallclock): self-profiling metric, never feeds virtual time
-    auto wall_start = std::chrono::steady_clock::now();
-    fn();
-    // nymlint:allow(determinism-wallclock): self-profiling metric, never feeds virtual time
-    auto wall_end = std::chrono::steady_clock::now();
-    event_wall_ns_->Record(
-        std::chrono::duration<double, std::nano>(wall_end - wall_start).count());
+    // clock_.AdvanceTo above, so determinism of results is unaffected. The
+    // record_wall_time gate exists for byte-identity tests, which need the
+    // registry dump free of wall-clock values.
+    if (obs_->metrics.record_wall_time()) {
+      // nymlint:allow(determinism-wallclock): self-profiling metric, never feeds virtual time
+      auto wall_start = std::chrono::steady_clock::now();
+      fn();
+      // nymlint:allow(determinism-wallclock): self-profiling metric, never feeds virtual time
+      auto wall_end = std::chrono::steady_clock::now();
+      event_wall_ns_->Record(
+          std::chrono::duration<double, std::nano>(wall_end - wall_start).count());
+    } else {
+      fn();
+    }
   } else {
     fn();
   }

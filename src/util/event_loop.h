@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -49,6 +50,20 @@ class EventLoop {
   // Runs until `done` returns true or no events remain; returns whether the
   // predicate was satisfied.
   bool RunUntilCondition(const std::function<bool()>& done);
+
+  // Virtual time of the earliest live pending event, or nullopt when idle.
+  // Prunes cancelled tombstones from the heap top to find it, hence
+  // non-const. The parallel shard executor (src/parallel) uses this to
+  // compute conservative epoch horizons.
+  std::optional<SimTime> NextEventTime();
+
+  // Deterministic per-loop id fountain for objects created while the
+  // simulation runs (links, guest memories). Per-loop rather than
+  // process-wide so parallel shards can allocate concurrently without
+  // racing, and so a shard's ids depend only on its own event order —
+  // these ids key ordered containers (LinkIdLess, KSM's per-memory state)
+  // whose iteration order reaches simulation outputs.
+  uint64_t AllocateObjectId() { return next_object_id_++; }
 
   // Live (scheduled, not cancelled, not yet run) events. Robust against
   // cancelled entries that still sit in the heap awaiting their lazy pop:
@@ -120,6 +135,7 @@ class EventLoop {
   static constexpr size_t kMaxPooledNodes = 256;
   uint64_t next_id_ = 1;
   uint64_t next_sequence_ = 1;
+  uint64_t next_object_id_ = 1;
 
   Observability* obs_ = nullptr;
   uint64_t obs_epoch_ = 1;

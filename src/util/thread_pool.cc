@@ -1,0 +1,111 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace nymix {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 1) {
+    return;  // inline pool: RunIndexed executes on the caller
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<int>(count);
+}
+
+void ThreadPool::RunIndexed(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    // Serial reference path: index order, caller's thread, no locking.
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    NYMIX_CHECK_MSG(batch_fn_ == nullptr, "ThreadPool::RunIndexed is not reentrant");
+    batch_fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    ++batch_generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates: on a machine with fewer cores than workers
+  // this costs nothing, and on n==1 batches it avoids a pointless handoff.
+  DrainBatch(batch_generation_);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return completed_ == batch_size_; });
+  batch_fn_ = nullptr;
+}
+
+void ThreadPool::DrainBatch(uint64_t generation) {
+  for (;;) {
+    size_t index;
+    const std::function<void(size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // The generation check keeps a laggard worker from claiming indexes
+      // of a batch installed after the one it woke for: once a claim
+      // succeeds, RunIndexed cannot return (it waits for the claimed
+      // index's completion), so `fn` stays valid for the call below.
+      if (batch_generation_ != generation || next_index_ >= batch_size_) {
+        return;
+      }
+      index = next_index_++;
+      fn = batch_fn_;
+    }
+    (*fn)(index);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++completed_;
+      if (completed_ == batch_size_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (batch_fn_ != nullptr && batch_generation_ != seen_generation &&
+                             next_index_ < batch_size_);
+      });
+      if (stopping_) {
+        return;
+      }
+      generation = batch_generation_;
+      seen_generation = generation;
+    }
+    DrainBatch(generation);
+  }
+}
+
+}  // namespace nymix

@@ -1,0 +1,71 @@
+// ThreadPool: the one place in the stack that owns real OS threads. The
+// parallel shard executor (src/parallel) runs per-shard EventLoops on this
+// pool; everything else in the simulator stays single-threaded and is kept
+// that way by nymlint's thread-confinement rule (only src/parallel and
+// src/util may touch raw threading primitives).
+//
+// The pool runs *index batches*: RunIndexed(n, fn) executes fn(0..n-1),
+// each index exactly once, and returns when every call finished. Which
+// worker runs which index is scheduling noise — callers must make fn(i)
+// touch only state owned by index i, so results cannot depend on the
+// assignment. With thread_count() <= 1 the pool owns no threads at all and
+// RunIndexed runs inline on the caller, in index order: the serial
+// reference execution that the determinism tests compare threaded runs
+// against.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nymix {
+
+class ThreadPool {
+ public:
+  // `threads` <= 1 creates a no-thread pool that runs batches inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn(i) for every i in [0, n), blocking until all calls returned.
+  // Indexes are claimed from a shared cursor, so long and short tasks
+  // balance across workers. Not reentrant: one batch at a time.
+  void RunIndexed(size_t n, const std::function<void(size_t)>& fn);
+
+  // Worker threads owned by the pool (0 for the inline pool). The inline
+  // pool reports a count of 1: one lane of execution, the caller's.
+  int thread_count() const { return workers_.empty() ? 1 : static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency with a floor of 1. Exposed here so
+  // benches can report machine parallelism without touching <thread>
+  // themselves (which the lint rules ban outside this directory).
+  static int HardwareThreads();
+
+ private:
+  void WorkerMain();
+  // Claims and runs indexes of batch `generation` until it is exhausted or
+  // superseded.
+  void DrainBatch(uint64_t generation);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a batch
+  std::condition_variable done_cv_;   // RunIndexed waits here for completion
+  const std::function<void(size_t)>* batch_fn_ = nullptr;  // non-null while a batch runs
+  size_t batch_size_ = 0;
+  size_t next_index_ = 0;    // next unclaimed index
+  size_t completed_ = 0;     // finished calls in the current batch
+  uint64_t batch_generation_ = 0;  // bumped per batch so workers wake exactly once each
+  bool stopping_ = false;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+// Regenerates the golden-trace corpus. Run via tools/regolden.sh, which
+// rebuilds this binary and rewrites tests/golden/*.json in place; review
+// the diff like any other source change.
+//
+// Usage: golden_gen <output-dir> [scenario...]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tests/golden_scenarios.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: golden_gen <output-dir> [scenario...]\n");
+    return 2;
+  }
+  std::string out_dir = argv[1];
+  for (const nymix::GoldenScenario& scenario : nymix::GoldenScenarios()) {
+    if (argc > 2) {
+      bool wanted = false;
+      for (int i = 2; i < argc; ++i) {
+        wanted = wanted || scenario.name == std::string(argv[i]);
+      }
+      if (!wanted) {
+        continue;
+      }
+    }
+    std::string path = out_dir + "/" + scenario.name + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << scenario.generate();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "golden_gen: write failed for %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("golden_gen: wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "tests/golden_scenarios.h"
+
+#include <sstream>
+
+#include "src/core/fleet.h"
+#include "src/core/testbed.h"
+#include "src/obs/observability.h"
+
+namespace nymix {
+namespace {
+
+std::string Fig5Small() {
+  Simulation sim(5);
+  Observability obs;
+  obs.EnableAll();
+  obs.trace.set_record_wall_time(false);
+  obs.metrics.set_record_wall_time(false);
+  sim.loop().set_observability(&obs);
+
+  Link* uplink = sim.CreateLink("uplink", Millis(40), 10'000'000);
+  Link* relay = sim.CreateLink("relay", Millis(5), 100'000'000);
+  Link* exit = sim.CreateLink("exit", Millis(5), 50'000'000);
+
+  int done = 0;
+  for (int f = 0; f < 3; ++f) {
+    sim.flows().StartFlow(Route::Through({uplink, relay, exit}), 400'000 + 100'000 * f, 1.12,
+                          [&done](SimTime) { ++done; });
+  }
+  // A competing short flow on the uplink only, plus a flap mid-transfer.
+  sim.flows().StartFlow(Route::Through({uplink}), 250'000, 1.0, [&done](SimTime) { ++done; });
+  sim.loop().ScheduleAt(Millis(400), [relay] { relay->SetDown(true); });
+  sim.loop().ScheduleAt(Millis(700), [relay] { relay->SetDown(false); });
+  sim.RunUntil([&done] { return done == 4; });
+
+  return obs.trace.ToChromeJson();
+}
+
+std::string Fig7Small() {
+  Testbed bed(7);
+  Observability obs;
+  obs.EnableAll();
+  obs.trace.set_record_wall_time(false);
+  obs.metrics.set_record_wall_time(false);
+  bed.sim().loop().set_observability(&obs);
+
+  Nym* nym = bed.CreateNymBlocking("golden");
+  NYMIX_CHECK(bed.VisitBlocking(nym, bed.sites().ByName("BBC")).ok());
+  NYMIX_CHECK(bed.manager().TerminateNym(nym).ok());
+
+  return obs.trace.ToChromeJson();
+}
+
+std::string ScaleFleetSmall() {
+  ShardedSimulation sharded(11, ShardPlan{/*shards=*/2, /*threads=*/1});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+  FleetOptions options;
+  options.nym_count = 4;
+  options.nyms_per_host = 2;
+  ShardedFleet fleet(sharded, options, 11);
+  fleet.Run();
+  sharded.MergeObservability();
+
+  // Trace plus the metrics dump: the fleet scenario is the one place the
+  // corpus covers the merged multi-shard registry format too.
+  std::ostringstream out;
+  out << sharded.merged().trace.ToChromeJson();
+  sharded.merged().metrics.WriteJson(out);
+  return out.str();
+}
+
+}  // namespace
+
+const std::vector<GoldenScenario>& GoldenScenarios() {
+  static const std::vector<GoldenScenario> kScenarios = {
+      {"fig5_small", &Fig5Small},
+      {"fig7_small", &Fig7Small},
+      {"scale_fleet_small", &ScaleFleetSmall},
+  };
+  return kScenarios;
+}
+
+}  // namespace nymix

@@ -1,0 +1,39 @@
+// Golden-trace scenario library: small, fixed-seed runs whose merged trace
+// JSON is checked into tests/golden/ and compared byte-for-byte by
+// tests/golden_trace_test.cc. The corpus pins the simulator's observable
+// behavior: any change that moves an event, reorders a tie, renames a
+// track or perturbs a float shows up as a golden diff that must be
+// reviewed (and regenerated with tools/regolden.sh) rather than slipping
+// through as silent drift.
+//
+// Scenario outputs must be deterministic byte streams: traces are recorded
+// with wall-clock self-profiling off, and the fleet scenario runs through
+// the sharded executor at threads=1 (any thread count produces the same
+// bytes — that is src/parallel's contract, proven separately by
+// tests/parallel_equivalence_test.cc).
+#ifndef TESTS_GOLDEN_SCENARIOS_H_
+#define TESTS_GOLDEN_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+namespace nymix {
+
+struct GoldenScenario {
+  // Basename of the checked-in file: tests/golden/<name>.json.
+  const char* name;
+  // Runs the scenario and returns the exact bytes the golden file holds.
+  std::string (*generate)();
+};
+
+// fig5_small:      flow fair-sharing over a three-link topology with a
+//                  mid-run flap (the Figure 5 bandwidth machinery, small).
+// fig7_small:      one nym's full startup on the §5.2 testbed plus a page
+//                  visit (the Figure 7 phases: boot, Tor bootstrap, load).
+// scale_fleet_small: four nyms over two hosts in two shards through the
+//                  parallel executor — merged multi-shard trace format.
+const std::vector<GoldenScenario>& GoldenScenarios();
+
+}  // namespace nymix
+
+#endif  // TESTS_GOLDEN_SCENARIOS_H_

@@ -1,0 +1,65 @@
+// Golden-trace regression suite: re-runs each scenario in
+// tests/golden_scenarios.cc and compares its output byte-for-byte against
+// the checked-in corpus under tests/golden/. A mismatch means observable
+// simulator behavior changed; if the change is intentional, regenerate
+// with tools/regolden.sh and review the JSON diff in the commit.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tests/golden_scenarios.h"
+
+namespace nymix {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run tools/regolden.sh to (re)generate the corpus";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// One TEST per scenario would need value-parameterized plumbing for no
+// benefit; the loop's ASSERT messages carry the scenario name instead.
+TEST(GoldenTraceTest, CorpusMatchesGeneratedBytes) {
+  for (const GoldenScenario& scenario : GoldenScenarios()) {
+    SCOPED_TRACE(scenario.name);
+    std::string golden = ReadFileOrDie(std::string(NYMIX_GOLDEN_DIR) + "/" +
+                                       scenario.name + ".json");
+    ASSERT_FALSE(golden.empty());
+    std::string generated = scenario.generate();
+    if (golden != generated) {
+      // Locate the first divergent byte so the failure is actionable
+      // without dumping two multi-hundred-KiB strings.
+      size_t i = 0;
+      size_t limit = std::min(golden.size(), generated.size());
+      while (i < limit && golden[i] == generated[i]) {
+        ++i;
+      }
+      size_t from = i < 60 ? 0 : i - 60;
+      FAIL() << scenario.name << ": golden mismatch at byte " << i << " of "
+             << golden.size() << " (generated " << generated.size() << ")\n"
+             << "golden:    ..." << golden.substr(from, 120) << "\n"
+             << "generated: ..." << generated.substr(from, 120) << "\n"
+             << "If this change is intentional, run tools/regolden.sh and "
+                "commit the updated tests/golden/*.json.";
+    }
+  }
+}
+
+// The corpus generator itself must be deterministic: two in-process runs of
+// the same scenario must produce identical bytes, otherwise regolden.sh
+// would churn the files on every invocation.
+TEST(GoldenTraceTest, ScenariosAreRerunStable) {
+  for (const GoldenScenario& scenario : GoldenScenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ASSERT_EQ(scenario.generate(), scenario.generate());
+  }
+}
+
+}  // namespace
+}  // namespace nymix

@@ -200,21 +200,51 @@ TEST(NymlintRules, DirtyTrackingStateShapePassesClean) {
             "determinism-unordered-container"));
 }
 
-// --- sim-thread -----------------------------------------------------------
+// --- sim-thread / thread-confinement --------------------------------------
 
-TEST(NymlintRules, FlagsThreadingPrimitives) {
-  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::thread worker([] {});\n"), "sim-thread"));
-  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "std::mutex mu;\n"), "sim-thread"));
+TEST(NymlintRules, FlagsThreadingPrimitivesInBench) {
+  EXPECT_TRUE(Fired(LintOne("bench/demo.cc", "std::thread worker([] {});\n"), "sim-thread"));
+  EXPECT_TRUE(Fired(LintOne("bench/demo.cc", "std::mutex mu;\n"), "sim-thread"));
   EXPECT_TRUE(
-      Fired(LintOne("src/demo.cc", "std::this_thread::sleep_for(delay);\n"), "sim-thread"));
-  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "#include <mutex>\n"), "sim-thread"));
+      Fired(LintOne("bench/demo.cc", "std::this_thread::sleep_for(delay);\n"), "sim-thread"));
+  EXPECT_TRUE(Fired(LintOne("bench/demo.cc", "#include <mutex>\n"), "sim-thread"));
+}
+
+TEST(NymlintRules, ThreadConfinementFlagsSrcAndTests) {
+  // src/ and tests/ are covered by thread-confinement, not sim-thread.
+  EXPECT_TRUE(
+      Fired(LintOne("src/demo.cc", "std::thread worker([] {});\n"), "thread-confinement"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "std::thread worker([] {});\n"), "sim-thread"));
+  EXPECT_TRUE(Fired(LintOne("src/net/demo.cc", "std::mutex mu;\n"), "thread-confinement"));
+  EXPECT_TRUE(Fired(LintOne("tests/demo_test.cc", "std::atomic<int> n{0};\n"),
+                    "thread-confinement"));
+  EXPECT_TRUE(
+      Fired(LintOne("src/demo.cc", "#include <atomic>\n"), "thread-confinement"));
+  EXPECT_TRUE(Fired(LintOne("src/demo.cc", "unsigned n = hardware_concurrency();\n"),
+                    "thread-confinement"));
+}
+
+TEST(NymlintRules, ThreadConfinementExemptsParallelAndUtil) {
+  // The two sanctioned homes of real concurrency lint clean by path.
+  EXPECT_FALSE(Fired(LintOne("src/parallel/demo.cc", "std::thread worker([] {});\n"),
+                     "thread-confinement"));
+  EXPECT_FALSE(Fired(LintOne("src/parallel/demo.cc", "#include <mutex>\n"),
+                     "thread-confinement"));
+  EXPECT_FALSE(Fired(LintOne("src/util/thread_pool.cc", "std::condition_variable cv;\n"),
+                     "thread-confinement"));
+  // A lookalike prefix must NOT inherit the exemption.
+  EXPECT_TRUE(Fired(LintOne("src/parallel_widgets/demo.cc", "std::mutex mu;\n"),
+                    "thread-confinement"));
 }
 
 TEST(NymlintRules, ThreadWordInOtherIdentifiersIsFine) {
   // Substrings must not match: AddAsyncBegin is not `async`.
   EXPECT_FALSE(Fired(LintOne("src/demo.cc", "tracer->AddAsyncBegin(\"net\", name, id, ts);\n"),
-                     "sim-thread"));
-  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int thread_count = 0;\n"), "sim-thread"));
+                     "thread-confinement"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int thread_count = 0;\n"), "thread-confinement"));
+  // ThreadPool's own API surface is fine to *use* anywhere.
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int n = ThreadPool::HardwareThreads();\n"),
+                     "thread-confinement"));
 }
 
 // --- error-throw ----------------------------------------------------------

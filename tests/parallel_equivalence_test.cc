@@ -1,0 +1,268 @@
+// Property suite for the parallel sharded executor (src/parallel): for a
+// fixed (seed, shard count, scenario), the merged trace JSON and metrics
+// dump must be BYTE-identical at every thread count. Two storm generators
+// drive the sweep:
+//   * net storms — random cross-shard channel topologies with fault
+//     profiles, echo ping-pong traffic, shard-local flow competition and
+//     link flaps, swept over >= 20 seeds at 1/2/4/8 threads;
+//   * fleet churn storms — full nym lifecycle (boot, Tor, visits,
+//     terminate + replace) through ShardedFleet.
+// Identity is compared as whole strings: one reordered event, one float
+// summed in a different order, one racing counter — anything — fails the
+// diff. The cross-delivery assertions keep the property non-vacuous.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/fleet.h"
+#include "src/parallel/sharded_sim.h"
+#include "src/util/thread_pool.h"
+
+namespace nymix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests
+
+TEST(ThreadPoolTest, InlinePoolRunsInOrderOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<size_t> order;
+  pool.RunIndexed(5, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 5u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  // Each index's slot is touched by exactly one worker (the RunIndexed
+  // contract), so plain ints are race-free here.
+  std::vector<int> hits(257, 0);
+  pool.RunIndexed(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<int> hits(16, 0);
+    pool.RunIndexed(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (int h : hits) {
+      ASSERT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyBatchAndHardwareThreads) {
+  ThreadPool pool(2);
+  pool.RunIndexed(0, [&](size_t) { FAIL() << "no indexes to run"; });
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Net storms
+
+// Replies to every packet until `deadline`, counting arrivals in the
+// shard's metrics. All state is shard-local: the sink lives on the loop
+// that owns its half-link.
+class EchoSink : public PacketSink {
+ public:
+  EchoSink(EventLoop& loop, Link* out, std::string name, SimTime deadline)
+      : loop_(loop), out_(out), name_(std::move(name)), deadline_(deadline) {}
+
+  void Kick() { Send(); }
+
+  void OnPacket(const Packet& packet, Link&, bool) override {
+    (void)packet;
+    if (MetricsRegistry* meters = loop_.meters()) {
+      meters->GetCounter("storm.echo." + name_)->Increment();
+    }
+    if (TraceRecorder* tracer = loop_.tracer()) {
+      tracer->AddInstant("storm", "echo:" + name_, name_, loop_.now());
+    }
+    if (loop_.now() < deadline_) {
+      // Reply from a fresh event so a lossy pair can't recurse in zero time.
+      loop_.ScheduleAfter(Millis(1), [this] { Send(); });
+    }
+  }
+
+ private:
+  void Send() {
+    Packet packet;
+    packet.payload = Bytes(64);
+    packet.annotation = name_;
+    out_->SendFromA(std::move(packet));
+  }
+
+  EventLoop& loop_;
+  Link* out_;
+  std::string name_;
+  SimTime deadline_;
+};
+
+struct StormResult {
+  std::string trace;
+  std::string stats;
+  uint64_t cross_deliveries = 0;
+  uint64_t epochs = 0;
+};
+
+// Random cross-shard topology + faults + local flow churn, fully determined
+// by (seed); `threads` must not change a byte of the outputs.
+StormResult RunNetStorm(uint64_t seed, int threads) {
+  Prng prng(Mix64(seed ^ 0x5702a11e1ULL));
+  int shards = 2 + static_cast<int>(seed % 3);
+  ShardedSimulation sharded(seed, ShardPlan{shards, threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+
+  const SimTime deadline = Seconds(5);
+  std::vector<std::unique_ptr<EchoSink>> sinks;
+
+  int channel_count = 2 + static_cast<int>(prng.NextBelow(3));
+  for (int c = 0; c < channel_count; ++c) {
+    int a = static_cast<int>(prng.NextBelow(static_cast<uint64_t>(shards)));
+    int b = (a + 1 + static_cast<int>(prng.NextBelow(static_cast<uint64_t>(shards - 1)))) %
+            shards;
+    SimDuration latency = Millis(1 + static_cast<SimDuration>(prng.NextBelow(15)));
+    uint64_t bandwidth = (1 + prng.NextBelow(9)) * 1'000'000;
+    CrossShardChannel* channel = sharded.CreateChannel(
+        "storm-ch" + std::to_string(c), a, b, latency, bandwidth);
+    if (prng.NextDouble() < 0.5) {
+      LinkFaultProfile profile;
+      profile.loss_probability = 0.05;
+      profile.spike_probability = 0.10;
+      profile.spike_latency = Millis(3);
+      channel->SetFaultProfile(profile, Mix64(seed ^ static_cast<uint64_t>(c)));
+    }
+    auto sink_a = std::make_unique<EchoSink>(sharded.shard(a).loop(), channel->a_end(),
+                                             "ch" + std::to_string(c) + ".a", deadline);
+    auto sink_b = std::make_unique<EchoSink>(sharded.shard(b).loop(), channel->b_end(),
+                                             "ch" + std::to_string(c) + ".b", deadline);
+    channel->a_end()->AttachA(sink_a.get());
+    channel->b_end()->AttachA(sink_b.get());
+    EchoSink* kick_a = sink_a.get();
+    EchoSink* kick_b = sink_b.get();
+    sharded.shard(a).loop().ScheduleAt(
+        Millis(static_cast<SimDuration>(prng.NextBelow(50))), [kick_a] { kick_a->Kick(); });
+    sharded.shard(b).loop().ScheduleAt(
+        Millis(static_cast<SimDuration>(prng.NextBelow(50))), [kick_b] { kick_b->Kick(); });
+    sinks.push_back(std::move(sink_a));
+    sinks.push_back(std::move(sink_b));
+  }
+
+  // Shard-local churn: competing flows over a two-link route, with a mid-run
+  // link flap on some shards.
+  for (int s = 0; s < shards; ++s) {
+    Simulation& sim = sharded.shard(s);
+    Link* first = sim.CreateLink("s" + std::to_string(s) + "-l0", Millis(2), 8'000'000);
+    Link* second = sim.CreateLink("s" + std::to_string(s) + "-l1", Millis(3), 6'000'000);
+    int flow_count = 1 + static_cast<int>(prng.NextBelow(4));
+    for (int f = 0; f < flow_count; ++f) {
+      uint64_t bytes = 100'000 + prng.NextBelow(400'000);
+      Simulation* sim_ptr = &sim;
+      sim.flows().StartFlow(Route::Through({first, second}), bytes, 1.1,
+                            [sim_ptr](SimTime) {
+                              if (MetricsRegistry* meters = sim_ptr->loop().meters()) {
+                                meters->GetCounter("storm.flows_done")->Increment();
+                              }
+                            });
+    }
+    if (prng.NextDouble() < 0.5) {
+      SimTime down_at = Millis(200 + static_cast<SimDuration>(prng.NextBelow(800)));
+      sim.loop().ScheduleAt(down_at, [first] { first->SetDown(true); });
+      sim.loop().ScheduleAt(down_at + Millis(150), [first] { first->SetDown(false); });
+    }
+  }
+
+  sharded.RunUntilIdle();
+  sharded.MergeObservability();
+
+  StormResult result;
+  result.trace = sharded.merged().trace.ToChromeJson();
+  std::ostringstream stats;
+  sharded.merged().metrics.WriteJson(stats);
+  result.stats = stats.str();
+  result.cross_deliveries = sharded.cross_deliveries();
+  result.epochs = sharded.epochs();
+  return result;
+}
+
+TEST(ParallelEquivalenceTest, NetStormSeedSweep) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    StormResult base = RunNetStorm(seed, /*threads=*/1);
+    // Non-vacuous: the topology actually exercised the cross-shard path,
+    // over multiple synchronization epochs.
+    ASSERT_GT(base.cross_deliveries, 0u) << "seed " << seed;
+    ASSERT_GT(base.epochs, 1u) << "seed " << seed;
+    for (int threads : {2, 4, 8}) {
+      StormResult other = RunNetStorm(seed, threads);
+      ASSERT_EQ(base.trace, other.trace)
+          << "trace diverged: seed " << seed << " threads " << threads;
+      ASSERT_EQ(base.stats, other.stats)
+          << "stats diverged: seed " << seed << " threads " << threads;
+      ASSERT_EQ(base.cross_deliveries, other.cross_deliveries);
+      ASSERT_EQ(base.epochs, other.epochs);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet churn storms
+
+StormResult RunFleetStorm(uint64_t seed, int threads) {
+  ShardedSimulation sharded(seed, ShardPlan{2 + static_cast<int>(seed % 2), threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+  FleetOptions options;
+  options.nym_count = 4 + static_cast<int>(seed % 5);
+  options.nyms_per_host = 2;
+  ShardedFleet fleet(sharded, options, seed);
+  fleet.Run();
+  sharded.MergeObservability();
+
+  StormResult result;
+  result.trace = sharded.merged().trace.ToChromeJson();
+  std::ostringstream stats;
+  sharded.merged().metrics.WriteJson(stats);
+  result.stats = stats.str();
+  result.epochs = sharded.epochs();
+  // Fold the fleet's own aggregates into the identity surface too.
+  std::ostringstream extra;
+  FleetKsmStats ksm = fleet.ReconcileKsm();
+  extra << fleet.visits() << "/" << fleet.churns() << "/" << ksm.pages_sharing << "/"
+        << ksm.cross_host_extra_sharing();
+  result.stats += extra.str();
+  return result;
+}
+
+TEST(ParallelEquivalenceTest, FleetChurnSeedSweep) {
+  for (uint64_t seed : {7u, 21u, 42u}) {
+    StormResult base = RunFleetStorm(seed, /*threads=*/1);
+    for (int threads : {2, 4, 8}) {
+      StormResult other = RunFleetStorm(seed, threads);
+      ASSERT_EQ(base.trace, other.trace)
+          << "trace diverged: seed " << seed << " threads " << threads;
+      ASSERT_EQ(base.stats, other.stats)
+          << "stats diverged: seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Repeating the same (seed, threads) run must also be bit-stable — guards
+// against leftover process-wide state (the old static id counters).
+TEST(ParallelEquivalenceTest, RepeatedRunsAreStable) {
+  StormResult first = RunNetStorm(3, /*threads=*/4);
+  StormResult second = RunNetStorm(3, /*threads=*/4);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.stats, second.stats);
+}
+
+}  // namespace
+}  // namespace nymix

@@ -12,6 +12,15 @@ Wall-clock numbers differ between machines, so the baseline is a floor
 against catastrophic regressions (an accidentally-disabled incremental
 path shows up as a 2-7x drop), not a precise performance contract.
 
+When the result carries a "threaded" series (scale_fleet --threads=...),
+two further gates apply:
+  * every threads_speedup row must report trace_identical (the parallel
+    executor's byte-identity contract) — unconditional;
+  * the best multi-thread speedup must reach min(2.0, 0.5 * min(threads,
+    hardware_threads)) — but only when the recorded hardware_threads >= 2,
+    since a single-core machine (most CI containers) cannot exhibit any
+    parallel speedup, only verify identity.
+
 Usage:
   tools/bench_diff.py RESULT.json [--baseline=bench/baselines/scale_fleet.json]
                                   [--min-ratio=0.7] [--update-baseline]
@@ -38,6 +47,40 @@ def load_points(path):
     return points
 
 
+def check_threaded(doc):
+    """Gates the parallel-executor series. Returns True when it passes."""
+    speedups = doc.get("threads_speedup")
+    if not speedups:
+        return True
+    ok = True
+    for row in speedups:
+        if not row.get("trace_identical", False):
+            print(
+                f"  threads={row['threads']} n={row['n']}: trace NOT identical "
+                f"to threads=1 — determinism violation",
+                file=sys.stderr,
+            )
+            ok = False
+    hardware = int(doc.get("hardware_threads", 1))
+    if hardware < 2:
+        print(f"  speedup gate skipped: {hardware} hardware thread(s); identity still checked")
+        return ok
+    best = {}
+    for row in speedups:
+        n = int(row["n"])
+        if row["wall_clock"] > best.get(n, (0, 0))[0]:
+            best[n] = (float(row["wall_clock"]), int(row["threads"]))
+    for n, (speedup, threads) in sorted(best.items()):
+        floor = min(2.0, 0.5 * min(threads, hardware))
+        status = "ok" if speedup >= floor else "TOO SLOW"
+        print(
+            f"  n={n}: best parallel speedup x{speedup:.2f} at {threads} threads "
+            f"(floor x{floor:.2f}, {hardware} hw threads) {status}"
+        )
+        ok = ok and speedup >= floor
+    return ok
+
+
 def main(argv):
     baseline_path = os.path.join("bench", "baselines", "scale_fleet.json")
     min_ratio = 0.7
@@ -61,9 +104,13 @@ def main(argv):
 
     try:
         result = load_points(result_path)
+        with open(result_path) as fh:
+            result_doc = json.load(fh)
     except (OSError, ValueError, KeyError) as err:
         print(f"bench_diff: {err}", file=sys.stderr)
         return 2
+
+    threaded_ok = check_threaded(result_doc)
 
     if update or not os.path.exists(baseline_path):
         os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
@@ -72,7 +119,7 @@ def main(argv):
             fh.write("\n")
         verb = "updated" if update else "seeded"
         print(f"bench_diff: {verb} baseline {baseline_path} from {result_path}")
-        return 0
+        return 0 if threaded_ok else 1
 
     try:
         with open(baseline_path) as fh:
@@ -96,6 +143,9 @@ def main(argv):
     if failed:
         print(f"bench_diff: below {min_ratio:.2f}x of baseline; investigate or "
               f"re-baseline deliberately with --update-baseline", file=sys.stderr)
+        return 1
+    if not threaded_ok:
+        print("bench_diff: parallel executor gate failed", file=sys.stderr)
         return 1
     print("bench_diff: within budget")
     return 0

@@ -276,12 +276,11 @@ constexpr std::array<const char*, 10> kThreadIncludes = {
     "<thread>", "<mutex>", "<shared_mutex>", "<future>", "<condition_variable>",
     "<atomic>", "<semaphore>", "<barrier>",  "<latch>",  "<stop_token>"};
 
-void RuleSimThread(const FileContext& file, std::vector<Diagnostic>& out) {
-  static const char* kRule = "sim-thread";
-  CheckBannedIncludes(file, kRule, kThreadIncludes,
-                      "the sim core is single-threaded; concurrency is modeled as EventLoop "
-                      "events, never real threads",
-                      out);
+// Shared scanner behind sim-thread and thread-confinement: same token sets,
+// different scopes and remediation text.
+void ScanThreadPrimitives(const FileContext& file, const char* rule, const char* include_why,
+                          const char* token_why, std::vector<Diagnostic>& out) {
+  CheckBannedIncludes(file, rule, kThreadIncludes, include_why, out);
   for (size_t i = 0; i < T(file).size(); ++i) {
     if (!IsIdent(file, i)) {
       continue;
@@ -290,12 +289,45 @@ void RuleSimThread(const FileContext& file, std::vector<Diagnostic>& out) {
     bool hit = (InSet(text, kThreadStdNames) && IsStdQualified(file, i)) ||
                (InSet(text, kThreadBareNames) && QualifierAllowsMatch(file, i));
     if (hit) {
-      Report(file, i, kRule,
-             "'" + text + "' introduces real concurrency or blocking into the single-threaded "
-             "sim core; model time and parallelism with EventLoop (src/util/event_loop.h)",
-             out);
+      Report(file, i, rule, "'" + text + "' " + token_why, out);
     }
   }
+}
+
+void RuleSimThread(const FileContext& file, std::vector<Diagnostic>& out) {
+  ScanThreadPrimitives(
+      file, "sim-thread",
+      "the sim core is single-threaded; concurrency is modeled as EventLoop "
+      "events, never real threads",
+      "introduces real concurrency or blocking into the single-threaded "
+      "sim core; model time and parallelism with EventLoop (src/util/event_loop.h)",
+      out);
+}
+
+// --- thread-confinement ---------------------------------------------------
+
+bool PathStartsWith(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+// Real threading exists in exactly two places: src/util (ThreadPool) and
+// src/parallel (the sharded executor built on it). Everywhere else — the
+// sim core and the tests — must stay free of raw primitives so the
+// byte-identity contract is auditable by construction: if a file outside
+// the confinement boundary can't spawn a thread or take a lock, it can't
+// introduce a scheduling-dependent result.
+void RuleThreadConfinement(const FileContext& file, std::vector<Diagnostic>& out) {
+  if (PathStartsWith(file.path, "src/parallel/") || PathStartsWith(file.path, "src/util/")) {
+    return;  // the sanctioned homes of real concurrency
+  }
+  ScanThreadPrimitives(
+      file, "thread-confinement",
+      "raw threading is confined to src/parallel and src/util; drive parallel "
+      "work through ShardedSimulation (src/parallel/sharded_sim.h) or ThreadPool",
+      "is a raw threading primitive outside the confinement boundary "
+      "(src/parallel, src/util); use ShardedSimulation or ThreadPool so "
+      "determinism stays provable",
+      out);
 }
 
 // --- error-throw ----------------------------------------------------------
@@ -500,7 +532,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"determinism-pointer-key",
        "std::map/set keyed by pointer with the default comparator", kSrc, false},
       {"sim-thread", "threads, locks, atomics, sleeps in the single-threaded sim",
-       kSrc | kBench | kExamples, false},
+       kBench | kExamples, false},
+      {"thread-confinement",
+       "raw threading primitives outside src/parallel and src/util", kSrc | kTests, false},
       {"error-throw", "throw/abort outside src/util/check.h", kEverywhere, false},
       {"error-ignored-status", "discarded result of a Status-returning call",
        kSrc | kBench | kTests | kExamples, false},
@@ -548,13 +582,14 @@ void RunRules(const FileContext& file, std::vector<Diagnostic>& out) {
     const char* name;
     void (*fn)(const FileContext&, std::vector<Diagnostic>&);
   };
-  static constexpr std::array<Entry, 10> kDispatch = {{
+  static constexpr std::array<Entry, 11> kDispatch = {{
       {"determinism-rand", RuleDeterminismRand},
       {"determinism-wallclock", RuleDeterminismWallclock},
       {"determinism-env", RuleDeterminismEnv},
       {"determinism-unordered-container", RuleDeterminismUnordered},
       {"determinism-pointer-key", RuleDeterminismPointerKey},
       {"sim-thread", RuleSimThread},
+      {"thread-confinement", RuleThreadConfinement},
       {"error-throw", RuleErrorThrow},
       {"error-ignored-status", RuleErrorIgnoredStatus},
       {"include-guard", RuleIncludeGuard},

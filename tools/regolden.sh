@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden-trace corpus in tests/golden/ from the scenario
+# library. Run after an intentional change to observable simulator
+# behavior, then review and commit the JSON diffs like any other code.
+#
+# Usage: tools/regolden.sh [build-dir] [scenario...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target golden_gen -j "$(nproc)"
+
+mkdir -p tests/golden
+"$BUILD_DIR/tests/golden_gen" tests/golden "$@"
+
+echo "regolden: done — review with 'git diff tests/golden'"
