@@ -1,11 +1,14 @@
 #include "bench/bench_stats.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "src/net/simulation.h"
 #include "src/obs/json.h"
+#include "src/store/file_io.h"
+#include "src/store/nbt.h"
 
 namespace nymix {
 
@@ -29,7 +32,14 @@ BenchStats::BenchStats(std::string bench_name, int argc, char** argv)
       stats_path_ = value;
     } else if (const char* value = FlagValue(argv[i], "--trace-out")) {
       trace_path_ = value;
+    } else if (const char* value = FlagValue(argv[i], "--trace-format")) {
+      trace_format_ = value;
     }
+  }
+  if (trace_format_ != "json" && trace_format_ != "nbt") {
+    std::fprintf(stderr, "bench_stats: --trace-format must be json or nbt, got \"%s\"\n",
+                 trace_format_.c_str());
+    std::exit(2);
   }
   if (!stats_path_.empty()) {
     obs_.metrics.set_enabled(true);
@@ -91,9 +101,18 @@ int BenchStats::Finish() {
       rc = 1;
     }
   }
-  if (!trace_path_.empty() && !obs_.trace.WriteChromeJsonFile(trace_path_)) {
-    std::fprintf(stderr, "bench_stats: cannot write %s\n", trace_path_.c_str());
-    rc = 1;
+  if (!trace_path_.empty()) {
+    if (trace_format_ == "nbt") {
+      Status written = WriteFileBytes(trace_path_, EncodeNbt(&obs_.trace, nullptr));
+      if (!written.ok()) {
+        std::fprintf(stderr, "bench_stats: cannot write %s: %s\n", trace_path_.c_str(),
+                     written.ToString().c_str());
+        rc = 1;
+      }
+    } else if (!obs_.trace.WriteChromeJsonFile(trace_path_)) {
+      std::fprintf(stderr, "bench_stats: cannot write %s\n", trace_path_.c_str());
+      rc = 1;
+    }
   }
   return rc;
 }

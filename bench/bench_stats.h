@@ -4,8 +4,13 @@
 //                        the bench plus the full metrics-registry dump
 //   --trace-out=<path>   Chrome trace_event JSON covering every attached
 //                        simulation (open in chrome://tracing or Perfetto)
-// Without either flag nothing is enabled and every instrumentation site in
-// the stack stays on its disabled (null-check) path.
+//   --trace-format=json|nbt
+//                        trace artifact encoding: Chrome JSON (default) or
+//                        the compact NBT binary format (src/store/nbt);
+//                        tools/nbt2json converts an NBT artifact into the
+//                        byte-identical JSON the json format would emit
+// Without --stats-out/--trace-out nothing is enabled and every
+// instrumentation site in the stack stays on its disabled (null-check) path.
 #ifndef BENCH_BENCH_STATS_H_
 #define BENCH_BENCH_STATS_H_
 
@@ -36,6 +41,8 @@ class BenchStats {
 
   bool stats_requested() const { return !stats_path_.empty(); }
   bool trace_requested() const { return !trace_path_.empty(); }
+  // "json" or "nbt" (validated at parse time).
+  const std::string& trace_format() const { return trace_format_; }
   Observability& obs() { return obs_; }
 
   // Writes whichever files were requested. Returns 0, or 1 after printing
@@ -47,6 +54,7 @@ class BenchStats {
   std::string bench_name_;
   std::string stats_path_;
   std::string trace_path_;
+  std::string trace_format_ = "json";
   Observability obs_;
   std::map<std::string, double> values_;
   std::map<std::string, std::string> labels_;

@@ -10,7 +10,19 @@
 //   scale_fleet [--n=8,64,256,1024] [--mode=both|incremental|full]
 //               [--full-recompute] [--out=BENCH_scale.json] [--seed=13]
 //               [--threads=1,8] [--shards=8]
-//               [--stats-out=...] [--trace-out=...]
+//               [--warm-start[=CKPT]] [--stats-out=...] [--trace-out=...]
+//               [--trace-format=json|nbt]
+//
+// --warm-start restores every fleet's base images from a deterministic
+// image checkpoint (src/store) instead of rebuilding them — O(changed):
+// only an image whose (name, seed, size) identity is missing from the
+// checkpoint gets cold-built (and written back, so the next run is warm).
+// The checkpoint file defaults to BENCH_scale.ckpt. Image content is a
+// pure function of its identity, so warm and cold runs produce
+// byte-identical traces — CI's warm-start smoke compares the SHA-256s.
+// Each run records "checkpoint_restore_ms" (time spent in the restore
+// path) and each threaded point records "trace_encode_ms" (trace
+// serialization cost); tools/bench_diff.py gates both warn-only.
 //
 // --mode=both (default) runs every N in both modes and reports the
 // wall-clock speedup; --full-recompute is shorthand for --mode=full (the
@@ -41,6 +53,9 @@
 #include "src/core/fleet.h"
 #include "src/core/nym_manager.h"
 #include "src/crypto/sha256.h"
+#include "src/store/file_io.h"
+#include "src/store/image_checkpoint.h"
+#include "src/store/kv_store.h"
 #include "src/util/thread_pool.h"
 #include "src/workload/website.h"
 
@@ -84,6 +99,7 @@ struct PointResult {
   uint64_t ksm_memories_merged = 0;
   uint64_t ksm_memories_skipped = 0;
   uint64_t ksm_pages_sharing = 0;
+  double checkpoint_restore_ms = 0;
 };
 
 struct ThreadedPointResult {
@@ -102,7 +118,37 @@ struct ThreadedPointResult {
   uint64_t cross_host_extra_sharing = 0;
   std::string trace_sha256;
   std::string stats_sha256;
+  double trace_encode_ms = 0;
+  double checkpoint_restore_ms = 0;
 };
+
+// Warm-start context: the deterministic image checkpoint store, loaded
+// once per process and saved back after any cold build refreshed it.
+struct WarmStart {
+  bool enabled = false;
+  std::string path = "BENCH_scale.ckpt";
+  KvStore store;
+};
+
+// Restores (or on a miss builds + checkpoints) one distribution image per
+// requested copy. Each copy decodes to a distinct object: shards must not
+// share an image (the Merkle-verification memo is per object and two
+// shards verifying concurrently must not race on it). Returns the wall
+// milliseconds spent, which is the "checkpoint_restore_ms" column.
+double AcquireWarmImages(WarmStart& warm, int copies,
+                         std::vector<std::shared_ptr<BaseImage>>& out) {
+  // nymlint:allow(determinism-wallclock): restore cost is the measurement; it never feeds virtual time
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < copies; ++i) {
+    auto image = AcquireDistributionImage(warm.store, kFleetImageName, kFleetImageSeed,
+                                          kFleetImageSizeBytes);
+    NYMIX_CHECK_MSG(image.ok(), image.status().ToString().c_str());
+    out.push_back(std::move(*image));
+  }
+  // nymlint:allow(determinism-wallclock): restore cost is the measurement; it never feeds virtual time
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
 
 std::string HexDigest(const Sha256Digest& digest) {
   static const char* kHex = "0123456789abcdef";
@@ -120,13 +166,17 @@ std::string HexDigest(const Sha256Digest& digest) {
 // threaded series measures obs-attached throughput — both thread counts
 // pay the same cost, which is what the speedup ratio needs.
 ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int threads,
-                                     uint64_t seed) {
+                                     uint64_t seed, WarmStart* warm) {
+  FleetOptions options;
+  options.nym_count = n;
+  double restore_ms = 0;
+  if (warm != nullptr && warm->enabled) {
+    restore_ms = AcquireWarmImages(*warm, shards, options.images);
+  }
   // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
   auto wall_start = std::chrono::steady_clock::now();
   ShardedSimulation sharded(seed, ShardPlan{shards, threads});
   sharded.EnableObservability(/*record_wall_time=*/false);
-  FleetOptions options;
-  options.nym_count = n;
   ShardedFleet fleet(sharded, options, seed);
   fleet.Run();
   // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
@@ -150,7 +200,14 @@ ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int t
   result.fleet_pages_sharing = fleet_ksm.pages_sharing;
   result.cross_host_extra_sharing = fleet_ksm.cross_host_extra_sharing();
 
+  result.checkpoint_restore_ms = restore_ms;
+  // nymlint:allow(determinism-wallclock): serialization cost is the trace_encode_ms measurement
+  auto encode_start = std::chrono::steady_clock::now();
   result.trace_sha256 = HexDigest(Sha256::Hash(sharded.merged().trace.ToChromeJson()));
+  // nymlint:allow(determinism-wallclock): serialization cost is the trace_encode_ms measurement
+  auto encode_end = std::chrono::steady_clock::now();
+  result.trace_encode_ms =
+      std::chrono::duration<double, std::milli>(encode_end - encode_start).count();
   std::ostringstream metrics_json;
   sharded.merged().metrics.WriteJson(metrics_json);
   result.stats_sha256 = HexDigest(Sha256::Hash(metrics_json.str()));
@@ -176,7 +233,9 @@ ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int t
 
 class Fleet {
  public:
-  Fleet(Simulation& sim, int nym_count, uint64_t seed, bool full_recompute)
+  // `image` null means cold-build; a warm start passes a restored image.
+  Fleet(Simulation& sim, int nym_count, uint64_t seed, bool full_recompute,
+        std::shared_ptr<BaseImage> image = nullptr)
       : sim_(sim), nym_count_(nym_count), think_prng_(seed ^ 0x5ca1e) {
     sim_.flows().set_full_recompute(full_recompute);
     int hosts = (nym_count + kNymsPerHost - 1) / kNymsPerHost;
@@ -187,7 +246,9 @@ class Fleet {
     // One distribution image for the whole fleet, like every host booting
     // from a copy of the same Nymix release stick. Sharing the object also
     // shares the memoized whole-image Merkle verification across hosts.
-    auto image = BaseImage::CreateDistribution("nymix", 42, 64 * kMiB);
+    if (image == nullptr) {
+      image = BaseImage::CreateDistribution(kFleetImageName, kFleetImageSeed, kFleetImageSizeBytes);
+    }
     for (int c = 0; c < hosts; ++c) {
       auto cluster = std::make_unique<Cluster>();
       cluster->host = std::make_unique<HostMachine>(sim_, HostConfig{});
@@ -279,7 +340,14 @@ class Fleet {
 };
 
 PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
-                     bool full_recompute) {
+                     bool full_recompute, WarmStart* warm) {
+  std::shared_ptr<BaseImage> warm_image;
+  double restore_ms = 0;
+  if (warm != nullptr && warm->enabled) {
+    std::vector<std::shared_ptr<BaseImage>> images;
+    restore_ms = AcquireWarmImages(*warm, 1, images);
+    warm_image = std::move(images.front());
+  }
   // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
   auto wall_start = std::chrono::steady_clock::now();
   Simulation sim(seed);
@@ -290,7 +358,7 @@ PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
     // the simulator's wall-clock self-profiling args out of it.
     stats.obs().trace.set_record_wall_time(false);
   }
-  Fleet fleet(sim, n, seed, full_recompute);
+  Fleet fleet(sim, n, seed, full_recompute, std::move(warm_image));
   fleet.Run();
   // nymlint:allow(determinism-wallclock): wall-clock throughput is the measurement; it never feeds virtual time
   auto wall_end = std::chrono::steady_clock::now();
@@ -312,10 +380,11 @@ PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
     result.ksm_memories_skipped += cluster->host->ksm().memories_skipped();
     result.ksm_pages_sharing += cluster->host->ksm().stats().pages_sharing;
   }
+  result.checkpoint_restore_ms = restore_ms;
   return result;
 }
 
-void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
+void WriteJson(const std::string& path, const std::string& mode, uint64_t seed, bool warm_start,
                const std::vector<PointResult>& incremental, const std::vector<PointResult>& full,
                const std::vector<ThreadedPointResult>& threaded) {
   std::ofstream out(path);
@@ -334,7 +403,7 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
                     "\"churns\": %llu, \"waterfills_full\": %llu, "
                     "\"waterfills_component\": %llu, \"waterfill_skips\": %llu, "
                     "\"ksm_memories_merged\": %llu, \"ksm_memories_skipped\": %llu, "
-                    "\"ksm_pages_sharing\": %llu}%s\n",
+                    "\"ksm_pages_sharing\": %llu, \"checkpoint_restore_ms\": %.3f}%s\n",
                     p.n, p.wall_seconds, static_cast<unsigned long long>(p.events),
                     p.events_per_sec, p.sim_seconds, static_cast<unsigned long long>(p.visits),
                     static_cast<unsigned long long>(p.churns),
@@ -344,14 +413,14 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
                     static_cast<unsigned long long>(p.ksm_memories_merged),
                     static_cast<unsigned long long>(p.ksm_memories_skipped),
                     static_cast<unsigned long long>(p.ksm_pages_sharing),
-                    i + 1 < points.size() ? "," : "");
+                    p.checkpoint_restore_ms, i + 1 < points.size() ? "," : "");
       out << buf;
     }
     out << "  ]";
   };
 
   out << "{\n  \"bench\": \"scale_fleet\",\n  \"mode\": \"" << mode << "\",\n  \"seed\": " << seed
-      << ",\n";
+      << ",\n  \"warm_start\": " << (warm_start ? "true" : "false") << ",\n";
   if (!incremental.empty()) {
     emit_points("incremental", incremental);
     out << (full.empty() ? "\n" : ",\n");
@@ -385,7 +454,8 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
                     "\"events\": %llu, \"events_per_sec\": %.1f, \"epochs\": %llu, "
                     "\"cross_deliveries\": %llu, \"visits\": %llu, \"churns\": %llu, "
                     "\"ksm_pages_sharing\": %llu, \"fleet_pages_sharing\": %llu, "
-                    "\"cross_host_extra_sharing\": %llu,\n"
+                    "\"cross_host_extra_sharing\": %llu, \"trace_encode_ms\": %.3f, "
+                    "\"checkpoint_restore_ms\": %.3f,\n"
                     "     \"trace_sha256\": \"%s\", \"stats_sha256\": \"%s\"}%s\n",
                     p.n, p.threads, p.wall_seconds, static_cast<unsigned long long>(p.events),
                     p.events_per_sec, static_cast<unsigned long long>(p.epochs),
@@ -395,8 +465,8 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed,
                     static_cast<unsigned long long>(p.ksm_pages_sharing),
                     static_cast<unsigned long long>(p.fleet_pages_sharing),
                     static_cast<unsigned long long>(p.cross_host_extra_sharing),
-                    p.trace_sha256.c_str(), p.stats_sha256.c_str(),
-                    i + 1 < threaded.size() ? "," : "");
+                    p.trace_encode_ms, p.checkpoint_restore_ms, p.trace_sha256.c_str(),
+                    p.stats_sha256.c_str(), i + 1 < threaded.size() ? "," : "");
       out << tbuf;
     }
     out << "  ],\n  \"threads_speedup\": [\n";
@@ -440,6 +510,7 @@ int main(int argc, char** argv) {
   std::string mode = "both";
   std::string out_path = "BENCH_scale.json";
   uint64_t seed = 13;
+  WarmStart warm;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--n=", 0) == 0) {
@@ -475,7 +546,29 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
+    } else if (arg == "--warm-start") {
+      warm.enabled = true;
+    } else if (arg.rfind("--warm-start=", 0) == 0) {
+      warm.enabled = true;
+      warm.path = arg.substr(13);
     }
+  }
+  if (warm.enabled) {
+    // Tolerant load: a missing file means a first (all-cold) run, and a
+    // torn tail costs only the damaged records — the cold-build fallback
+    // regenerates whatever is missing and the save below repairs the file.
+    Result<Bytes> existing = ReadFileBytes(warm.path);
+    if (existing.ok()) {
+      auto recovered = KvStore::Recover(*existing);
+      NYMIX_CHECK_MSG(recovered.ok(), recovered.status().ToString().c_str());
+      if (!recovered->clean) {
+        std::fprintf(stderr, "scale_fleet: checkpoint %s recovered with %zu bytes lost\n",
+                     warm.path.c_str(), recovered->lost_bytes);
+      }
+      warm.store = std::move(recovered->store);
+    }
+    std::printf("# warm start: checkpoint %s (%zu entries)\n", warm.path.c_str(),
+                warm.store.size());
   }
   NYMIX_CHECK_MSG(mode == "both" || mode == "incremental" || mode == "full",
                   "--mode must be both, incremental or full");
@@ -492,13 +585,13 @@ int main(int argc, char** argv) {
   std::vector<PointResult> full;
   for (int n : ns) {
     if (mode != "full") {
-      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/false);
+      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/false, &warm);
       std::printf("%-6d %-12s %12.3f %12llu %14.0f\n", n, "incremental", p.wall_seconds,
                   static_cast<unsigned long long>(p.events), p.events_per_sec);
       incremental.push_back(p);
     }
     if (mode != "incremental") {
-      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/true);
+      PointResult p = RunPoint(stats, attach_obs, n, seed, /*full_recompute=*/true, &warm);
       std::printf("%-6d %-12s %12.3f %12llu %14.0f\n", n, "full", p.wall_seconds,
                   static_cast<unsigned long long>(p.events), p.events_per_sec);
       full.push_back(p);
@@ -519,7 +612,7 @@ int main(int argc, char** argv) {
       ThreadedPointResult base;  // first thread count of this n (by value:
                                  // threaded reallocates as points append)
       for (int threads : threads_list) {
-        ThreadedPointResult p = RunThreadedPoint(stats, n, shards, threads, seed);
+        ThreadedPointResult p = RunThreadedPoint(stats, n, shards, threads, seed, &warm);
         std::printf("%-6d %-12s %12.3f %12llu %14.0f  trace=%.12s\n", n,
                     ("threads=" + std::to_string(threads)).c_str(), p.wall_seconds,
                     static_cast<unsigned long long>(p.events), p.events_per_sec,
@@ -542,8 +635,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  WriteJson(out_path, mode, seed, incremental, full, threaded);
+  WriteJson(out_path, mode, seed, warm.enabled, incremental, full, threaded);
   std::printf("# wrote %s\n", out_path.c_str());
+
+  if (warm.enabled) {
+    Status saved = warm.store.Save(warm.path);
+    NYMIX_CHECK_MSG(saved.ok(), saved.ToString().c_str());
+    std::printf("# warm start: saved checkpoint %s (%zu entries, %zu bytes)\n", warm.path.c_str(),
+                warm.store.size(), warm.store.log().size());
+  }
 
   for (size_t i = 0; i < incremental.size(); ++i) {
     std::string prefix = "n" + std::to_string(incremental[i].n);

@@ -21,9 +21,13 @@ ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& optio
   // memoizes its whole-image Merkle verification, and two shards verifying
   // concurrently must not race on (or order-depend on) that cache. Content
   // is a pure function of (name, seed, size), so every copy is identical.
-  std::vector<std::shared_ptr<BaseImage>> images;
-  for (int s = 0; s < shards; ++s) {
-    images.push_back(BaseImage::CreateDistribution("nymix", 42, 64 * kMiB));
+  std::vector<std::shared_ptr<BaseImage>> images = options_.images;
+  if (static_cast<int>(images.size()) != shards) {
+    NYMIX_CHECK_MSG(images.empty(), "FleetOptions.images must match the shard plan");
+    for (int s = 0; s < shards; ++s) {
+      images.push_back(
+          BaseImage::CreateDistribution(kFleetImageName, kFleetImageSeed, kFleetImageSizeBytes));
+    }
   }
 
   for (int c = 0; c < hosts; ++c) {

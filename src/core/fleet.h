@@ -33,6 +33,13 @@
 
 namespace nymix {
 
+// The distribution image every fleet host boots from — a copy of the same
+// release stick. Exposed so warm-start paths (bench/scale_fleet) can
+// acquire checkpointed images with the identical identity.
+inline constexpr const char* kFleetImageName = "nymix";
+inline constexpr uint64_t kFleetImageSeed = 42;
+inline constexpr uint64_t kFleetImageSizeBytes = 64 * kMiB;
+
 struct FleetOptions {
   int nym_count = 8;
   int nyms_per_host = 8;  // §5.2: a 16 GB desktop comfortably fits 8 nymboxes
@@ -50,6 +57,14 @@ struct FleetOptions {
   // Per-cluster test Tor deployment; small so flow competition stays
   // host-local (the real contention is each host's uplink anyway).
   TorNetwork::Config tor = MakeClusterTorConfig();
+
+  // Warm start: pre-built per-shard base images (restored from a
+  // src/store/image_checkpoint). Used when the count matches the shard
+  // plan; otherwise the fleet cold-builds one image per shard. Image
+  // content is a pure function of (name, seed, size) either way, so the
+  // run's event stream — and trace bytes — do not depend on which path
+  // supplied the images.
+  std::vector<std::shared_ptr<BaseImage>> images;
 
   static TorNetwork::Config MakeClusterTorConfig() {
     TorNetwork::Config config;
@@ -87,6 +102,10 @@ class ShardedFleet {
   FleetKsmStats ReconcileKsm() const;
 
   int host_count() const { return static_cast<int>(clusters_.size()); }
+
+  // Per-host access for checkpoint/restore (src/core/fleet_checkpoint).
+  NymManager& manager(int host) { return *clusters_[static_cast<size_t>(host)]->manager; }
+  int shard_of_host(int host) const { return clusters_[static_cast<size_t>(host)]->shard; }
 
  private:
   struct Cluster {

@@ -326,6 +326,40 @@ void NymManager::RecoverNym(Nym* nym, CreateCallback done) {
   BootNym(*wired, &restored, 0, std::move(done));
 }
 
+void NymManager::RestoreNymFromState(const std::string& name, const CreateOptions& options,
+                                     std::unique_ptr<MemFs> anon_writable,
+                                     std::unique_ptr<MemFs> comm_writable, uint32_t next_sequence,
+                                     CreateCallback done) {
+  if (Nym* existing = FindNym(name)) {
+    Status torn_down = TerminateNym(existing);
+    if (!torn_down.ok()) {
+      done(torn_down, NymStartupReport{});
+      return;
+    }
+  }
+  RestoredState restored;
+  restored.anon_writable = std::move(anon_writable);
+  restored.comm_writable = std::move(comm_writable);
+  restored.next_sequence = next_sequence;
+  if (TraceRecorder* tracer = host_.sim().loop().tracer()) {
+    tracer->AddInstant("core", "restore_nym", name, host_.sim().now());
+  }
+  if (MetricsRegistry* meters = host_.sim().loop().meters()) {
+    meters->GetCounter("core.nym_restores")->Increment();
+  }
+  auto wired = WireNym(name, options);
+  if (!wired.ok()) {
+    done(wired.status(), NymStartupReport{});
+    return;
+  }
+  BootNym(*wired, &restored, 0, std::move(done));
+}
+
+const NymManager::CreateOptions* NymManager::FindOptions(const std::string& name) const {
+  auto it = options_by_name_.find(name);
+  return it == options_by_name_.end() ? nullptr : &it->second;
+}
+
 std::vector<Nym*> NymManager::nyms() const {
   std::vector<Nym*> out;
   out.reserve(nyms_.size());

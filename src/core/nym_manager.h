@@ -97,6 +97,21 @@ class NymManager {
   // from the restored state (§3.5's intersection-attack defence).
   void RecoverNym(Nym* nym, CreateCallback done);
 
+  // Rebuilds a nym from externally captured state — the whole-host restore
+  // path (src/core/fleet_checkpoint). Unlike RecoverNym it does not need
+  // the wreck to still exist: any same-named nym is torn down first, then
+  // a replacement is wired and booted with the given writable layers and
+  // save sequence. Guard choice survives exactly as in RecoverNym, by the
+  // anonymizer re-deriving it from the restored CommVM state.
+  void RestoreNymFromState(const std::string& name, const CreateOptions& options,
+                           std::unique_ptr<MemFs> anon_writable,
+                           std::unique_ptr<MemFs> comm_writable, uint32_t next_sequence,
+                           CreateCallback done);
+
+  // Creation options recorded for a live nym, or null. Checkpointing reads
+  // these so a restore can re-wire the nym exactly as it was created.
+  const CreateOptions* FindOptions(const std::string& name) const;
+
   std::vector<Nym*> nyms() const;
   Nym* FindNym(const std::string& name) const;
   HostMachine& host() { return host_; }

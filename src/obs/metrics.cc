@@ -62,6 +62,15 @@ void Histogram::MergeFrom(const Histogram& other) {
   }
 }
 
+void Histogram::RestoreState(std::map<int32_t, uint64_t> buckets, uint64_t count, double sum,
+                             double min, double max) {
+  buckets_ = std::move(buckets);
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
+
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   for (const auto& [name, counter] : other.counters_) {
     counters_[name].Increment(counter.value());

@@ -60,6 +60,14 @@ class Histogram {
   // to the observed [min, max]. Returns 0 on an empty histogram.
   double Percentile(double p) const;
 
+  // Read-only bucket view / exact-state restore, for binary serialization
+  // (src/store/nbt). RestoreState replaces all recorded state; the caller
+  // supplies the same fields a Record() sequence would have produced, so a
+  // restored histogram reports identical statistics.
+  const std::map<int32_t, uint64_t>& buckets() const { return buckets_; }
+  void RestoreState(std::map<int32_t, uint64_t> buckets, uint64_t count, double sum, double min,
+                    double max);
+
  private:
   // value -> geometric bucket index (ratio 2^(1/8)); <= 0 collapses into a
   // dedicated underflow bucket below every positive index.
@@ -85,6 +93,11 @@ class MetricsRegistry {
   size_t instrument_count() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  // Read-only instrument views in name order, for serialization (src/store).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
   // Wall-clock self-profiling instruments (EventLoop's event_wall_ns) are
   // recorded by default. Turn them off to make the registry dump

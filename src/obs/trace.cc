@@ -1,7 +1,9 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
+// nymlint:allow(store-raw-io): WriteChromeJsonFile streams below — src/store depends on src/obs, so file_io.h is off-limits here
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/obs/json.h"
@@ -172,6 +174,33 @@ void TraceRecorder::NextTimeline(SimDuration gap) {
   offset_ = max_ts_ + std::max<SimDuration>(gap, 0);
 }
 
+const char* TraceRecorder::InternCategory(std::string_view category) {
+  // std::set node addresses are stable across inserts, so the returned
+  // c_str() stays valid for the process lifetime.
+  static std::set<std::string, std::less<>>* interned = new std::set<std::string, std::less<>>();
+  auto it = interned->find(category);
+  if (it == interned->end()) {
+    it = interned->emplace(category).first;
+  }
+  return it->c_str();
+}
+
+void TraceRecorder::RestoreForDecode(std::vector<Event> events,
+                                     std::map<std::string, uint32_t> track_tids) {
+  events_ = std::move(events);
+  track_tids_ = std::move(track_tids);
+  enabled_ = true;
+  next_tid_ = 1;
+  for (const auto& [track, tid] : track_tids_) {
+    next_tid_ = std::max(next_tid_, tid + 1);
+  }
+  max_ts_ = 0;
+  for (const Event& event : events_) {
+    max_ts_ = std::max(max_ts_, event.ts + (event.phase == 'X' ? event.dur : 0));
+  }
+  offset_ = 0;
+}
+
 void TraceRecorder::Clear() {
   events_.clear();
   track_tids_.clear();
@@ -235,6 +264,10 @@ std::string TraceRecorder::ToChromeJson() const {
 }
 
 bool TraceRecorder::WriteChromeJsonFile(const std::string& path) const {
+  // src/store depends on src/obs (the NBT codec reads recorder internals),
+  // so the trace writer cannot call into src/store/file_io.h without a
+  // dependency cycle; it streams straight from WriteChromeJson instead.
+  // nymlint:allow(store-raw-io): dependency cycle — see the note above
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return false;

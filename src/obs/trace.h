@@ -22,6 +22,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/sim_clock.h"
@@ -30,6 +31,21 @@ namespace nymix {
 
 class TraceRecorder {
  public:
+  // One recorded trace event. Public so binary codecs (src/store/nbt) can
+  // re-encode a recorder's exact state; `category` must point at storage
+  // that outlives the recorder (string literals, or InternCategory below).
+  struct Event {
+    char phase;  // 'X', 'i', 'C', 'b', 'e'
+    const char* category;
+    std::string name;
+    uint32_t tid = 0;       // track row ('X'/'i')
+    uint64_t async_id = 0;  // 'b'/'e'
+    SimTime ts = 0;
+    SimDuration dur = 0;    // 'X'
+    double wall_us = -1.0;  // 'X': simulator self-profiling arg
+    double value = 0;       // 'C'
+  };
+
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
@@ -58,6 +74,23 @@ class TraceRecorder {
   size_t event_count() const { return events_.size(); }
   void Clear();
 
+  // Read-only views of the recorded state, for serialization (src/store).
+  const std::vector<Event>& events() const { return events_; }
+  const std::map<std::string, uint32_t>& track_tids() const { return track_tids_; }
+
+  // Stable storage for category strings decoded from a serialized trace:
+  // Event holds `const char*` (call sites pass literals), so a decoder
+  // needs pointers that outlive any recorder. Interned strings are never
+  // freed. Not thread-safe: decode happens on one thread, like every
+  // single-writer path in the store.
+  static const char* InternCategory(std::string_view category);
+
+  // Replaces this recorder's contents with a decoded event stream + track
+  // table, recomputing the derived counters (next tid, timeline high-water
+  // mark) so a restored recorder exports byte-identical JSON and can keep
+  // recording. The recorder is left enabled.
+  void RestoreForDecode(std::vector<Event> events, std::map<std::string, uint32_t> track_tids);
+
   // Folds per-shard recorders into this one as one stream, deterministically:
   // events are interleaved by (virtual time, position in `parts`, in-shard
   // recording order), tracks and counter names gain an "s<i>/" shard prefix,
@@ -83,18 +116,6 @@ class TraceRecorder {
   bool WriteChromeJsonFile(const std::string& path) const;
 
  private:
-  struct Event {
-    char phase;  // 'X', 'i', 'C', 'b', 'e'
-    const char* category;
-    std::string name;
-    uint32_t tid = 0;      // track row ('X'/'i')
-    uint64_t async_id = 0;  // 'b'/'e'
-    SimTime ts = 0;
-    SimDuration dur = 0;     // 'X'
-    double wall_us = -1.0;   // 'X': simulator self-profiling arg
-    double value = 0;        // 'C'
-  };
-
   uint32_t TidForTrack(const std::string& track);
 
   bool enabled_ = false;

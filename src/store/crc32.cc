@@ -1,0 +1,38 @@
+#include "src/store/crc32.h"
+
+#include <array>
+
+namespace nymix {
+
+namespace {
+
+// Reflected CRC-32C table, generated once at first use from the reversed
+// polynomial 0x82F63B78 (bit-reverse of 0x1EDC6F41).
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32cUpdate(uint32_t state, ByteSpan data) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  for (uint8_t byte : data) {
+    state = (state >> 8) ^ table[(state ^ byte) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32c(ByteSpan data) { return Crc32cFinish(Crc32cUpdate(kCrc32cInit, data)); }
+
+}  // namespace nymix

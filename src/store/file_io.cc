@@ -1,0 +1,40 @@
+#include "src/store/file_io.h"
+
+#include <fstream>
+#include <ios>
+
+namespace nymix {
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return NotFoundError("cannot open for read: " + path);
+  }
+  const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return InternalError("cannot size file: " + path);
+  }
+  in.seekg(0, std::ios::beg);
+  Bytes data(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size)) {
+    return DataLossError("short read: " + path);
+  }
+  return data;
+}
+
+Status WriteFileBytes(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return PermissionDeniedError("cannot open for write: " + path);
+  }
+  if (!data.empty()) {
+    out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  }
+  out.flush();
+  if (!out) {
+    return DataLossError("short write: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace nymix

@@ -1,0 +1,24 @@
+// The one sanctioned home for raw file I/O in src/. Everything persistent
+// in nymix serializes to deterministic byte buffers first and only then
+// touches the filesystem through these two calls; nymlint's store-raw-io
+// rule bans fstream/fopen elsewhere so no subsystem can grow its own ad-hoc
+// (and wall-clock-tainted) persistence path.
+#ifndef SRC_STORE_FILE_IO_H_
+#define SRC_STORE_FILE_IO_H_
+
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+// Reads the whole file at `path` into memory.
+Result<Bytes> ReadFileBytes(const std::string& path);
+
+// Writes `data` to `path`, replacing any existing content.
+Status WriteFileBytes(const std::string& path, ByteSpan data);
+
+}  // namespace nymix
+
+#endif  // SRC_STORE_FILE_IO_H_

@@ -1,0 +1,243 @@
+#include "src/store/nbt.h"
+
+#include <bit>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace nymix {
+
+namespace {
+
+void AppendDouble(Bytes& out, double value) { AppendU64(out, std::bit_cast<uint64_t>(value)); }
+
+Result<double> ReadDouble(ByteSpan data, size_t& offset) {
+  NYMIX_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(data, offset));
+  return std::bit_cast<double>(bits);
+}
+
+Bytes EncodeTrackTable(const TraceRecorder& trace) {
+  Bytes payload;
+  AppendU32(payload, static_cast<uint32_t>(trace.track_tids().size()));
+  for (const auto& [track, tid] : trace.track_tids()) {
+    AppendLengthPrefixed(payload, BytesFromString(track));
+    AppendU32(payload, tid);
+  }
+  return payload;
+}
+
+Bytes EncodeEvent(const TraceRecorder::Event& event) {
+  Bytes payload;
+  payload.push_back(static_cast<uint8_t>(event.phase));
+  AppendLengthPrefixed(payload, BytesFromString(event.category));
+  AppendLengthPrefixed(payload, BytesFromString(event.name));
+  AppendU32(payload, event.tid);
+  AppendU64(payload, event.async_id);
+  AppendU64(payload, static_cast<uint64_t>(event.ts));
+  AppendU64(payload, static_cast<uint64_t>(event.dur));
+  AppendDouble(payload, event.wall_us);
+  AppendDouble(payload, event.value);
+  return payload;
+}
+
+Bytes EncodeMetrics(const MetricsRegistry& metrics) {
+  Bytes payload;
+  AppendU32(payload, static_cast<uint32_t>(metrics.counters().size()));
+  for (const auto& [name, counter] : metrics.counters()) {
+    AppendLengthPrefixed(payload, BytesFromString(name));
+    AppendU64(payload, counter.value());
+  }
+  AppendU32(payload, static_cast<uint32_t>(metrics.gauges().size()));
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    AppendLengthPrefixed(payload, BytesFromString(name));
+    AppendDouble(payload, gauge.value());
+  }
+  AppendU32(payload, static_cast<uint32_t>(metrics.histograms().size()));
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    AppendLengthPrefixed(payload, BytesFromString(name));
+    AppendU64(payload, histogram.count());
+    AppendDouble(payload, histogram.sum());
+    AppendDouble(payload, histogram.min());
+    AppendDouble(payload, histogram.max());
+    AppendU32(payload, static_cast<uint32_t>(histogram.buckets().size()));
+    for (const auto& [index, count] : histogram.buckets()) {
+      AppendU32(payload, static_cast<uint32_t>(index));
+      AppendU64(payload, count);
+    }
+  }
+  return payload;
+}
+
+Status DecodeTrackTable(ByteSpan payload, std::map<std::string, uint32_t>& out) {
+  size_t offset = 0;
+  NYMIX_ASSIGN_OR_RETURN(uint32_t count, ReadU32(payload, offset));
+  for (uint32_t i = 0; i < count; ++i) {
+    NYMIX_ASSIGN_OR_RETURN(Bytes track, ReadLengthPrefixed(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(uint32_t tid, ReadU32(payload, offset));
+    out[StringFromBytes(track)] = tid;
+  }
+  if (offset != payload.size()) {
+    return DataLossError("nbt: trailing bytes in track table");
+  }
+  return OkStatus();
+}
+
+Status DecodeEvent(ByteSpan payload, TraceRecorder::Event& out) {
+  if (payload.empty()) {
+    return DataLossError("nbt: empty event record");
+  }
+  size_t offset = 0;
+  out.phase = static_cast<char>(payload[offset++]);
+  NYMIX_ASSIGN_OR_RETURN(Bytes category, ReadLengthPrefixed(payload, offset));
+  out.category = TraceRecorder::InternCategory(StringFromBytes(category));
+  NYMIX_ASSIGN_OR_RETURN(Bytes name, ReadLengthPrefixed(payload, offset));
+  out.name = StringFromBytes(name);
+  NYMIX_ASSIGN_OR_RETURN(out.tid, ReadU32(payload, offset));
+  NYMIX_ASSIGN_OR_RETURN(out.async_id, ReadU64(payload, offset));
+  NYMIX_ASSIGN_OR_RETURN(uint64_t ts, ReadU64(payload, offset));
+  out.ts = static_cast<SimTime>(ts);
+  NYMIX_ASSIGN_OR_RETURN(uint64_t dur, ReadU64(payload, offset));
+  out.dur = static_cast<SimDuration>(dur);
+  NYMIX_ASSIGN_OR_RETURN(out.wall_us, ReadDouble(payload, offset));
+  NYMIX_ASSIGN_OR_RETURN(out.value, ReadDouble(payload, offset));
+  if (offset != payload.size()) {
+    return DataLossError("nbt: trailing bytes in event record");
+  }
+  return OkStatus();
+}
+
+Status DecodeMetrics(ByteSpan payload, MetricsRegistry& out) {
+  size_t offset = 0;
+  NYMIX_ASSIGN_OR_RETURN(uint32_t n_counters, ReadU32(payload, offset));
+  for (uint32_t i = 0; i < n_counters; ++i) {
+    NYMIX_ASSIGN_OR_RETURN(Bytes name, ReadLengthPrefixed(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(uint64_t value, ReadU64(payload, offset));
+    out.GetCounter(StringFromBytes(name))->Increment(value);
+  }
+  NYMIX_ASSIGN_OR_RETURN(uint32_t n_gauges, ReadU32(payload, offset));
+  for (uint32_t i = 0; i < n_gauges; ++i) {
+    NYMIX_ASSIGN_OR_RETURN(Bytes name, ReadLengthPrefixed(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(double value, ReadDouble(payload, offset));
+    out.GetGauge(StringFromBytes(name))->Set(value);
+  }
+  NYMIX_ASSIGN_OR_RETURN(uint32_t n_histograms, ReadU32(payload, offset));
+  for (uint32_t i = 0; i < n_histograms; ++i) {
+    NYMIX_ASSIGN_OR_RETURN(Bytes name, ReadLengthPrefixed(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(uint64_t count, ReadU64(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(double sum, ReadDouble(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(double min, ReadDouble(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(double max, ReadDouble(payload, offset));
+    NYMIX_ASSIGN_OR_RETURN(uint32_t n_buckets, ReadU32(payload, offset));
+    std::map<int32_t, uint64_t> buckets;
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      NYMIX_ASSIGN_OR_RETURN(uint32_t index, ReadU32(payload, offset));
+      NYMIX_ASSIGN_OR_RETURN(uint64_t bucket_count, ReadU64(payload, offset));
+      buckets[static_cast<int32_t>(index)] = bucket_count;
+    }
+    out.GetHistogram(StringFromBytes(name))
+        ->RestoreState(std::move(buckets), count, sum, min, max);
+  }
+  if (offset != payload.size()) {
+    return DataLossError("nbt: trailing bytes in metrics record");
+  }
+  return OkStatus();
+}
+
+// Replays one decoded record into the document under construction.
+// `events`/`tracks` accumulate trace state; the recorder is assembled once
+// at the end so RestoreForDecode recomputes derived counters exactly once.
+Status ReplayNbtRecord(const Record& record, NbtDocument& doc,
+                       std::vector<TraceRecorder::Event>& events,
+                       std::map<std::string, uint32_t>& tracks) {
+  switch (record.type) {
+    case kNbtTrackTable:
+      doc.has_trace = true;
+      return DecodeTrackTable(record.payload, tracks);
+    case kNbtEvent: {
+      TraceRecorder::Event event;
+      NYMIX_RETURN_IF_ERROR(DecodeEvent(record.payload, event));
+      doc.has_trace = true;
+      events.push_back(std::move(event));
+      return OkStatus();
+    }
+    case kNbtMetrics:
+      doc.has_metrics = true;
+      doc.metrics.set_enabled(true);
+      return DecodeMetrics(record.payload, doc.metrics);
+    default:
+      return InvalidArgumentError("nbt: unknown record type " + std::to_string(record.type));
+  }
+}
+
+}  // namespace
+
+Bytes EncodeNbt(const TraceRecorder* trace, const MetricsRegistry* metrics) {
+  RecordLogWriter log;
+  if (trace != nullptr) {
+    log.Append(kNbtTrackTable, EncodeTrackTable(*trace));
+    for (const TraceRecorder::Event& event : trace->events()) {
+      log.Append(kNbtEvent, EncodeEvent(event));
+    }
+  }
+  if (metrics != nullptr) {
+    log.Append(kNbtMetrics, EncodeMetrics(*metrics));
+  }
+  return log.TakeBytes();
+}
+
+Result<NbtDocument> DecodeNbt(ByteSpan data) {
+  NYMIX_ASSIGN_OR_RETURN(std::vector<Record> records, ReadRecordLog(data));
+  NbtDocument doc;
+  std::vector<TraceRecorder::Event> events;
+  std::map<std::string, uint32_t> tracks;
+  for (const Record& record : records) {
+    NYMIX_RETURN_IF_ERROR(ReplayNbtRecord(record, doc, events, tracks));
+  }
+  if (doc.has_trace) {
+    doc.trace.RestoreForDecode(std::move(events), std::move(tracks));
+  }
+  return doc;
+}
+
+Result<NbtRecovered> RecoverNbt(ByteSpan data) {
+  ScanResult scan = ScanRecordLog(data);
+  if (scan.tail == LogTail::kBadHeader) {
+    return InvalidArgumentError("nbt: not a record log (bad header)");
+  }
+  NbtRecovered out;
+  std::vector<TraceRecorder::Event> events;
+  std::map<std::string, uint32_t> tracks;
+  size_t replayed_bytes = sizeof(kRecordLogMagic) + 4;  // header
+  bool damaged = !scan.clean();
+  for (const Record& record : scan.records) {
+    Status replayed = ReplayNbtRecord(record, out.doc, events, tracks);
+    if (!replayed.ok()) {
+      scan.valid_bytes = replayed_bytes;
+      damaged = true;
+      break;
+    }
+    replayed_bytes += 12 + record.payload.size();
+  }
+  if (out.doc.has_trace) {
+    out.doc.trace.RestoreForDecode(std::move(events), std::move(tracks));
+    out.events_recovered = out.doc.trace.event_count();
+  }
+  out.valid_bytes = scan.valid_bytes;
+  out.lost_bytes = data.size() - scan.valid_bytes;
+  out.clean = !damaged;
+  return out;
+}
+
+std::string NbtToJson(const NbtDocument& doc) {
+  std::ostringstream out;
+  if (doc.has_trace) {
+    doc.trace.WriteChromeJson(out);
+  }
+  if (doc.has_metrics) {
+    doc.metrics.WriteJson(out);
+  }
+  return out.str();
+}
+
+}  // namespace nymix

@@ -1,0 +1,67 @@
+// NBT ("nymix binary trace"): compact binary encoding of a TraceRecorder
+// event stream and/or a MetricsRegistry, layered on the CRC-checked record
+// log. The codec stores the recorder's *exact* internal state — doubles as
+// IEEE-754 bit patterns, virtual timestamps as fixed-width integers — so a
+// decoded document re-exported through the ordinary JSON writers is
+// byte-identical to the JSON the original run would have emitted. That is
+// the contract tools/nbt2json relies on: goldens, SHA-256 cross-checks and
+// bench_diff keep working against the JSON view while the wire stays ~3x
+// smaller and needs no float formatting on the hot path.
+//
+// Record types (see docs/persistence.md for the framing underneath):
+//   kNbtTrackTable — the track-name -> tid map, one record, written first
+//   kNbtEvent      — one trace event per record (prefix-recoverable)
+//   kNbtMetrics    — the whole metrics registry in one record
+#ifndef SRC_STORE_NBT_H_
+#define SRC_STORE_NBT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/store/record_log.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+inline constexpr uint32_t kNbtTrackTable = 0x10;
+inline constexpr uint32_t kNbtEvent = 0x11;
+inline constexpr uint32_t kNbtMetrics = 0x20;
+
+// Encodes whichever of `trace` / `metrics` is non-null (trace first).
+Bytes EncodeNbt(const TraceRecorder* trace, const MetricsRegistry* metrics);
+
+// A decoded NBT document. The recorder/registry are fully restored: their
+// JSON exports match the original run's byte for byte.
+struct NbtDocument {
+  bool has_trace = false;
+  TraceRecorder trace;
+  bool has_metrics = false;
+  MetricsRegistry metrics;
+};
+
+// Strict decode: any truncation, corruption or malformed record fails.
+Result<NbtDocument> DecodeNbt(ByteSpan data);
+
+// Tolerant decode: recovers the longest valid prefix. A torn or corrupted
+// tail costs the damaged record and everything after it, never the intact
+// events before it.
+struct NbtRecovered {
+  NbtDocument doc;
+  size_t valid_bytes = 0;
+  size_t lost_bytes = 0;
+  bool clean = false;
+  size_t events_recovered = 0;
+};
+Result<NbtRecovered> RecoverNbt(ByteSpan data);
+
+// JSON view of a decoded document: the Chrome trace JSON (when a trace is
+// present) followed by the metrics JSON (when metrics are present) —
+// exactly what the equivalent --trace-format=json run writes, byte for
+// byte, with nothing appended.
+std::string NbtToJson(const NbtDocument& doc);
+
+}  // namespace nymix
+
+#endif  // SRC_STORE_NBT_H_

@@ -1,0 +1,104 @@
+#include "src/store/record_log.h"
+
+#include <cstring>
+
+#include "src/store/crc32.h"
+
+namespace nymix {
+
+namespace {
+
+void AppendHeader(Bytes& buf) {
+  buf.insert(buf.end(), kRecordLogMagic, kRecordLogMagic + sizeof(kRecordLogMagic));
+  AppendU32(buf, kRecordLogVersion);
+}
+
+constexpr size_t kHeaderSize = sizeof(kRecordLogMagic) + 4;
+
+// Raw little-endian u32 read; callers have already bounds-checked. The
+// Result-returning ReadU32 in src/util would force error plumbing into a
+// scanner whose whole job is to classify damage itself.
+uint32_t RawU32(ByteSpan data, size_t offset) {
+  return static_cast<uint32_t>(data[offset]) | (static_cast<uint32_t>(data[offset + 1]) << 8) |
+         (static_cast<uint32_t>(data[offset + 2]) << 16) |
+         (static_cast<uint32_t>(data[offset + 3]) << 24);
+}
+
+}  // namespace
+
+RecordLogWriter::RecordLogWriter() { AppendHeader(buf_); }
+
+RecordLogWriter::RecordLogWriter(Bytes existing) : buf_(std::move(existing)) {
+  if (buf_.empty()) AppendHeader(buf_);
+}
+
+void RecordLogWriter::Append(uint32_t type, ByteSpan payload) {
+  AppendU32(buf_, static_cast<uint32_t>(payload.size()));
+  const size_t type_at = buf_.size();
+  AppendU32(buf_, type);
+  buf_.insert(buf_.end(), payload.begin(), payload.end());
+  uint32_t crc = Crc32cUpdate(kCrc32cInit, ByteSpan(buf_).subspan(type_at, 4));
+  crc = Crc32cFinish(Crc32cUpdate(crc, payload));
+  AppendU32(buf_, crc);
+}
+
+ScanResult ScanRecordLog(ByteSpan data) {
+  ScanResult out;
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kRecordLogMagic, sizeof(kRecordLogMagic)) != 0 ||
+      RawU32(data, sizeof(kRecordLogMagic)) != kRecordLogVersion) {
+    out.tail = LogTail::kBadHeader;
+    return out;
+  }
+  size_t offset = kHeaderSize;
+  out.valid_bytes = offset;
+  while (offset < data.size()) {
+    // A record needs at least length + type + crc fields.
+    if (data.size() - offset < 12) {
+      out.tail = LogTail::kTruncated;
+      return out;
+    }
+    const uint32_t payload_len = RawU32(data, offset);
+    if (payload_len > kMaxRecordPayload) {
+      out.tail = LogTail::kCorrupt;
+      return out;
+    }
+    if (data.size() - offset - 12 < payload_len) {
+      out.tail = LogTail::kTruncated;
+      return out;
+    }
+    const size_t type_at = offset + 4;
+    const ByteSpan payload = data.subspan(offset + 8, payload_len);
+    const uint32_t stored_crc = RawU32(data, offset + 8 + payload_len);
+    uint32_t crc = Crc32cUpdate(kCrc32cInit, data.subspan(type_at, 4));
+    crc = Crc32cFinish(Crc32cUpdate(crc, payload));
+    if (crc != stored_crc) {
+      out.tail = LogTail::kCorrupt;
+      return out;
+    }
+    out.records.push_back(Record{RawU32(data, type_at), payload});
+    offset += 12 + payload_len;
+    out.valid_bytes = offset;
+  }
+  out.tail = LogTail::kClean;
+  return out;
+}
+
+Result<std::vector<Record>> ReadRecordLog(ByteSpan data) {
+  ScanResult scan = ScanRecordLog(data);
+  switch (scan.tail) {
+    case LogTail::kClean:
+      return std::move(scan.records);
+    case LogTail::kBadHeader:
+      return InvalidArgumentError("record log: bad magic or version");
+    case LogTail::kTruncated:
+      return DataLossError("record log: truncated record at byte " +
+                           std::to_string(scan.valid_bytes));
+    case LogTail::kCorrupt:
+      return DataLossError("record log: CRC mismatch at byte " +
+                           std::to_string(scan.valid_bytes));
+  }
+  return InternalError("record log: unreachable tail state");
+}
+
+}  // namespace nymix

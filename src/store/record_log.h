@@ -1,0 +1,86 @@
+// Append-only, CRC-checked record log — the framing layer every persistent
+// artifact in nymix sits on (KV store, NBT traces, checkpoints).
+//
+// Layout (all integers little-endian, fixed width; see docs/persistence.md):
+//
+//   file   := header record*
+//   header := magic[8] ("NYMLOG\x00\x01") u32 version
+//   record := u32 payload_len  u32 type  payload[payload_len]  u32 crc
+//
+// The CRC is CRC-32C over the type field's 4 encoded bytes followed by the
+// payload, so a record whose length field was corrupted into another
+// record's body still fails the check. Readers recover the longest valid
+// prefix: scanning stops at the first malformed record and reports how many
+// bytes were good, so a torn final write loses at most that one record.
+//
+// Encoding is a pure function of the logical content — no wall-clock, no
+// pointers, no padding from uninitialized memory — which keeps byte-level
+// determinism (the simulator's core contract) intact through persistence.
+#ifndef SRC_STORE_RECORD_LOG_H_
+#define SRC_STORE_RECORD_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nymix {
+
+inline constexpr uint8_t kRecordLogMagic[8] = {'N', 'Y', 'M', 'L', 'O', 'G', 0x00, 0x01};
+inline constexpr uint32_t kRecordLogVersion = 1;
+
+// Upper bound on a single record's payload; a length field above this is
+// treated as corruption rather than an attempt to allocate petabytes.
+inline constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+// A decoded record. `payload` views into the scanned buffer.
+struct Record {
+  uint32_t type = 0;
+  ByteSpan payload;
+};
+
+// Why a scan stopped.
+enum class LogTail {
+  kClean,      // buffer ended exactly at a record boundary
+  kTruncated,  // ran out of bytes mid-record (torn final write)
+  kCorrupt,    // CRC mismatch or nonsensical length field
+  kBadHeader,  // magic/version check failed; no records scanned
+};
+
+struct ScanResult {
+  std::vector<Record> records;
+  size_t valid_bytes = 0;  // prefix length covering header + intact records
+  LogTail tail = LogTail::kClean;
+
+  bool clean() const { return tail == LogTail::kClean; }
+};
+
+class RecordLogWriter {
+ public:
+  // Starts a fresh log: writes the header into an empty buffer.
+  RecordLogWriter();
+
+  // Resumes appending to an existing valid prefix (as reported by Scan).
+  explicit RecordLogWriter(Bytes existing);
+
+  void Append(uint32_t type, ByteSpan payload);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes TakeBytes() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+// Scans `data`, validating the header and every record's CRC. Never fails
+// outright: corruption is reported through `tail`/`valid_bytes` and the
+// records decoded before the damage are returned.
+ScanResult ScanRecordLog(ByteSpan data);
+
+// Strict variant: error unless the whole buffer is one clean log.
+Result<std::vector<Record>> ReadRecordLog(ByteSpan data);
+
+}  // namespace nymix
+
+#endif  // SRC_STORE_RECORD_LOG_H_

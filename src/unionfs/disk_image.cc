@@ -66,6 +66,38 @@ std::shared_ptr<BaseImage> BaseImage::CreateDistribution(std::string name, uint6
   return image;
 }
 
+Result<std::shared_ptr<BaseImage>> BaseImage::CreateDistributionFromCheckpoint(
+    std::string name, uint64_t seed, uint64_t size_bytes, std::vector<Sha256Digest> block_digests,
+    MerkleTree merkle) {
+  if (size_bytes % kDiskBlockSize != 0) {
+    return InvalidArgumentError("image checkpoint: size not block-aligned");
+  }
+  if (block_digests.size() != size_bytes / kDiskBlockSize) {
+    return InvalidArgumentError("image checkpoint: digest count does not match image size");
+  }
+  if (merkle.leaf_count() != block_digests.size()) {
+    return InvalidArgumentError("image checkpoint: merkle leaf count does not match digests");
+  }
+  // Spot check first/last leaves against the tree so a checkpoint whose
+  // digests and tree drifted apart fails loudly instead of verifying.
+  if (!block_digests.empty()) {
+    const auto& leaves = merkle.levels().front();
+    if (leaves.front() != MerkleTree::HashLeaf(block_digests.front()) ||
+        leaves.back() != MerkleTree::HashLeaf(block_digests.back())) {
+      return InvalidArgumentError("image checkpoint: leaf hashes do not match block digests");
+    }
+  }
+  auto image = std::shared_ptr<BaseImage>(new BaseImage());
+  image->name_ = std::move(name);
+  image->seed_ = seed;
+  image->size_bytes_ = size_bytes;
+  image->fs_ = std::make_shared<MemFs>();
+  PopulateDistributionFs(*image->fs_, image->name_, seed);
+  image->block_digests_ = std::move(block_digests);
+  image->merkle_ = std::move(merkle);
+  return image;
+}
+
 uint64_t BaseImage::BlockContentId(uint64_t block_index) const {
   NYMIX_CHECK(block_index < block_digests_.size());
   return DigestPrefix64(block_digests_[block_index]);

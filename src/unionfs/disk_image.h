@@ -28,9 +28,24 @@ class BaseImage {
   static std::shared_ptr<BaseImage> CreateDistribution(std::string name, uint64_t seed,
                                                        uint64_t size_bytes);
 
+  // Warm-start path: rebuilds an image from checkpointed block digests and
+  // Merkle levels (src/store/image_checkpoint), skipping the per-block
+  // hashing and tree build that dominate CreateDistribution. The cheap
+  // synthetic filesystem is repopulated from (name, seed) as usual, so the
+  // result is indistinguishable from a cold-built image. Fails when the
+  // digest count does not match `size_bytes` or the leaf hashes do not
+  // correspond to the digests (spot-checked).
+  static Result<std::shared_ptr<BaseImage>> CreateDistributionFromCheckpoint(
+      std::string name, uint64_t seed, uint64_t size_bytes,
+      std::vector<Sha256Digest> block_digests, MerkleTree merkle);
+
   const std::string& name() const { return name_; }
+  uint64_t seed() const { return seed_; }
   uint64_t size_bytes() const { return size_bytes_; }
   uint64_t block_count() const { return size_bytes_ / kDiskBlockSize; }
+
+  // Current on-disk block digest table (checkpoint source).
+  const std::vector<Sha256Digest>& block_digests() const { return block_digests_; }
 
   // Shared read-only filesystem view of the image.
   std::shared_ptr<const MemFs> fs() const { return fs_; }

@@ -5,13 +5,19 @@
 // nondeterminism that survives nymlint's static rules.
 #include <array>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/core/fleet.h"
+#include "src/core/fleet_checkpoint.h"
 #include "src/core/nym_manager.h"
+#include "src/core/testbed.h"
 #include "src/net/simulation.h"
 #include "src/obs/observability.h"
+#include "src/store/image_checkpoint.h"
+#include "src/store/kv_store.h"
 #include "src/workload/website.h"
 
 namespace nymix {
@@ -188,6 +194,107 @@ std::string RunFleetScenario(uint64_t seed, bool full_recompute) {
   return obs.trace.ToChromeJson();
 }
 
+// The warm-start path (bench/scale_fleet --warm-start) in miniature: a
+// two-shard fleet whose base images come from src/store image checkpoints
+// instead of cold builds. Image content is a pure function of (name, seed,
+// size), so the warm run must replay the exact same event stream — the
+// merged trace AND the merged metrics dump, byte for byte.
+std::string RunShardedFleetTrace(uint64_t seed, int threads, KvStore* warm) {
+  ShardedSimulation sharded(seed, ShardPlan{/*shards=*/2, threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+  FleetOptions options;
+  options.nym_count = 4;
+  options.nyms_per_host = 2;
+  if (warm != nullptr) {
+    for (int s = 0; s < 2; ++s) {
+      auto image = AcquireDistributionImage(*warm, kFleetImageName, kFleetImageSeed,
+                                            kFleetImageSizeBytes);
+      NYMIX_CHECK_MSG(image.ok(), "warm-start image acquisition failed");
+      options.images.push_back(*image);
+    }
+  }
+  ShardedFleet fleet(sharded, options, seed);
+  fleet.Run();
+  sharded.MergeObservability();
+  std::ostringstream out;
+  out << sharded.merged().trace.ToChromeJson();
+  sharded.merged().metrics.WriteJson(out);
+  return out.str();
+}
+
+// Whole-host crash → restore-from-checkpoint, PR 3's RecoverNym lifted to
+// every nym on the host at once. The run checkpoints a two-nym host into a
+// KvStore, crashes both VM pairs, restores the host from the store, drives
+// the boots to quiescence, and re-checkpoints into a second store.
+struct HostCrashRun {
+  std::string trace;
+  Bytes checkpoint_log;    // the KvStore log written before the crash
+  Bytes recheckpoint_log;  // the log written by the restored host
+  std::string draft;       // /home/user/draft.txt as the restored nym sees it
+  bool guard_survived = false;
+};
+
+HostCrashRun RunHostCrashRestore(uint64_t seed) {
+  Testbed bed(seed);
+  Observability obs;
+  obs.EnableAll();
+  obs.trace.set_record_wall_time(false);
+  obs.metrics.set_record_wall_time(false);
+  bed.sim().loop().set_observability(&obs);
+
+  // Names sort in creation order: RestoreHost boots in store (key) order,
+  // so the re-checkpoint enumerates nyms in the same order as the first.
+  NymManager::CreateOptions guarded;
+  guarded.guard_seed = 1234;
+  Nym* alpha = bed.CreateNymBlocking("alpha", guarded);
+  Nym* bravo = bed.CreateNymBlocking("bravo");
+  auto* tor = static_cast<TorClient*>(alpha->anonymizer());
+  NYMIX_CHECK(tor->entry_guard_index().has_value());
+  const size_t original_guard = *tor->entry_guard_index();
+  NYMIX_CHECK(alpha->anon_vm()
+                  ->disk()
+                  .fs()
+                  .writable_mutable()
+                  .WriteFile("/home/user/draft.txt", Blob::FromString("intersection notes"))
+                  .ok());
+
+  KvStore checkpoint;
+  NYMIX_CHECK(CheckpointHost(bed.manager(), "host/0", checkpoint).ok());
+  NYMIX_CHECK_MSG(checkpoint.size() == 2, "expected both nyms in the checkpoint");
+
+  bed.manager().InjectCrash(*alpha);
+  bed.manager().InjectCrash(*bravo);
+
+  int restored = 0;
+  NYMIX_CHECK(RestoreHost(bed.manager(), "host/0", checkpoint, &restored).ok());
+  NYMIX_CHECK_MSG(restored == 2, "expected RestoreHost to boot both nyms");
+  bed.sim().RunUntil([&bed] {
+    for (const char* name : {"alpha", "bravo"}) {
+      Nym* nym = bed.manager().FindNym(name);
+      if (nym == nullptr || nym->anonymizer() == nullptr || !nym->anonymizer()->ready()) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  KvStore recheckpoint;
+  NYMIX_CHECK(CheckpointHost(bed.manager(), "host/0", recheckpoint).ok());
+
+  HostCrashRun out;
+  out.trace = obs.trace.ToChromeJson();
+  out.checkpoint_log = checkpoint.log();
+  out.recheckpoint_log = recheckpoint.log();
+  Nym* fresh = bed.manager().FindNym("alpha");
+  if (auto blob = fresh->anon_vm()->disk().fs().ReadFile("/home/user/draft.txt"); blob.ok()) {
+    out.draft = StringFromBytes(blob->Materialize());
+  }
+  auto* fresh_tor = static_cast<TorClient*>(fresh->anonymizer());
+  out.guard_survived = fresh_tor->entry_guard_index().has_value() &&
+                       *fresh_tor->entry_guard_index() == original_guard;
+  return out;
+}
+
 TEST(DeterminismTest, SameSeedProducesIdenticalTraceJson) {
   // Shift heap layout between the runs: if any container orders by pointer
   // value, the second run sees different addresses and the JSON diverges.
@@ -274,6 +381,49 @@ TEST(DeterminismTest, FleetScenarioSameSeedIsByteIdentical) {
   pad->fill('z');
   const std::string second = RunFleetScenario(7, /*full_recompute=*/false);
   EXPECT_EQ(first, second);
+}
+
+// Warm start must be invisible in the output: a fleet booted from
+// checkpointed images (src/store/image_checkpoint) emits the same trace
+// and metrics bytes as a cold-built one, at one thread and at two.
+TEST(DeterminismTest, WarmStartFleetTraceIsByteIdenticalToCold) {
+  const std::string cold = RunShardedFleetTrace(11, /*threads=*/1, nullptr);
+
+  // The first warm run finds an empty store: shard 0's acquire cold-builds
+  // and writes the checkpoint, shard 1's restores it — the two paths mix
+  // within one run. The second warm run is pure restore, multi-threaded.
+  KvStore store;
+  const std::string warm_seeding = RunShardedFleetTrace(11, /*threads=*/1, &store);
+  EXPECT_TRUE(
+      store.Contains(ImageCheckpointKey(kFleetImageName, kFleetImageSeed, kFleetImageSizeBytes)));
+  const std::string warm_restored = RunShardedFleetTrace(11, /*threads=*/2, &store);
+
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(cold, warm_seeding);
+  EXPECT_EQ(cold, warm_restored);
+}
+
+// The whole-host crash/restore round trip is lossless down to the store
+// bytes: re-checkpointing the restored host reproduces the pre-crash
+// KvStore log exactly — options, both writable layers, guard state, save
+// sequence, and the record framing around them.
+TEST(DeterminismTest, HostCrashRestoreFromCheckpointIsByteIdentical) {
+  HostCrashRun run = RunHostCrashRestore(0xC0FFEE);
+  ASSERT_FALSE(run.checkpoint_log.empty());
+  EXPECT_EQ(run.checkpoint_log, run.recheckpoint_log);
+  EXPECT_EQ(run.draft, "intersection notes");
+  EXPECT_TRUE(run.guard_survived);
+}
+
+TEST(DeterminismTest, HostCrashRestoreSameSeedIsByteIdentical) {
+  const HostCrashRun first = RunHostCrashRestore(5);
+  auto pad = std::make_unique<std::array<char, 8192>>();
+  pad->fill('w');
+  const HostCrashRun second = RunHostCrashRestore(5);
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.checkpoint_log, second.checkpoint_log);
+  EXPECT_EQ(first.recheckpoint_log, second.recheckpoint_log);
 }
 
 }  // namespace

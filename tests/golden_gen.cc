@@ -2,39 +2,96 @@
 // rebuilds this binary and rewrites tests/golden/*.json in place; review
 // the diff like any other source change.
 //
-// Usage: golden_gen <output-dir> [scenario...]
+// Usage: golden_gen [--format=json|nbt] <output-dir> [scenario...]
+//   --format=json (default) writes <name>.json, the checked-in corpus
+//   --format=nbt writes <name>.nbt, the binary encoding of the same run
+// Naming a scenario that does not exist is a hard error (exit 2) listing
+// the library — a typo must not silently regenerate nothing.
 #include <cstdio>
+#include <cstring>
+// nymlint:allow-file(store-raw-io): writes the human-reviewable golden JSON
+// corpus; see golden_trace_test.cc for why it stays outside the record log.
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "tests/golden_scenarios.h"
 
+namespace {
+
+bool WriteFileOrComplain(const std::string& path, const char* data, size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.write(data, static_cast<std::streamsize>(size));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "golden_gen: write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: golden_gen <output-dir> [scenario...]\n");
+  std::string format = "json";
+  std::string out_dir;
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--format=", 9) == 0) {
+      format = argv[i] + 9;
+    } else if (out_dir.empty()) {
+      out_dir = argv[i];
+    } else {
+      wanted.push_back(argv[i]);
+    }
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "usage: golden_gen [--format=json|nbt] <output-dir> [scenario...]\n");
     return 2;
   }
-  std::string out_dir = argv[1];
-  for (const nymix::GoldenScenario& scenario : nymix::GoldenScenarios()) {
-    if (argc > 2) {
-      bool wanted = false;
-      for (int i = 2; i < argc; ++i) {
-        wanted = wanted || scenario.name == std::string(argv[i]);
+  if (format != "json" && format != "nbt") {
+    std::fprintf(stderr, "golden_gen: --format must be json or nbt, got \"%s\"\n",
+                 format.c_str());
+    return 2;
+  }
+  for (const std::string& name : wanted) {
+    bool known = false;
+    for (const nymix::GoldenScenario& scenario : nymix::GoldenScenarios()) {
+      known = known || name == scenario.name;
+    }
+    if (!known) {
+      std::fprintf(stderr, "golden_gen: unknown scenario \"%s\"; the library has:\n",
+                   name.c_str());
+      for (const nymix::GoldenScenario& scenario : nymix::GoldenScenarios()) {
+        std::fprintf(stderr, "  %s\n", scenario.name);
       }
-      if (!wanted) {
+      return 2;
+    }
+  }
+  for (const nymix::GoldenScenario& scenario : nymix::GoldenScenarios()) {
+    if (!wanted.empty()) {
+      bool selected = false;
+      for (const std::string& name : wanted) {
+        selected = selected || name == scenario.name;
+      }
+      if (!selected) {
         continue;
       }
     }
-    std::string path = out_dir + "/" + scenario.name + ".json";
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
-      return 1;
+    std::string path = out_dir + "/" + scenario.name + "." + format;
+    bool ok;
+    if (format == "nbt") {
+      nymix::Bytes data = scenario.generate_nbt();
+      ok = WriteFileOrComplain(path, reinterpret_cast<const char*>(data.data()), data.size());
+    } else {
+      std::string data = scenario.generate();
+      ok = WriteFileOrComplain(path, data.data(), data.size());
     }
-    out << scenario.generate();
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "golden_gen: write failed for %s\n", path.c_str());
+    if (!ok) {
       return 1;
     }
     std::printf("golden_gen: wrote %s\n", path.c_str());

@@ -5,11 +5,16 @@
 #include "src/core/fleet.h"
 #include "src/core/testbed.h"
 #include "src/obs/observability.h"
+#include "src/store/nbt.h"
 
 namespace nymix {
 namespace {
 
-std::string Fig5Small() {
+// Each scenario is a run helper handing its finished recorder (and, for the
+// fleet, the merged registry) to an emitter, so the JSON and NBT goldens
+// are two encodings of one run rather than two runs that could drift.
+template <typename Emit>
+auto RunFig5(Emit emit) {
   Simulation sim(5);
   Observability obs;
   obs.EnableAll();
@@ -32,10 +37,11 @@ std::string Fig5Small() {
   sim.loop().ScheduleAt(Millis(700), [relay] { relay->SetDown(false); });
   sim.RunUntil([&done] { return done == 4; });
 
-  return obs.trace.ToChromeJson();
+  return emit(obs.trace, static_cast<const MetricsRegistry*>(nullptr));
 }
 
-std::string Fig7Small() {
+template <typename Emit>
+auto RunFig7(Emit emit) {
   Testbed bed(7);
   Observability obs;
   obs.EnableAll();
@@ -47,10 +53,11 @@ std::string Fig7Small() {
   NYMIX_CHECK(bed.VisitBlocking(nym, bed.sites().ByName("BBC")).ok());
   NYMIX_CHECK(bed.manager().TerminateNym(nym).ok());
 
-  return obs.trace.ToChromeJson();
+  return emit(obs.trace, static_cast<const MetricsRegistry*>(nullptr));
 }
 
-std::string ScaleFleetSmall() {
+template <typename Emit>
+auto RunScaleFleet(Emit emit) {
   ShardedSimulation sharded(11, ShardPlan{/*shards=*/2, /*threads=*/1});
   sharded.EnableObservability(/*record_wall_time=*/false);
   FleetOptions options;
@@ -62,19 +69,36 @@ std::string ScaleFleetSmall() {
 
   // Trace plus the metrics dump: the fleet scenario is the one place the
   // corpus covers the merged multi-shard registry format too.
+  return emit(sharded.merged().trace, &sharded.merged().metrics);
+}
+
+std::string EmitJson(const TraceRecorder& trace, const MetricsRegistry* metrics) {
   std::ostringstream out;
-  out << sharded.merged().trace.ToChromeJson();
-  sharded.merged().metrics.WriteJson(out);
+  out << trace.ToChromeJson();
+  if (metrics != nullptr) {
+    metrics->WriteJson(out);
+  }
   return out.str();
 }
+
+Bytes EmitNbt(const TraceRecorder& trace, const MetricsRegistry* metrics) {
+  return EncodeNbt(&trace, metrics);
+}
+
+std::string Fig5Small() { return RunFig5(EmitJson); }
+std::string Fig7Small() { return RunFig7(EmitJson); }
+std::string ScaleFleetSmall() { return RunScaleFleet(EmitJson); }
+Bytes Fig5SmallNbt() { return RunFig5(EmitNbt); }
+Bytes Fig7SmallNbt() { return RunFig7(EmitNbt); }
+Bytes ScaleFleetSmallNbt() { return RunScaleFleet(EmitNbt); }
 
 }  // namespace
 
 const std::vector<GoldenScenario>& GoldenScenarios() {
   static const std::vector<GoldenScenario> kScenarios = {
-      {"fig5_small", &Fig5Small},
-      {"fig7_small", &Fig7Small},
-      {"scale_fleet_small", &ScaleFleetSmall},
+      {"fig5_small", &Fig5Small, &Fig5SmallNbt},
+      {"fig7_small", &Fig7Small, &Fig7SmallNbt},
+      {"scale_fleet_small", &ScaleFleetSmall, &ScaleFleetSmallNbt},
   };
   return kScenarios;
 }

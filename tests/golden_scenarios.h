@@ -17,13 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "src/util/bytes.h"
+
 namespace nymix {
 
 struct GoldenScenario {
-  // Basename of the checked-in file: tests/golden/<name>.json.
+  // Basename of the checked-in file: tests/golden/<name>.json (or .nbt).
   const char* name;
-  // Runs the scenario and returns the exact bytes the golden file holds.
+  // Runs the scenario and returns the exact bytes the JSON golden holds.
   std::string (*generate)();
+  // Same run, NBT-encoded (src/store/nbt.h). NbtToJson of this value is
+  // byte-identical to generate() — one run, two encodings.
+  Bytes (*generate_nbt)();
 };
 
 // fig5_small:      flow fair-sharing over a three-link topology with a

@@ -5,10 +5,14 @@
 // with tools/regolden.sh and review the JSON diff in the commit.
 #include <gtest/gtest.h>
 
+// nymlint:allow-file(store-raw-io): the golden corpus is checked-in JSON
+// reviewed in diffs, not simulator state; framing it in the record log
+// would defeat the human-readable-diff purpose of the suite.
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/store/nbt.h"
 #include "tests/golden_scenarios.h"
 
 namespace nymix {
@@ -58,6 +62,23 @@ TEST(GoldenTraceTest, ScenariosAreRerunStable) {
   for (const GoldenScenario& scenario : GoldenScenarios()) {
     SCOPED_TRACE(scenario.name);
     ASSERT_EQ(scenario.generate(), scenario.generate());
+  }
+}
+
+// The binary twin: exporting each scenario's NBT encoding back to JSON
+// (the tools/nbt2json path) must reproduce the checked-in golden bytes.
+// This pins the whole chain — NBT encode, decode, byte-identical export —
+// against the same corpus the JSON generators are pinned to, without
+// checking in a second set of opaque binary files.
+TEST(GoldenTraceTest, NbtExportMatchesGoldenJson) {
+  for (const GoldenScenario& scenario : GoldenScenarios()) {
+    SCOPED_TRACE(scenario.name);
+    std::string golden = ReadFileOrDie(std::string(NYMIX_GOLDEN_DIR) + "/" +
+                                       scenario.name + ".json");
+    Bytes encoded = scenario.generate_nbt();
+    Result<NbtDocument> doc = DecodeNbt(encoded);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_EQ(golden, NbtToJson(*doc));
   }
 }
 

@@ -247,6 +247,54 @@ TEST(NymlintRules, ThreadWordInOtherIdentifiersIsFine) {
                      "thread-confinement"));
 }
 
+// --- store-raw-io ---------------------------------------------------------
+
+TEST(NymlintRules, FlagsRawFileIoOutsideStore) {
+  EXPECT_TRUE(Fired(LintOne("src/obs/demo.cc", "std::ofstream out(path);\n"), "store-raw-io"));
+  EXPECT_TRUE(Fired(LintOne("src/net/demo.cc", "#include <fstream>\n"), "store-raw-io"));
+  EXPECT_TRUE(
+      Fired(LintOne("src/core/demo.cc", "FILE* fh = fopen(path, \"rb\");\n"), "store-raw-io"));
+  EXPECT_TRUE(Fired(LintOne("tests/demo_test.cc", "std::ifstream in(path);\n"), "store-raw-io"));
+}
+
+TEST(NymlintRules, StoreAndStorageOwnRawFileIo) {
+  // The sanctioned persistence layer lints clean by path...
+  EXPECT_FALSE(Fired(LintOne("src/store/file_io.cc",
+                             "std::ifstream in(path, std::ios::binary);\n"),
+                     "store-raw-io"));
+  EXPECT_FALSE(Fired(LintOne("src/storage/local_store.cc", "#include <fstream>\n"),
+                     "store-raw-io"));
+  // ...but a lookalike directory prefix does not inherit the exemption.
+  EXPECT_TRUE(
+      Fired(LintOne("src/storefront/demo.cc", "std::ofstream out(path);\n"), "store-raw-io"));
+}
+
+TEST(NymlintRules, RawIoExemptsBenchAndToolsByScope) {
+  // bench/ and tools/ are leaf consumers writing reports, not simulator
+  // state; the rule's scope mask leaves them alone.
+  EXPECT_FALSE(Fired(LintOne("bench/demo.cc", "std::ofstream out(path);\n"), "store-raw-io"));
+  EXPECT_FALSE(
+      Fired(LintOne("tools/demo.cc", "FILE* fh = fopen(path, \"rb\");\n"), "store-raw-io"));
+}
+
+TEST(NymlintRules, RawIoLookalikesAreFine) {
+  // Identifiers that merely contain the banned names must not match.
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "int file_count = fopen_count;\n"), "store-raw-io"));
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "Status WriteFile(const std::string& path);\n"),
+                     "store-raw-io"));
+  // file_io.h's own API is fine to use anywhere — that is the point.
+  EXPECT_FALSE(Fired(LintOne("src/demo.cc", "auto data = ReadFileBytes(path);\n"),
+                     "store-raw-io"));
+}
+
+TEST(NymlintSuppress, StoreRawIoAllowIsHonored) {
+  LintResult result = LintOne("src/obs/demo.cc",
+                              "// nymlint:allow(store-raw-io): golden corpus writer\n"
+                              "std::ofstream out(path);\n");
+  EXPECT_FALSE(Fired(result, "store-raw-io"));
+  EXPECT_FALSE(Fired(result, "suppression-unused"));
+}
+
 // --- error-throw ----------------------------------------------------------
 
 TEST(NymlintRules, FlagsThrowAndAbort) {

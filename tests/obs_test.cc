@@ -2,6 +2,8 @@
 // registry, histograms, the JSON validator, and the EventLoop integration.
 #include <gtest/gtest.h>
 
+// nymlint:allow-file(store-raw-io): reads back a file the unit under test
+// (WriteChromeJsonFile) just wrote; no simulator state is persisted here.
 #include <fstream>
 #include <limits>
 #include <sstream>

@@ -21,6 +21,10 @@ two further gates apply:
     since a single-core machine (most CI containers) cannot exhibit any
     parallel speedup, only verify identity.
 
+The store-layer columns (trace_encode_ms, checkpoint_restore_ms) are
+warn-only: pathological values print a WARNING for the CI log but never
+change the exit code — see warn_store_columns.
+
 Usage:
   tools/bench_diff.py RESULT.json [--baseline=bench/baselines/scale_fleet.json]
                                   [--min-ratio=0.7] [--update-baseline]
@@ -45,6 +49,39 @@ def load_points(path):
     for point in series:
         points[int(point["n"])] = float(point["events_per_sec"])
     return points
+
+
+def warn_store_columns(doc):
+    """Warn-only visibility for the store-layer columns (PR 6).
+
+    trace_encode_ms and checkpoint_restore_ms are wall-clock measurements of
+    the trace serializer and the warm-start image restore. They vary too
+    much across machines to gate hard, and a slow encode is a nuisance, not
+    a correctness problem — so out-of-range values print a WARNING and never
+    flip the exit code. The thresholds only exist to make a pathological
+    regression (say, an accidentally quadratic encoder) visible in CI logs.
+    """
+    rows = list(doc.get("threaded") or []) + [
+        dict(row, threads=1) for row in doc.get("incremental") or []
+    ]
+    for row in rows:
+        n = int(row.get("n", 0))
+        encode_ms = row.get("trace_encode_ms")
+        if encode_ms is not None and row.get("events"):
+            # >2 us per event is an order of magnitude beyond the measured
+            # encoder cost; flag it, loudly but harmlessly.
+            per_event_us = 1000.0 * float(encode_ms) / float(row["events"])
+            if per_event_us > 2.0:
+                print(
+                    f"  WARNING n={n}: trace encode {float(encode_ms):.1f} ms "
+                    f"({per_event_us:.2f} us/event) — encoder may have regressed"
+                )
+        restore_ms = row.get("checkpoint_restore_ms")
+        if restore_ms is not None and float(restore_ms) > 1000.0:
+            print(
+                f"  WARNING n={n}: warm-start restore took {float(restore_ms):.0f} ms "
+                f"— checkpoint decode should be far cheaper than a cold image build"
+            )
 
 
 def check_threaded(doc):
@@ -111,6 +148,7 @@ def main(argv):
         return 2
 
     threaded_ok = check_threaded(result_doc)
+    warn_store_columns(result_doc)
 
     if update or not os.path.exists(baseline_path):
         os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)

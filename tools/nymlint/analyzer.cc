@@ -217,9 +217,17 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
 
   // Pass 1: Status-returning function names, from every file regardless of
   // scope, so a src/ header's API is enforced at tests/ call sites too.
+  // Names the repo also declares void-returning are subtracted — a lexical
+  // pass cannot tell the two overloads apart at a call site.
   std::set<std::string> status_functions;
+  std::set<std::string> void_functions;
   for (const SourceFile& file : files) {
-    CollectStatusFunctions(SignificantTokens(Lex(file.content)), status_functions);
+    std::vector<Token> tokens = SignificantTokens(Lex(file.content));
+    CollectStatusFunctions(tokens, status_functions);
+    CollectVoidFunctions(tokens, void_functions);
+  }
+  for (const std::string& name : void_functions) {
+    status_functions.erase(name);
   }
 
   // Pass 2: rules + suppressions per file.

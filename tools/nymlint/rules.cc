@@ -330,6 +330,50 @@ void RuleThreadConfinement(const FileContext& file, std::vector<Diagnostic>& out
       out);
 }
 
+// --- store-raw-io ---------------------------------------------------------
+
+constexpr std::array<const char*, 8> kRawIoNames = {
+    "fstream",       "ifstream",       "ofstream",       "basic_fstream",
+    "basic_ifstream", "basic_ofstream", "basic_filebuf",  "filebuf"};
+constexpr std::array<const char*, 3> kRawIoCalls = {"fopen", "freopen", "tmpfile"};
+constexpr std::array<const char*, 1> kRawIoIncludes = {"<fstream>"};
+
+// All durable bytes flow through src/store's CRC-framed record log (or the
+// legacy src/storage models built before it); scattering ad-hoc fstream /
+// FILE* I/O through the sim core would let unframed, unchecksummed — and
+// potentially nondeterministic — bytes reach disk where nymlint can't see
+// the framing. bench/ and tools/ are exempt by scope: they are leaf
+// consumers writing reports, not simulator state.
+void RuleStoreRawIo(const FileContext& file, std::vector<Diagnostic>& out) {
+  static const char* kRule = "store-raw-io";
+  if (PathStartsWith(file.path, "src/store/") || PathStartsWith(file.path, "src/storage/")) {
+    return;  // the sanctioned persistence layer
+  }
+  CheckBannedIncludes(file, kRule, kRawIoIncludes,
+                      "file I/O outside src/store|src/storage; go through ReadFileBytes/"
+                      "WriteFileBytes (src/store/file_io.h) or a store record log",
+                      out);
+  for (size_t i = 0; i < T(file).size(); ++i) {
+    if (!IsIdent(file, i)) {
+      continue;
+    }
+    const std::string& text = T(file)[i].text;
+    if ((InSet(text, kRawIoNames) || text == "FILE") && QualifierAllowsMatch(file, i)) {
+      Report(file, i, kRule,
+             "'" + text + "' is raw file I/O outside the persistence layer; use "
+             "ReadFileBytes/WriteFileBytes (src/store/file_io.h) so every durable byte "
+             "is framed and CRC-checked by src/store",
+             out);
+    } else if (InSet(text, kRawIoCalls) && IsCallPosition(file, i)) {
+      Report(file, i, kRule,
+             "'" + text + "()' opens a raw FILE* outside the persistence layer; use "
+             "ReadFileBytes/WriteFileBytes (src/store/file_io.h) so every durable byte "
+             "is framed and CRC-checked by src/store",
+             out);
+    }
+  }
+}
+
 // --- error-throw ----------------------------------------------------------
 
 constexpr std::array<const char*, 4> kAbortCalls = {"abort", "terminate", "quick_exit", "_Exit"};
@@ -535,6 +579,9 @@ const std::vector<RuleInfo>& AllRules() {
        kBench | kExamples, false},
       {"thread-confinement",
        "raw threading primitives outside src/parallel and src/util", kSrc | kTests, false},
+      {"store-raw-io",
+       "raw file I/O (fstream, fopen, FILE*) outside src/store and src/storage",
+       kSrc | kTests | kExamples, false},
       {"error-throw", "throw/abort outside src/util/check.h", kEverywhere, false},
       {"error-ignored-status", "discarded result of a Status-returning call",
        kSrc | kBench | kTests | kExamples, false},
@@ -562,13 +609,18 @@ bool IsKnownRule(const std::string& name) {
   return false;
 }
 
-void CollectStatusFunctions(const std::vector<Token>& tokens, std::set<std::string>& out) {
+namespace {
+
+// Shared scanner behind CollectStatusFunctions/CollectVoidFunctions:
+// `<ReturnKeyword> <PascalName>(` not behind `.`/`->`.
+void CollectFunctionsReturning(const std::vector<Token>& tokens, const char* return_type,
+                               std::set<std::string>& out) {
   for (size_t i = 0; i + 2 < tokens.size(); ++i) {
-    if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == "Status" &&
+    if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == return_type &&
         tokens[i + 1].kind == TokenKind::kIdentifier && tokens[i + 2].text == "(" &&
         std::isupper(static_cast<unsigned char>(tokens[i + 1].text[0]))) {
       // `Status Foo(` — skip `foo->Status(...)`-style member calls on other
-      // types by requiring Status itself to be unqualified or std-free.
+      // types by requiring the return type to be unqualified or std-free.
       if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
         continue;
       }
@@ -577,12 +629,22 @@ void CollectStatusFunctions(const std::vector<Token>& tokens, std::set<std::stri
   }
 }
 
+}  // namespace
+
+void CollectStatusFunctions(const std::vector<Token>& tokens, std::set<std::string>& out) {
+  CollectFunctionsReturning(tokens, "Status", out);
+}
+
+void CollectVoidFunctions(const std::vector<Token>& tokens, std::set<std::string>& out) {
+  CollectFunctionsReturning(tokens, "void", out);
+}
+
 void RunRules(const FileContext& file, std::vector<Diagnostic>& out) {
   struct Entry {
     const char* name;
     void (*fn)(const FileContext&, std::vector<Diagnostic>&);
   };
-  static constexpr std::array<Entry, 11> kDispatch = {{
+  static constexpr std::array<Entry, 12> kDispatch = {{
       {"determinism-rand", RuleDeterminismRand},
       {"determinism-wallclock", RuleDeterminismWallclock},
       {"determinism-env", RuleDeterminismEnv},
@@ -590,6 +652,7 @@ void RunRules(const FileContext& file, std::vector<Diagnostic>& out) {
       {"determinism-pointer-key", RuleDeterminismPointerKey},
       {"sim-thread", RuleSimThread},
       {"thread-confinement", RuleThreadConfinement},
+      {"store-raw-io", RuleStoreRawIo},
       {"error-throw", RuleErrorThrow},
       {"error-ignored-status", RuleErrorIgnoredStatus},
       {"include-guard", RuleIncludeGuard},

@@ -66,6 +66,14 @@ struct FileContext {
 // being mistaken for declarations by a lexical pass.
 void CollectStatusFunctions(const std::vector<Token>& tokens, std::set<std::string>& out);
 
+// Companion to CollectStatusFunctions: records `void <Name>(` declarations.
+// A name declared with both return types (e.g. a void KvStore::Put beside a
+// Status LocalStore::Put) is ambiguous to a lexical pass, so the driver
+// subtracts this set before handing names to error-ignored-status — a
+// false "handle this Status" on a void call is worse than missing a
+// discard on a name the repo itself overloads.
+void CollectVoidFunctions(const std::vector<Token>& tokens, std::set<std::string>& out);
+
 // Pass 2: run every applicable rule over the file, appending diagnostics.
 void RunRules(const FileContext& file, std::vector<Diagnostic>& out);
 

@@ -3,12 +3,34 @@
 # library. Run after an intentional change to observable simulator
 # behavior, then review and commit the JSON diffs like any other code.
 #
-# Usage: tools/regolden.sh [build-dir] [scenario...]
+# Usage: tools/regolden.sh [--format=json|nbt] [build-dir] [scenario...]
+#   --format=json (default) rewrites the checked-in tests/golden/*.json
+#   --format=nbt writes tests/golden/*.nbt, the binary twin of the same
+#     runs (tools/nbt2json converts one back to the byte-identical JSON)
+# Unknown scenario names are a hard error — golden_gen lists the library.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-shift || true
+
+FORMAT="json"
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --format=json|--format=nbt)
+      FORMAT="${arg#--format=}"
+      ;;
+    --format=*)
+      echo "regolden: --format must be json or nbt, got '${arg#--format=}'" >&2
+      exit 2
+      ;;
+    *)
+      ARGS+=("$arg")
+      ;;
+  esac
+done
+
+BUILD_DIR="${ARGS[0]:-build}"
+SCENARIOS=("${ARGS[@]:1}")
 
 if [ ! -d "$BUILD_DIR" ]; then
   cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
@@ -16,6 +38,6 @@ fi
 cmake --build "$BUILD_DIR" --target golden_gen -j "$(nproc)"
 
 mkdir -p tests/golden
-"$BUILD_DIR/tests/golden_gen" tests/golden "$@"
+"$BUILD_DIR/tests/golden_gen" "--format=$FORMAT" tests/golden ${SCENARIOS[@]+"${SCENARIOS[@]}"}
 
 echo "regolden: done — review with 'git diff tests/golden'"
