@@ -89,6 +89,10 @@ Status CheckpointHost(NymManager& manager, const std::string& host_key, KvStore&
     if (options == nullptr) {
       return InternalError("checkpoint: nym without recorded options: " + nym->name());
     }
+    // Warm-start checkpoints are keyed by nym name on purpose: the store is
+    // host-local scratch state that never leaves this machine, and restore
+    // has to find a nym by its name.
+    // nymlint:allow(nymflow-identity-taint): host-local warm-start store; the key never leaves this machine
     store.Put(prefix + nym->name(),
               EncodeNymState(*options, nym->anon_vm()->disk().fs().writable(),
                              nym->comm_vm()->disk().fs().writable(), nym->save_sequence()));

@@ -428,12 +428,13 @@ void NymManager::SaveNymToCloud(Nym& nym, CloudService& cloud, const std::string
                                     static_cast<double>(config_.archive_processing_bps));
   auto shared = std::make_shared<NymArchive>(std::move(*archive));
   host_.sim().loop().ScheduleAfter(processing, [this, &nym, &cloud, account, account_password,
-                                                shared, t0, done = std::move(done)]() mutable {
+                                                archive_password, shared, t0,
+                                                done = std::move(done)]() mutable {
     // Upload rides the nym's own anonymizer: the provider sees an exit
     // relay, never the user.
     nym.anonymizer_->Fetch(
         cloud.domain(), shared->logical_size, 16 * kKiB,
-        [this, &nym, &cloud, account, account_password, shared, t0,
+        [this, &nym, &cloud, account, account_password, archive_password, shared, t0,
          done = std::move(done)](Result<FetchReceipt> receipt) {
           if (!receipt.ok()) {
             done(receipt.status());
@@ -449,12 +450,16 @@ void NymManager::SaveNymToCloud(Nym& nym, CloudService& cloud, const std::string
           object.logical_size = shared->logical_size;
           object.sequence = shared->sequence;
           object.uploaded_at = host_.sim().now();
-          Status put = cloud.Put(account, nym.name(), std::move(object));
+          // The provider indexes by the blind name: its object listing and
+          // access log must never contain the pseudonym (the deniability
+          // contract in src/storage/cloud.h).
+          const std::string blind = BlindObjectName(nym.name(), archive_password);
+          Status put = cloud.Put(account, blind, std::move(object));
           if (!put.ok()) {
             done(put);
             return;
           }
-          cloud.LogAccess(host_.sim().now(), receipt->observed_source, "put " + nym.name());
+          cloud.LogAccess(host_.sim().now(), receipt->observed_source, "put " + blind);
           SaveReceipt save;
           save.sequence = shared->sequence;
           save.logical_size = shared->logical_size;
@@ -554,7 +559,9 @@ void NymManager::LoadNymFromCloud(const std::string& name, CloudService& cloud,
               }
               Nym* loader_nym = *loader;
               Status auth = cloud.Authenticate(account, account_password);
-              auto stored = cloud.Get(account, name);
+              // Same blind name the save path wrote: the provider's view of
+              // the download, like the upload, is pseudonym-free.
+              auto stored = cloud.Get(account, BlindObjectName(name, archive_password));
               if (!auth.ok() || !stored.ok()) {
                 Status failure = !auth.ok() ? auth : stored.status();
                 NYMIX_CHECK(TerminateNym(loader_nym).ok());
@@ -572,7 +579,8 @@ void NymManager::LoadNymFromCloud(const std::string& name, CloudService& cloud,
                       done(receipt.status(), NymStartupReport{});
                       return;
                     }
-                    cloud.LogAccess(host_.sim().now(), receipt->observed_source, "get " + name);
+                    cloud.LogAccess(host_.sim().now(), receipt->observed_source,
+                                    "get " + BlindObjectName(name, archive_password));
                     SimDuration decrypt =
                         SecondsF(static_cast<double>(stored.logical_size) /
                                  static_cast<double>(config_.archive_processing_bps));

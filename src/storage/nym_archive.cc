@@ -107,4 +107,20 @@ uint64_t DeriveGuardSeed(std::string_view storage_location, std::string_view pas
   return DigestPrefix64(hasher.Finish());
 }
 
+std::string BlindObjectName(std::string_view nym_name, std::string_view password) {
+  Sha256 hasher;
+  hasher.Update(ByteSpan(reinterpret_cast<const uint8_t*>("object-name"), 11));
+  Bytes name = BytesFromString(nym_name);
+  hasher.Update(name);
+  Bytes pass = BytesFromString(password);
+  hasher.Update(pass);
+  uint64_t digest = DigestPrefix64(hasher.Finish());
+  static const char kHex[] = "0123456789abcdef";
+  std::string out = "obj-";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(digest >> shift) & 0xF];
+  }
+  return out;
+}
+
 }  // namespace nymix

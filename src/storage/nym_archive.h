@@ -54,6 +54,15 @@ class NymArchiver {
 // download nym) picks the same guard.
 uint64_t DeriveGuardSeed(std::string_view storage_location, std::string_view password);
 
+// Blind storage-object name: H("object-name" || nym_name || password),
+// hex-encoded. The cloud provider indexes archives by this value, so its
+// view (object listing + access log) never contains the pseudonym — only
+// the owner, who knows the name and password, can recompute it. Found by
+// the nymflow identity-taint rule: the manager used to upload archives
+// under the raw nym name.
+// nymlint:declassify(nymflow-identity-taint): output is a one-way digest of the pseudonym; the provider cannot invert it
+std::string BlindObjectName(std::string_view nym_name, std::string_view password);
+
 }  // namespace nymix
 
 #endif  // SRC_STORAGE_NYM_ARCHIVE_H_

@@ -317,7 +317,10 @@ TEST(NymManagerTest, WrongPasswordFailsLoad) {
   ASSERT_TRUE(rig.SaveToCloud(nym, "user", "cloudpw", "rightpw").ok());
   ASSERT_TRUE(rig.manager.TerminateNym(nym).ok());
   auto outcome = rig.LoadFromCloud("secret", "user", "cloudpw", "wrongpw");
-  EXPECT_EQ(outcome.nym.status().code(), StatusCode::kUnauthenticated);
+  // Object names are blinded with the archive password, so a wrong password
+  // computes a different name and the archive is simply not found — the
+  // provider cannot distinguish "wrong password" from "never saved".
+  EXPECT_EQ(outcome.nym.status().code(), StatusCode::kNotFound);
   // Loader cleaned up even on failure.
   EXPECT_EQ(rig.manager.nyms().size(), 0u);
 }
@@ -336,13 +339,23 @@ TEST(NymManagerTest, CloudProviderSeesOnlyExitsAndCiphertext) {
   Nym* nym = rig.CreateNymOrDie("deniable");
   ASSERT_TRUE(rig.VisitAndWait(nym, rig.sites.ByName("Gmail")).ok());
   ASSERT_TRUE(rig.SaveToCloud(nym, "user", "pw", "nympw").ok());
-  // Provider's access log never contains the user's address.
+  // Provider's access log never contains the user's address or the nym name:
+  // archives are indexed by the blinded object name, not the pseudonym.
   for (const auto& entry : rig.cloud.access_log()) {
     EXPECT_NE(entry.observed_source, rig.host.public_ip());
+    EXPECT_EQ(entry.action.find("deniable"), std::string::npos) << entry.action;
   }
-  // Stored bytes are ciphertext: no plaintext paths or cookies.
-  auto stored = rig.cloud.Get("user", "deniable");
+  auto listing = rig.cloud.List("user");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  for (const std::string& object : *listing) {
+    EXPECT_EQ(object.find("deniable"), std::string::npos) << object;
+  }
+  // Only the owner can recompute the object name (it needs the password).
+  auto stored = rig.cloud.Get("user", BlindObjectName("deniable", "nympw"));
   ASSERT_TRUE(stored.ok());
+  EXPECT_FALSE(rig.cloud.Get("user", "deniable").ok());
+  // Stored bytes are ciphertext: no plaintext paths or cookies.
   std::string blob = StringFromBytes(stored->data);
   EXPECT_EQ(blob.find("cookies"), std::string::npos);
   EXPECT_EQ(blob.find("twitter"), std::string::npos);

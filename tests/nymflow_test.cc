@@ -1,0 +1,457 @@
+// nymflow's fixture suite: every dataflow scenario the ISSUE demands, run
+// through the real two-pass analyzer (RunLint with FlowOptions) so the
+// fixtures exercise lexing, modeling, taint propagation, suppression,
+// baselining, and SARIF together — exactly the production pipeline, with
+// inline sources instead of a checkout.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/nymlint/analyzer.h"
+#include "tools/nymlint/jsonlite.h"
+#include "tools/nymlint/sarif.h"
+
+namespace nymlint {
+namespace {
+
+// A miniature registry mirroring tools/nymlint/identity_registry.txt's
+// shape: one of each directive, so each scenario names its vocabulary.
+constexpr char kRegistry[] = R"(# test registry
+source-fn    Nym::name
+source-field cookie
+source-type  GuardIdentity
+sink         KvStore::Put
+sink         Telemetry::Emit
+declassify   Scrub
+shard-root   Simulation
+channel-type CrossShardChannel
+shared-safe  Config
+)";
+
+LintResult FlowLint(const std::vector<SourceFile>& files,
+                    const std::string& baseline_text = "",
+                    const std::string& registry_text = kRegistry) {
+  FlowOptions flow;
+  flow.enabled = true;
+  flow.registry_path = "tools/nymlint/identity_registry.txt";
+  flow.registry_text = registry_text;
+  if (!baseline_text.empty()) {
+    flow.baseline_path = "nymflow_baseline.json";
+    flow.baseline_text = baseline_text;
+  }
+  return RunLint(files, flow);
+}
+
+LintResult FlowLintOne(const std::string& path, const std::string& content) {
+  return FlowLint({SourceFile{path, content}});
+}
+
+size_t CountRule(const LintResult& result, const std::string& rule) {
+  size_t n = 0;
+  for (const Diagnostic& diag : result.diagnostics) {
+    n += diag.rule == rule ? 1 : 0;
+  }
+  return n;
+}
+
+bool Fired(const LintResult& result, const std::string& rule) {
+  return CountRule(result, rule) > 0;
+}
+
+// --- identity taint -------------------------------------------------------
+
+TEST(NymflowTaint, DirectCallToSinkFires) {
+  LintResult result = FlowLintOne("src/flow/direct.cc", R"cc(
+    namespace nymix {
+    void Checkpoint(Nym& nym, KvStore& store) {
+      store.Put(nym.name(), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  const FlowFinding& finding = result.flow_findings[0];
+  EXPECT_EQ(finding.diag.rule, "nymflow-identity-taint");
+  EXPECT_EQ(finding.diag.path, "src/flow/direct.cc");
+  EXPECT_NE(finding.diag.message.find("Nym::name"), std::string::npos);
+  EXPECT_NE(finding.diag.message.find("KvStore::Put"), std::string::npos);
+  // Fingerprint is line-free: rule|file|function|source|sink.
+  EXPECT_EQ(finding.fingerprint,
+            "nymflow-identity-taint|src/flow/direct.cc|Checkpoint|"
+            "call to Nym::name|KvStore::Put");
+  ASSERT_GE(finding.steps.size(), 2u);
+}
+
+TEST(NymflowTaint, OneLevelIndirectionThroughHelper) {
+  // The tainted value takes a detour through a same-file helper's return
+  // value; the summary pass has to carry it across the call edge.
+  LintResult result = FlowLintOne("src/flow/indirect.cc", R"cc(
+    namespace nymix {
+    std::string Alias(Nym& nym) { return nym.name(); }
+    void Checkpoint(Nym& nym, KvStore& store) {
+      store.Put(Alias(nym), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  EXPECT_EQ(result.flow_findings[0].diag.rule, "nymflow-identity-taint");
+}
+
+TEST(NymflowTaint, FieldReadAssignedToLocalFires) {
+  // source-field taint via an assignment: the local inherits the taint and
+  // carries it to the sink two statements later.
+  LintResult result = FlowLintOne("src/flow/field.cc", R"cc(
+    namespace nymix {
+    struct BrowserState { std::string cookie; };
+    void Persist(BrowserState& browser, KvStore& store) {
+      std::string session = browser.cookie;
+      session += "-suffix";
+      store.Put(session, "v");
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  EXPECT_NE(result.flow_findings[0].diag.message.find("cookie"), std::string::npos);
+}
+
+TEST(NymflowTaint, ContainerInsertTaintsContainer) {
+  LintResult result = FlowLintOne("src/flow/container.cc", R"cc(
+    namespace nymix {
+    void Batch(Nym& nym, KvStore& store) {
+      std::vector<std::string> keys;
+      keys.push_back(nym.name());
+      store.Put(keys.front(), "v");
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  bool noted = false;
+  for (const FlowStep& step : result.flow_findings[0].steps) {
+    noted = noted || step.note.find("container") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(NymflowTaint, SourceTypedParameterIsIntrinsic) {
+  LintResult result = FlowLintOne("src/flow/typed.cc", R"cc(
+    namespace nymix {
+    void Report(GuardIdentity guard, Telemetry& telemetry) {
+      telemetry.Emit(guard);
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  EXPECT_NE(result.flow_findings[0].diag.message.find("Telemetry::Emit"),
+            std::string::npos);
+}
+
+TEST(NymflowTaint, DeclassifiedFlowIsClean) {
+  LintResult result = FlowLintOne("src/flow/declassified.cc", R"cc(
+    namespace nymix {
+    void Checkpoint(Nym& nym, KvStore& store) {
+      store.Put(Scrub(nym.name()), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.flow_findings.empty());
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymflowTaint, AllowSuppressionSilencesFinding) {
+  LintResult result = FlowLintOne("src/flow/allowed.cc", R"cc(
+    namespace nymix {
+    void Checkpoint(Nym& nym, KvStore& store) {
+      // nymlint:allow(nymflow-identity-taint): host-local scratch store
+      store.Put(nym.name(), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_TRUE(result.flow_findings.empty());
+  EXPECT_EQ(result.suppressions_used, 1u);
+}
+
+TEST(NymflowTaint, FindingsOutsideSrcAreNotReported) {
+  // The model spans tests/, but findings are gated to src/: tests handle
+  // identity on purpose.
+  LintResult result = FlowLintOne("tests/flow_fixture.cc", R"cc(
+    namespace nymix {
+    void Checkpoint(Nym& nym, KvStore& store) {
+      store.Put(nym.name(), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.flow_findings.empty());
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymflowTaint, MultiTranslationUnitFlowSpansThreeFiles) {
+  // source in a.h -> pass-through in b.h -> sink in use.cc. No single file
+  // shows the whole flow; only the cross-TU summaries connect it.
+  LintResult result = FlowLint({
+      SourceFile{"src/flow/a.h", R"cc(
+        namespace nymix {
+        std::string WrapName(Nym& nym) { return nym.name(); }
+        }  // namespace nymix
+      )cc"},
+      SourceFile{"src/flow/b.h", R"cc(
+        namespace nymix {
+        std::string PassThrough(Nym& nym) { return WrapName(nym); }
+        }  // namespace nymix
+      )cc"},
+      SourceFile{"src/flow/use.cc", R"cc(
+        namespace nymix {
+        void Upload(Nym& nym, KvStore& store) {
+          store.Put(PassThrough(nym), "state");
+        }
+        }  // namespace nymix
+      )cc"},
+  });
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  const FlowFinding& finding = result.flow_findings[0];
+  EXPECT_EQ(finding.diag.path, "src/flow/use.cc");
+  // The step chain should walk back through the helper files.
+  bool through_helper = false;
+  for (const FlowStep& step : finding.steps) {
+    through_helper = through_helper || step.path == "src/flow/a.h";
+  }
+  EXPECT_TRUE(through_helper);
+}
+
+// --- shard confinement ----------------------------------------------------
+
+TEST(NymflowShard, AliasSharedByTwoShardsFires) {
+  LintResult result = FlowLintOne("src/flow/shards.cc", R"cc(
+    namespace nymix {
+    void Wire(Simulation& left, Simulation& right, Mailbox& box) {
+      left.Attach(&box);
+      right.Attach(&box);
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  const FlowFinding& finding = result.flow_findings[0];
+  EXPECT_EQ(finding.diag.rule, "nymflow-shard-confinement");
+  EXPECT_NE(finding.diag.message.find("'box'"), std::string::npos);
+  EXPECT_NE(finding.diag.message.find("CrossShardChannel"), std::string::npos);
+}
+
+TEST(NymflowShard, ChannelMediatedSharingIsClean) {
+  LintResult result = FlowLintOne("src/flow/channel.cc", R"cc(
+    namespace nymix {
+    void Wire(Simulation& left, Simulation& right, CrossShardChannel& channel) {
+      left.Attach(&channel);
+      right.Attach(&channel);
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.flow_findings.empty());
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(NymflowShard, SharedSafeAndConstAreExempt) {
+  LintResult result = FlowLintOne("src/flow/safe.cc", R"cc(
+    namespace nymix {
+    void Wire(Simulation& left, Simulation& right, Config& config,
+              const Registry& lookup) {
+      left.Attach(&config);
+      right.Attach(&config);
+      left.Observe(lookup);
+      right.Observe(lookup);
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.flow_findings.empty());
+}
+
+TEST(NymflowShard, SummaryMediatedExposureCrossesFunctions) {
+  // Park() exposes its pointer argument inside a shard root; the caller
+  // hands the same object to two shards only through Park().
+  LintResult result = FlowLintOne("src/flow/summary_shard.cc", R"cc(
+    namespace nymix {
+    void Park(Simulation& shard, Mailbox& box) { shard.Attach(&box); }
+    void Wire(Simulation& left, Simulation& right, Mailbox& box) {
+      Park(left, box);
+      Park(right, box);
+    }
+    }  // namespace nymix
+  )cc");
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  EXPECT_EQ(result.flow_findings[0].diag.rule, "nymflow-shard-confinement");
+}
+
+// --- baseline -------------------------------------------------------------
+
+constexpr char kLeakFixture[] = R"cc(
+  namespace nymix {
+  void Checkpoint(Nym& nym, KvStore& store) {
+    store.Put(nym.name(), "state");
+  }
+  }  // namespace nymix
+)cc";
+
+TEST(NymflowBaseline, BaselineSuppressesKnownFinding) {
+  LintResult first = FlowLintOne("src/flow/baselined.cc", kLeakFixture);
+  ASSERT_EQ(first.flow_findings.size(), 1u);
+  // Round-trip: the baseline the tool writes is the baseline the tool reads.
+  std::string baseline = WriteBaseline(first.flow_findings, "known debt");
+  LintResult second =
+      FlowLint({SourceFile{"src/flow/baselined.cc", kLeakFixture}}, baseline);
+  EXPECT_TRUE(second.diagnostics.empty());
+  EXPECT_TRUE(second.flow_findings.empty());
+  EXPECT_EQ(second.baseline_suppressed, 1u);
+  EXPECT_TRUE(second.stale_baseline.empty());
+}
+
+TEST(NymflowBaseline, FingerprintSurvivesLineDrift) {
+  LintResult first = FlowLintOne("src/flow/drift.cc", kLeakFixture);
+  ASSERT_EQ(first.flow_findings.size(), 1u);
+  std::string baseline = WriteBaseline(first.flow_findings, "known debt");
+  // Same flow, shifted four lines down and reindented: still baselined.
+  LintResult second = FlowLint(
+      {SourceFile{"src/flow/drift.cc",
+                  std::string("\n\n\n\n") + kLeakFixture}},
+      baseline);
+  EXPECT_TRUE(second.diagnostics.empty());
+  EXPECT_EQ(second.baseline_suppressed, 1u);
+}
+
+TEST(NymflowBaseline, StaleEntryIsReported) {
+  std::string baseline =
+      R"({"version": 1, "entries": [{"fingerprint": )"
+      R"("nymflow-identity-taint|src/gone.cc|Gone|call to Nym::name|KvStore::Put", )"
+      R"("rule": "nymflow-identity-taint", "reason": "fixed long ago"}]})";
+  LintResult result = FlowLint(
+      {SourceFile{"src/flow/clean.cc", "namespace nymix { int Size() { return 1; } }\n"}},
+      baseline);
+  ASSERT_EQ(result.stale_baseline.size(), 1u);
+  EXPECT_EQ(CountRule(result, "nymflow-stale-baseline"), 1u);
+}
+
+TEST(NymflowBaseline, MalformedBaselineIsDiagnosed) {
+  LintResult result = FlowLint(
+      {SourceFile{"src/flow/clean.cc", "namespace nymix { int Size() { return 1; } }\n"}},
+      "{\"version\": 1, \"entries\": [{]}");
+  EXPECT_TRUE(Fired(result, "nymflow-registry-error"));
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(NymflowRegistry, UnknownDirectiveIsDiagnosed) {
+  LintResult result =
+      FlowLint({SourceFile{"src/flow/clean.cc",
+                           "namespace nymix { int Size() { return 1; } }\n"}},
+               "", "frobnicate Widget\n");
+  ASSERT_TRUE(Fired(result, "nymflow-registry-error"));
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.rule == "nymflow-registry-error") {
+      EXPECT_EQ(diag.path, "tools/nymlint/identity_registry.txt");
+    }
+  }
+}
+
+TEST(NymflowRegistry, QualifiedSinkNeedsMatchingReceiverType) {
+  // Same call spelling, receiver typed Cache instead of KvStore: no match.
+  LintResult result = FlowLintOne("src/flow/othertype.cc", R"cc(
+    namespace nymix {
+    void Stash(Nym& nym, Cache& store) {
+      store.Put(nym.name(), "state");
+    }
+    }  // namespace nymix
+  )cc");
+  EXPECT_TRUE(result.flow_findings.empty());
+}
+
+// --- SARIF ----------------------------------------------------------------
+
+TEST(NymflowSarif, ReportIsStructurallyValidSarif210) {
+  LintResult result = FlowLintOne("src/flow/direct.cc", kLeakFixture);
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  JsonParseResult parsed =
+      ParseJson(WriteSarif(result.diagnostics, result.flow_findings));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue& root = parsed.value;
+
+  // Top-level shape required by the 2.1.0 schema.
+  EXPECT_NE(root.at("$schema").str.find("sarif-2.1.0"), std::string::npos);
+  EXPECT_EQ(root.at("version").str, "2.1.0");
+  ASSERT_TRUE(root.at("runs").is_array());
+  ASSERT_EQ(root.at("runs").array.size(), 1u);
+  const JsonValue& run = root.at("runs").array[0];
+  EXPECT_EQ(run.at("columnKind").str, "utf16CodeUnits");
+
+  // tool.driver with rule metadata for every registered rule.
+  const JsonValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").str, "nymlint");
+  ASSERT_TRUE(driver.at("rules").is_array());
+  const std::vector<JsonValue>& rules = driver.at("rules").array;
+  ASSERT_FALSE(rules.empty());
+  for (const JsonValue& rule : rules) {
+    EXPECT_TRUE(rule.at("id").is_string());
+    EXPECT_TRUE(rule.at("shortDescription").at("text").is_string());
+  }
+
+  // Every result's ruleIndex must point at the rule with its ruleId.
+  ASSERT_TRUE(run.at("results").is_array());
+  ASSERT_FALSE(run.at("results").array.empty());
+  for (const JsonValue& res : run.at("results").array) {
+    EXPECT_EQ(res.at("level").str, "error");
+    ASSERT_TRUE(res.at("ruleIndex").is_number());
+    size_t index = static_cast<size_t>(res.at("ruleIndex").number);
+    ASSERT_LT(index, rules.size());
+    EXPECT_EQ(rules[index].at("id").str, res.at("ruleId").str);
+    ASSERT_TRUE(res.at("locations").is_array());
+    ASSERT_EQ(res.at("locations").array.size(), 1u);
+    const JsonValue& loc =
+        res.at("locations").array[0].at("physicalLocation");
+    EXPECT_EQ(loc.at("artifactLocation").at("uriBaseId").str, "SRCROOT");
+    EXPECT_TRUE(loc.at("artifactLocation").at("uri").is_string());
+    EXPECT_TRUE(loc.at("region").at("startLine").is_number());
+    EXPECT_TRUE(res.at("message").at("text").is_string());
+  }
+}
+
+TEST(NymflowSarif, FlowFindingCarriesCodeFlowAndFingerprint) {
+  LintResult result = FlowLintOne("src/flow/direct.cc", kLeakFixture);
+  ASSERT_EQ(result.flow_findings.size(), 1u);
+  JsonParseResult parsed =
+      ParseJson(WriteSarif(result.diagnostics, result.flow_findings));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const std::vector<JsonValue>& results =
+      parsed.value.at("runs").array[0].at("results").array;
+  bool found = false;
+  for (const JsonValue& res : results) {
+    if (res.at("ruleId").str != "nymflow-identity-taint") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(res.at("partialFingerprints").at("nymflowFingerprint/v1").str,
+              result.flow_findings[0].fingerprint);
+    ASSERT_TRUE(res.at("codeFlows").is_array());
+    const JsonValue& thread =
+        res.at("codeFlows").array[0].at("threadFlows").array[0];
+    EXPECT_EQ(thread.at("locations").array.size(),
+              result.flow_findings[0].steps.size());
+    const JsonValue& first_step = thread.at("locations").array[0];
+    EXPECT_TRUE(first_step.at("location").at("message").at("text").is_string());
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- reports --------------------------------------------------------------
+
+TEST(NymflowReport, JsonReportCarriesFlowBlock) {
+  LintResult result = FlowLintOne("src/flow/direct.cc", kLeakFixture);
+  std::ostringstream out;
+  WriteJsonReport(result, out);
+  JsonParseResult parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.at("version").number, 2);
+  const JsonValue& flow = parsed.value.at("flow");
+  EXPECT_GE(flow.at("functions").number, 1);
+  EXPECT_EQ(flow.at("findings").number, 1);
+  EXPECT_EQ(flow.at("baseline_suppressed").number, 0);
+}
+
+}  // namespace
+}  // namespace nymlint

@@ -177,6 +177,21 @@ TEST(GuardSeedTest, DeterministicAndDistinct) {
   EXPECT_NE(a, DeriveGuardSeed("drop.example.com/user1", "pw2"));
 }
 
+TEST(BlindObjectNameTest, DeterministicDistinctAndNameFree) {
+  // The nymflow identity-taint rule flagged raw nym names reaching the
+  // cloud provider's object index; BlindObjectName is the declassifier
+  // that severed the path. Same (name, password) -> same object name, so
+  // the owner can always re-derive it...
+  std::string a = BlindObjectName("deniable", "nympw");
+  EXPECT_EQ(a, BlindObjectName("deniable", "nympw"));
+  // ...but neither the name nor the password alone determines it, and the
+  // pseudonym never appears in the provider-visible string.
+  EXPECT_NE(a, BlindObjectName("other-nym", "nympw"));
+  EXPECT_NE(a, BlindObjectName("deniable", "other-pw"));
+  EXPECT_EQ(a.find("deniable"), std::string::npos);
+  EXPECT_EQ(a.rfind("obj-", 0), 0u);
+}
+
 // ---------------------------------------------------------------- LocalStore
 
 TEST(LocalStoreTest, PutGetDelete) {

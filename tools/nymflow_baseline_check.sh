@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Checks that nymflow_baseline.json is exactly as large as it needs to be:
+#
+#   * every current nymflow finding is either fixed, suppressed with a
+#     reasoned nymlint:allow, or baselined — a NEW finding fails the lint
+#     run itself;
+#   * every baseline entry still matches a finding — a STALE entry (the
+#     flow was fixed but the entry lingers) fails here, so paid-down debt
+#     gets deleted from the ledger instead of silently re-authorized.
+#
+# Run from anywhere; builds nymlint if the build directory lacks it.
+#
+# Usage: tools/nymflow_baseline_check.sh [build-dir]
+# Exit codes: 0 baseline is tight, 1 stale entries or lint failure, 2 setup.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+NYMLINT="$BUILD_DIR/tools/nymlint/nymlint"
+
+if [ ! -x "$NYMLINT" ]; then
+  if [ ! -d "$BUILD_DIR" ]; then
+    cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$BUILD_DIR" --target nymlint -j "$(nproc)"
+fi
+
+REPORT="$(mktemp)"
+trap 'rm -f "$REPORT"' EXIT
+
+# The lint run already fails on non-baselined findings and reports each
+# stale entry as a nymflow-stale-baseline diagnostic; the JSON report
+# carries the counts this script gates on.
+STATUS=0
+"$NYMLINT" --root=. --json --out="$REPORT" || STATUS=$?
+if [ "$STATUS" -ge 2 ]; then
+  echo "nymflow_baseline_check: nymlint failed to run (exit $STATUS)" >&2
+  exit 2
+fi
+
+python3 - "$REPORT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+flow = report.get("flow", {})
+stale = int(flow.get("stale_baseline", 0))
+fresh = int(flow.get("findings", 0))
+
+print(f"nymflow_baseline_check: {flow.get('functions', 0)} functions, "
+      f"{fresh} non-baselined finding(s), "
+      f"{flow.get('baseline_suppressed', 0)} baselined, {stale} stale entr(ies)")
+
+failed = False
+for diag in report.get("violations", []):
+    if diag["rule"] == "nymflow-stale-baseline":
+        print(f"  STALE: {diag['message']}", file=sys.stderr)
+        failed = True
+    elif diag["rule"].startswith("nymflow-"):
+        print(f"  NEW: {diag['path']}:{diag['line']}: {diag['message']}",
+              file=sys.stderr)
+        failed = True
+
+if failed:
+    print("nymflow_baseline_check: baseline is out of date — fix or baseline "
+          "new flows (nymlint --write-baseline=... and edit the reasons), "
+          "and delete entries for flows that no longer exist", file=sys.stderr)
+    sys.exit(1)
+print("nymflow_baseline_check: baseline is tight")
+EOF

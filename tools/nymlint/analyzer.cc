@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <map>
+#include <set>
+
+#include "tools/nymlint/jsonlite.h"
+#include "tools/nymlint/model.h"
+#include "tools/nymlint/registry.h"
 
 namespace nymlint {
 namespace {
@@ -92,75 +98,33 @@ bool IsHeaderPath(const std::string& path) {
   return ends_with(".h") || ends_with(".hpp") || ends_with(".hh") || ends_with(".ipp");
 }
 
-void LintOneFile(const SourceFile& file, const std::set<std::string>& status_functions,
-                 LintResult& result) {
-  std::vector<Token> all_tokens = Lex(file.content);
-
-  FileContext context;
-  context.path = file.path;
-  context.scope = ScopeForPath(file.path);
-  context.is_header = IsHeaderPath(file.path);
-  context.tokens = SignificantTokens(all_tokens);
-  context.status_functions = &status_functions;
-
-  std::vector<Diagnostic> raw;
-  RunRules(context, raw);
-
+// Per-file state for the single-lex pipeline: every stage (Status
+// collection, lexical rules, suppressions, nymflow model) reads these
+// token vectors; no stage re-lexes.
+struct FileWork {
+  const SourceFile* file = nullptr;
+  unsigned scope = 0;
+  std::vector<Token> all_tokens;
+  std::vector<Token> significant;
   std::vector<Suppression> suppressions;
-  for (const Token& token : all_tokens) {
-    if (token.kind == TokenKind::kComment) {
-      ParseSuppressions(token, suppressions);
-    }
-  }
+};
 
-  for (Diagnostic& diag : raw) {
-    bool suppressed = false;
-    for (Suppression& sup : suppressions) {
-      bool rule_matches =
-          std::find(sup.rules.begin(), sup.rules.end(), diag.rule) != sup.rules.end();
-      bool line_matches = sup.file_level ||
-                          (diag.line >= sup.line && diag.line <= sup.end_line + 1);
-      if (rule_matches && line_matches) {
-        ++sup.uses;
-        suppressed = true;
-        // Keep counting uses across all matching suppressions so none is
-        // reported as unused just because a sibling matched first.
-      }
-    }
-    if (suppressed) {
-      ++result.suppressions_used;
-    } else {
-      result.diagnostics.push_back(std::move(diag));
+// True (and counts the use) when any suppression in `sups` covers `diag`.
+bool ApplySuppressions(std::vector<Suppression>& sups, const Diagnostic& diag) {
+  bool suppressed = false;
+  for (Suppression& sup : sups) {
+    bool rule_matches =
+        std::find(sup.rules.begin(), sup.rules.end(), diag.rule) != sup.rules.end();
+    bool line_matches = sup.file_level ||
+                        (diag.line >= sup.line && diag.line <= sup.end_line + 1);
+    if (rule_matches && line_matches) {
+      ++sup.uses;
+      suppressed = true;
+      // Keep counting uses across all matching suppressions so none is
+      // reported as unused just because a sibling matched first.
     }
   }
-
-  // Suppression hygiene: reasons are mandatory, rules must exist, and a
-  // suppression that stopped matching anything must be deleted, not
-  // left to rot. These meta diagnostics are themselves unsuppressible.
-  for (const Suppression& sup : suppressions) {
-    if (sup.rules.empty()) {
-      result.diagnostics.push_back(
-          {file.path, sup.line, 1, "suppression-unknown-rule",
-           "nymlint:allow(...) names no rule"});
-      continue;
-    }
-    if (!sup.has_reason) {
-      result.diagnostics.push_back(
-          {file.path, sup.line, 1, "suppression-missing-reason",
-           "suppression must carry a written reason: // nymlint:allow(rule): why this is sound"});
-    }
-    for (const std::string& rule : sup.rules) {
-      if (!IsKnownRule(rule)) {
-        result.diagnostics.push_back({file.path, sup.line, 1, "suppression-unknown-rule",
-                                      "unknown rule '" + rule + "' (see nymlint --list-rules)"});
-      }
-    }
-    if (sup.uses == 0 && sup.has_reason) {
-      result.diagnostics.push_back(
-          {file.path, sup.line, 1, "suppression-unused",
-           "suppression matched no diagnostic; delete it so allows stay load-bearing"});
-    }
-  }
+  return suppressed;
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -196,6 +160,77 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+// Runs pass 2 of the analyzer: model build, registry parse, dataflow,
+// baseline filtering. Surviving findings are appended to
+// result.diagnostics by the caller after suppression filtering.
+void RunFlowStage(const FlowOptions& options, std::vector<FileWork>& work,
+                  std::map<std::string, FileWork*>& by_path, LintResult& result) {
+  IdentityRegistry registry =
+      ParseRegistry(options.registry_path, options.registry_text);
+
+  std::vector<ModelInput> inputs;
+  for (FileWork& file : work) {
+    if (file.scope == 0) {
+      continue;
+    }
+    inputs.push_back(ModelInput{file.file->path, &file.significant, &file.all_tokens});
+  }
+  SymbolModel model = BuildModel(inputs);
+
+  FlowAnalysis analysis = RunFlow(model, registry);
+  result.flow_functions = analysis.functions;
+  result.flow_call_edges = analysis.call_edges;
+  for (const Diagnostic& error : analysis.errors) {
+    result.diagnostics.push_back(error);
+  }
+
+  std::vector<std::string> baseline;
+  if (!options.baseline_path.empty()) {
+    baseline = ParseBaseline(options.baseline_path, options.baseline_text,
+                             result.diagnostics);
+  }
+  std::set<std::string> baseline_hits;
+
+  for (FlowFinding& finding : analysis.findings) {
+    // Flow findings are reported at src/ sites only: the model spans all
+    // scopes (so a tests/ caller can complete a flow), but tests, benches,
+    // and fixtures routinely handle identity on purpose.
+    if ((ScopeForPath(finding.diag.path) & kSrc) == 0) {
+      continue;
+    }
+    if (std::find(baseline.begin(), baseline.end(), finding.fingerprint) !=
+        baseline.end()) {
+      ++result.baseline_suppressed;
+      baseline_hits.insert(finding.fingerprint);
+      continue;
+    }
+    auto file = by_path.find(finding.diag.path);
+    if (file != by_path.end() &&
+        ApplySuppressions(file->second->suppressions, finding.diag)) {
+      ++result.suppressions_used;
+      continue;
+    }
+    result.diagnostics.push_back(finding.diag);
+    result.flow_findings.push_back(std::move(finding));
+  }
+
+  // A baseline entry that no longer matches anything is debt that must be
+  // paid down: report it so the entry gets deleted, not forgotten.
+  for (const std::string& fingerprint : baseline) {
+    if (baseline_hits.count(fingerprint)) {
+      continue;
+    }
+    result.stale_baseline.push_back(fingerprint);
+    if (options.report_stale) {
+      result.diagnostics.push_back(
+          Diagnostic{options.baseline_path, 1, 1, "nymflow-stale-baseline",
+                     "baseline entry '" + fingerprint +
+                         "' matches no current finding; delete it (tools/"
+                         "nymflow_baseline_check.sh regenerates the list)"});
+    }
+  }
+}
+
 }  // namespace
 
 unsigned ScopeForPath(const std::string& path) {
@@ -212,8 +247,72 @@ unsigned ScopeForPath(const std::string& path) {
   return 0;
 }
 
+std::vector<std::string> ParseBaseline(const std::string& path, const std::string& text,
+                                       std::vector<Diagnostic>& errors) {
+  std::vector<std::string> fingerprints;
+  if (Trim(text).empty()) {
+    return fingerprints;
+  }
+  JsonParseResult parsed = ParseJson(text);
+  if (!parsed.ok) {
+    errors.push_back(Diagnostic{path, parsed.error_line, 1, "nymflow-registry-error",
+                                "baseline is not valid JSON: " + parsed.error});
+    return fingerprints;
+  }
+  const JsonValue& entries = parsed.value.at("entries");
+  if (!entries.is_array()) {
+    errors.push_back(Diagnostic{path, 1, 1, "nymflow-registry-error",
+                                "baseline must be {\"version\":1,\"entries\":[...]}"});
+    return fingerprints;
+  }
+  for (const JsonValue& entry : entries.array) {
+    const JsonValue& fingerprint = entry.at("fingerprint");
+    if (!fingerprint.is_string() || fingerprint.str.empty()) {
+      errors.push_back(Diagnostic{path, 1, 1, "nymflow-registry-error",
+                                  "baseline entry without a \"fingerprint\" string"});
+      continue;
+    }
+    fingerprints.push_back(fingerprint.str);
+  }
+  return fingerprints;
+}
+
+std::string WriteBaseline(const std::vector<FlowFinding>& findings,
+                          const std::string& reason) {
+  std::string out = "{\n  \"version\": 1,\n  \"entries\": [";
+  std::set<std::string> seen;
+  bool first = true;
+  for (const FlowFinding& finding : findings) {
+    if (!seen.insert(finding.fingerprint).second) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"fingerprint\": \"" + JsonEscape(finding.fingerprint) +
+           "\", \"rule\": \"" + JsonEscape(finding.diag.rule) + "\", \"reason\": \"" +
+           JsonEscape(reason) + "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 LintResult RunLint(const std::vector<SourceFile>& files) {
+  return RunLint(files, FlowOptions{});
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files, const FlowOptions& flow) {
   LintResult result;
+
+  // Lex every file exactly once. The token vectors feed all later stages.
+  std::vector<FileWork> work(files.size());
+  std::map<std::string, FileWork*> by_path;
+  for (size_t i = 0; i < files.size(); ++i) {
+    work[i].file = &files[i];
+    work[i].scope = ScopeForPath(files[i].path);
+    work[i].all_tokens = Lex(files[i].content);
+    work[i].significant = SignificantTokens(work[i].all_tokens);
+    by_path[files[i].path] = &work[i];
+  }
 
   // Pass 1: Status-returning function names, from every file regardless of
   // scope, so a src/ header's API is enforced at tests/ call sites too.
@@ -221,25 +320,87 @@ LintResult RunLint(const std::vector<SourceFile>& files) {
   // pass cannot tell the two overloads apart at a call site.
   std::set<std::string> status_functions;
   std::set<std::string> void_functions;
-  for (const SourceFile& file : files) {
-    std::vector<Token> tokens = SignificantTokens(Lex(file.content));
-    CollectStatusFunctions(tokens, status_functions);
-    CollectVoidFunctions(tokens, void_functions);
+  for (const FileWork& file : work) {
+    CollectStatusFunctions(file.significant, status_functions);
+    CollectVoidFunctions(file.significant, void_functions);
   }
   for (const std::string& name : void_functions) {
     status_functions.erase(name);
   }
 
-  // Pass 2: rules + suppressions per file.
-  for (const SourceFile& file : files) {
-    if (ScopeForPath(file.path) == 0) {
+  // Lexical rules + suppression filtering per file.
+  for (FileWork& file : work) {
+    if (file.scope == 0) {
       continue;
     }
     ++result.files_scanned;
-    LintOneFile(file, status_functions, result);
+
+    FileContext context;
+    context.path = file.file->path;
+    context.scope = file.scope;
+    context.is_header = IsHeaderPath(file.file->path);
+    context.tokens = file.significant;
+    context.status_functions = &status_functions;
+
+    std::vector<Diagnostic> raw;
+    RunRules(context, raw);
+
+    for (const Token& token : file.all_tokens) {
+      if (token.kind == TokenKind::kComment) {
+        ParseSuppressions(token, file.suppressions);
+      }
+    }
+
+    for (Diagnostic& diag : raw) {
+      if (ApplySuppressions(file.suppressions, diag)) {
+        ++result.suppressions_used;
+      } else {
+        result.diagnostics.push_back(std::move(diag));
+      }
+    }
+  }
+
+  // Pass 2: nymflow dataflow (interprocedural, whole-model). Runs before
+  // suppression hygiene so an allow that only matches a flow finding is
+  // still counted as used.
+  if (flow.enabled) {
+    RunFlowStage(flow, work, by_path, result);
+  }
+
+  // Suppression hygiene: reasons are mandatory, rules must exist, and a
+  // suppression that stopped matching anything must be deleted, not
+  // left to rot. These meta diagnostics are themselves unsuppressible.
+  for (const FileWork& file : work) {
+    for (const Suppression& sup : file.suppressions) {
+      const std::string& path = file.file->path;
+      if (sup.rules.empty()) {
+        result.diagnostics.push_back(
+            {path, sup.line, 1, "suppression-unknown-rule",
+             "nymlint:allow(...) names no rule"});
+        continue;
+      }
+      if (!sup.has_reason) {
+        result.diagnostics.push_back(
+            {path, sup.line, 1, "suppression-missing-reason",
+             "suppression must carry a written reason: // nymlint:allow(rule): why this is sound"});
+      }
+      for (const std::string& rule : sup.rules) {
+        if (!IsKnownRule(rule)) {
+          result.diagnostics.push_back({path, sup.line, 1, "suppression-unknown-rule",
+                                        "unknown rule '" + rule + "' (see nymlint --list-rules)"});
+        }
+      }
+      if (sup.uses == 0 && sup.has_reason) {
+        result.diagnostics.push_back(
+            {path, sup.line, 1, "suppression-unused",
+             "suppression matched no diagnostic; delete it so allows stay load-bearing"});
+      }
+    }
   }
 
   std::sort(result.diagnostics.begin(), result.diagnostics.end());
+  std::sort(result.flow_findings.begin(), result.flow_findings.end(),
+            [](const FlowFinding& a, const FlowFinding& b) { return a.diag < b.diag; });
   return result;
 }
 
@@ -249,12 +410,27 @@ void WriteHumanReport(const LintResult& result, std::ostream& out) {
         << diag.message << "\n";
   }
   out << "nymlint: " << result.diagnostics.size() << " violation(s), " << result.files_scanned
-      << " file(s) scanned, " << result.suppressions_used << " suppression(s) honored\n";
+      << " file(s) scanned, " << result.suppressions_used << " suppression(s) honored";
+  if (result.flow_functions > 0) {
+    out << "; nymflow: " << result.flow_functions << " function(s), "
+        << result.flow_call_edges << " call edge(s), " << result.flow_findings.size()
+        << " flow finding(s), " << result.baseline_suppressed << " baselined";
+  }
+  if (result.analysis_ms >= 0) {
+    out << " [" << result.analysis_ms << " ms]";
+  }
+  out << "\n";
 }
 
 void WriteJsonReport(const LintResult& result, std::ostream& out) {
-  out << "{\n  \"version\": 1,\n  \"files_scanned\": " << result.files_scanned
+  out << "{\n  \"version\": 2,\n  \"files_scanned\": " << result.files_scanned
       << ",\n  \"suppressions_used\": " << result.suppressions_used
+      << ",\n  \"analysis_ms\": " << result.analysis_ms
+      << ",\n  \"flow\": {\"functions\": " << result.flow_functions
+      << ", \"call_edges\": " << result.flow_call_edges
+      << ", \"findings\": " << result.flow_findings.size()
+      << ", \"baseline_suppressed\": " << result.baseline_suppressed
+      << ", \"stale_baseline\": " << result.stale_baseline.size() << "}"
       << ",\n  \"violation_count\": " << result.diagnostics.size() << ",\n  \"violations\": [";
   bool first = true;
   for (const Diagnostic& diag : result.diagnostics) {

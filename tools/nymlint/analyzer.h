@@ -1,7 +1,8 @@
 // nymlint's driver: runs the rule engine over a set of sources, applies
 // `// nymlint:allow(...)` suppressions, and renders reports. Pure —
 // no filesystem access — so the gtest suite can lint inline fixtures;
-// main.cc does the directory walking.
+// main.cc does the directory walking and file reading (including the
+// identity registry and baseline handed in via FlowOptions).
 #ifndef TOOLS_NYMLINT_ANALYZER_H_
 #define TOOLS_NYMLINT_ANALYZER_H_
 
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/nymlint/flow.h"
 #include "tools/nymlint/rules.h"
 
 namespace nymlint {
@@ -18,28 +20,63 @@ struct SourceFile {
   std::string content;  // full file text
 };
 
+// Configuration for the nymflow dataflow stage (pass 2 of the analyzer).
+// Texts are passed in, not paths-to-read, to keep RunLint filesystem-free.
+struct FlowOptions {
+  bool enabled = false;
+  std::string registry_path;  // position for registry parse diagnostics
+  std::string registry_text;  // identity_registry.txt contents
+  std::string baseline_path;  // "" = no baseline in play
+  std::string baseline_text;  // nymflow_baseline.json contents
+  bool report_stale = true;   // stale baseline entries become diagnostics
+};
+
 struct LintResult {
   std::vector<Diagnostic> diagnostics;  // sorted by path/line/col
   size_t files_scanned = 0;
   size_t suppressions_used = 0;
+
+  // nymflow stage results (empty/zero when the stage is disabled). Every
+  // surviving flow finding also appears in `diagnostics`; this list keeps
+  // the step chains and fingerprints for SARIF code flows.
+  std::vector<FlowFinding> flow_findings;
+  size_t baseline_suppressed = 0;          // findings matched by the baseline
+  std::vector<std::string> stale_baseline; // baseline fingerprints w/o a match
+  size_t flow_functions = 0;               // functions in the symbol model
+  size_t flow_call_edges = 0;              // resolved call edges (report pass)
+  long analysis_ms = -1;                   // wall time, set by main.cc
 };
 
-// Lints every file: pass 1 collects Status-returning function names across
-// all files, pass 2 runs rules per file and applies suppressions.
+// Lints every file: one lex per file feeds (a) the cross-file Status
+// collection pass, (b) the per-file lexical rules, and (c) the nymflow
+// symbol model — files are never re-lexed per stage.
 //
 // Suppression protocol (docs/static-analysis.md):
 //   // nymlint:allow(rule-a, rule-b): reason why this is sound
 //   // nymlint:allow-file(rule-name): reason — whole file
 // A line suppression covers its own line and the next line (so it can sit
 // above the offending statement). The reason is mandatory; a reasonless,
-// unknown-rule, or unused suppression is itself a diagnostic.
+// unknown-rule, or unused suppression is itself a diagnostic. Suppressions
+// apply to nymflow findings too (matched at the finding's sink site).
 LintResult RunLint(const std::vector<SourceFile>& files);
+LintResult RunLint(const std::vector<SourceFile>& files, const FlowOptions& flow);
 
 // `path:line:col: [rule] message` lines plus a one-line summary.
 void WriteHumanReport(const LintResult& result, std::ostream& out);
 
 // Machine-readable report consumed by the CI lint job.
 void WriteJsonReport(const LintResult& result, std::ostream& out);
+
+// Parses nymflow_baseline.json ({"version":1,"entries":[{"fingerprint":...,
+// "rule":..., "reason":...}]}) into the fingerprint list. Malformed input
+// yields a nymflow-registry-error diagnostic positioned at `path`.
+std::vector<std::string> ParseBaseline(const std::string& path, const std::string& text,
+                                       std::vector<Diagnostic>& errors);
+
+// Renders a baseline file covering `findings`, one entry per fingerprint,
+// with `reason` attached to each (reviewed-by-hand text goes in later).
+std::string WriteBaseline(const std::vector<FlowFinding>& findings,
+                          const std::string& reason);
 
 // Maps a repo-relative path to its rule scope bit; 0 = not linted.
 unsigned ScopeForPath(const std::string& path);

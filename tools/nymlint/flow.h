@@ -1,0 +1,63 @@
+// nymflow pass 2: interprocedural dataflow over the symbol model.
+//
+// Two rules run on the same call graph:
+//
+//   nymflow-identity-taint — a value originating at a registry source (an
+//   identity-bearing type, field, or function result) must not reach a
+//   registry sink (cross-boundary API) without passing through a
+//   declassifier. Propagation is summary-based: every function gets a
+//   summary (params that flow to its return value, params that flow to a
+//   sink inside it, whether it returns identity outright), and summaries
+//   iterate to a fixpoint so a flow can span any number of translation
+//   units. Findings carry the step chain source -> calls -> sink for SARIF
+//   code flows.
+//
+//   nymflow-shard-confinement — mutable state must not be reachable from
+//   two different shard-root objects (e.g. two shards' Simulations) except
+//   through a registered channel type. Exposure is tracked per function
+//   (including via one-level summaries: a helper that parks its pointer
+//   argument inside a shard-root parameter exposes the caller's object),
+//   so the aliasing TSan can only catch under a lucky schedule is flagged
+//   at build time.
+//
+// Soundness posture (documented in docs/static-analysis.md): the engine is
+// tolerant and lexical. Unresolvable receivers degrade to bare-name or
+// conservative propagation, lambdas and operator overloading are opaque,
+// and the registry vocabulary bounds what is tracked. It is a checked
+// invariant over the enumerated channels, not a proof of non-leakage.
+#ifndef TOOLS_NYMLINT_FLOW_H_
+#define TOOLS_NYMLINT_FLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/model.h"
+#include "tools/nymlint/registry.h"
+
+namespace nymlint {
+
+struct FlowStep {
+  std::string path;
+  int line = 1;
+  int col = 1;
+  std::string note;  // "reads identity field 'cookie'", "call to Publish", ...
+};
+
+struct FlowFinding {
+  Diagnostic diag;          // rule, position (the sink/aliasing site), message
+  std::string fingerprint;  // stable across line drift: rule|file|fn|src|sink
+  std::vector<FlowStep> steps;  // source first, sink last
+};
+
+struct FlowAnalysis {
+  std::vector<FlowFinding> findings;   // sorted by diagnostic order
+  std::vector<Diagnostic> errors;      // registry + declassify marker issues
+  size_t functions = 0;                // functions modeled
+  size_t call_edges = 0;               // resolved call-graph edges
+};
+
+FlowAnalysis RunFlow(const SymbolModel& model, const IdentityRegistry& registry);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_FLOW_H_

@@ -1,0 +1,293 @@
+#include "tools/nymlint/jsonlite.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace nymlint {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : src_(text) {}
+
+  JsonParseResult Run() {
+    JsonParseResult result;
+    SkipWs();
+    if (!ParseValue(result.value)) {
+      result.error = error_;
+      result.error_line = line_;
+      return result;
+    }
+    SkipWs();
+    if (pos_ != src_.size()) {
+      result.error = "trailing content after document";
+      result.error_line = line_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  char Peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void SkipWs() {
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+    return false;
+  }
+
+  bool Expect(char c) {
+    if (Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.str);
+      case 't':
+      case 'f':
+        return ParseBool(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!Expect('{')) {
+      return false;
+    }
+    SkipWs();
+    if (Peek() == '}') {
+      Advance();
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Expect(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(value)) {
+        return false;
+      }
+      out.object[key] = std::move(value);
+      SkipWs();
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!Expect('[')) {
+      return false;
+    }
+    SkipWs();
+    if (Peek() == ']') {
+      Advance();
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(value)) {
+        return false;
+      }
+      out.array.push_back(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    while (pos_ < src_.size()) {
+      char c = Advance();
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= src_.size()) {
+          break;
+        }
+        char esc = Advance();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= src_.size() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+                return Fail("bad \\u escape");
+              }
+              char h = Advance();
+              code = code * 16 + static_cast<unsigned>(
+                  h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are beyond
+            // what baselines/SARIF need; emitted as-is per half).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseBool(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (src_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out.boolean = true;
+      return true;
+    }
+    if (src_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out.boolean = false;
+      return true;
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNull(JsonValue& out) {
+    if (src_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      Advance();
+    }
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(src_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::string error_;
+};
+
+const JsonValue kNullValue{};
+
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return kNullValue;
+  }
+  auto it = object.find(key);
+  return it == object.end() ? kNullValue : it->second;
+}
+
+JsonParseResult ParseJson(const std::string& text) { return Parser(text).Run(); }
+
+std::string JsonEscapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace nymlint

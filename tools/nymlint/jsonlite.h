@@ -1,0 +1,52 @@
+// A minimal recursive-descent JSON reader for the analyzer's own inputs:
+// nymflow baselines and (in tests) the SARIF it emits. Deliberately tiny —
+// objects become std::map so iteration order is deterministic, numbers stay
+// doubles, and parse failures return a positioned error instead of
+// throwing. Like the lexer, this is self-contained so nymlint builds on
+// any CI image that can build the simulator.
+#ifndef TOOLS_NYMLINT_JSONLITE_H_
+#define TOOLS_NYMLINT_JSONLITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nymlint {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; returns a shared null value when absent or when
+  // this value is not an object, so chained lookups never dereference junk.
+  const JsonValue& at(const std::string& key) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  // "line L: message" when !ok
+  int error_line = 0;
+};
+
+JsonParseResult ParseJson(const std::string& text);
+
+// Escapes a string for embedding in JSON output (no surrounding quotes).
+std::string JsonEscapeString(const std::string& text);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_JSONLITE_H_

@@ -3,10 +3,19 @@
 //   nymlint --root=.                        # lint src bench tests tools examples
 //   nymlint --root=. src/net                # lint one subtree
 //   nymlint --root=. --json --out=report.json
+//   nymlint --root=. --sarif=nymlint.sarif  # SARIF 2.1.0 for code scanning
+//   nymlint --root=. --write-baseline=nymflow_baseline.json
 //   nymlint --list-rules
+//
+// The nymflow dataflow stage runs whenever the identity registry is found
+// (tools/nymlint/identity_registry.txt by default; override with
+// --registry=PATH, disable with --no-flow). When nymflow_baseline.json
+// exists at the repo root (or --baseline=PATH is given), baselined
+// fingerprints are filtered and stale entries are reported.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,6 +24,7 @@
 #include <vector>
 
 #include "tools/nymlint/analyzer.h"
+#include "tools/nymlint/sarif.h"
 
 namespace {
 
@@ -49,6 +59,17 @@ bool CollectFiles(const fs::path& root, const std::string& target,
   return true;
 }
 
+bool ReadFile(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  out = content.str();
+  return true;
+}
+
 int ListRules() {
   for (const nymlint::RuleInfo& rule : nymlint::AllRules()) {
     std::cout << rule.name << "\n    " << rule.summary << "\n";
@@ -61,8 +82,13 @@ int ListRules() {
 int main(int argc, char** argv) {
   bool json = false;
   bool list_rules = false;
+  bool no_flow = false;
   std::string root = ".";
   std::string out_path;
+  std::string sarif_path;
+  std::string registry_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> targets;
 
   for (int i = 1; i < argc; ++i) {
@@ -71,14 +97,28 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--no-flow") {
+      no_flow = true;
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--registry=", 0) == 0) {
+      registry_path = arg.substr(11);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: nymlint [--root=DIR] [--json] [--out=FILE] [--list-rules] [paths...]\n"
-                   "Lints src/ bench/ tests/ tools/ examples/ by default. See "
-                   "docs/static-analysis.md for the rule reference.\n";
+      std::cout
+          << "usage: nymlint [--root=DIR] [--json] [--out=FILE] [--sarif=FILE]\n"
+             "               [--registry=FILE] [--baseline=FILE] [--no-flow]\n"
+             "               [--write-baseline=FILE] [--list-rules] [paths...]\n"
+             "Lints src/ bench/ tests/ tools/ examples/ by default, then runs the\n"
+             "nymflow identity-taint and shard-confinement dataflow stage. See\n"
+             "docs/static-analysis.md for the rule reference.\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "nymlint: unknown flag " << arg << "\n";
@@ -106,17 +146,78 @@ int main(int argc, char** argv) {
   std::vector<nymlint::SourceFile> files;
   files.reserve(paths.size());
   for (const std::string& path : paths) {
-    std::ifstream in(fs::path(root) / path, std::ios::binary);
-    if (!in) {
+    std::string content;
+    if (!ReadFile(fs::path(root) / path, content)) {
       std::cerr << "nymlint: cannot open " << path << "\n";
       return 2;
     }
-    std::ostringstream content;
-    content << in.rdbuf();
-    files.push_back(nymlint::SourceFile{path, content.str()});
+    files.push_back(nymlint::SourceFile{path, std::move(content)});
   }
 
-  nymlint::LintResult result = nymlint::RunLint(files);
+  // Assemble the nymflow stage inputs. A missing default registry degrades
+  // to lexical-only linting (with a warning); a missing *explicit* registry
+  // or baseline is a hard usage error.
+  nymlint::FlowOptions flow;
+  if (!no_flow) {
+    bool explicit_registry = !registry_path.empty();
+    if (!explicit_registry) {
+      registry_path = "tools/nymlint/identity_registry.txt";
+    }
+    std::string registry_text;
+    if (ReadFile(fs::path(root) / registry_path, registry_text)) {
+      flow.enabled = true;
+      flow.registry_path = registry_path;
+      flow.registry_text = std::move(registry_text);
+    } else if (explicit_registry) {
+      std::cerr << "nymlint: cannot open registry " << registry_path << "\n";
+      return 2;
+    } else {
+      std::cerr << "nymlint: no " << registry_path << "; nymflow stage skipped\n";
+    }
+
+    bool explicit_baseline = !baseline_path.empty();
+    if (!explicit_baseline) {
+      baseline_path = "nymflow_baseline.json";
+    }
+    std::string baseline_text;
+    if (ReadFile(fs::path(root) / baseline_path, baseline_text)) {
+      flow.baseline_path = baseline_path;
+      flow.baseline_text = std::move(baseline_text);
+    } else if (explicit_baseline) {
+      std::cerr << "nymlint: cannot open baseline " << baseline_path << "\n";
+      return 2;
+    }
+  }
+
+  // determinism-wallclock deliberately exempts tools/: this is host-side
+  // tooling measuring itself, not simulation logic.
+  auto start = std::chrono::steady_clock::now();
+  nymlint::LintResult result = nymlint::RunLint(files, flow);
+  result.analysis_ms = static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                             std::chrono::steady_clock::now() - start)
+                                             .count());
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream baseline_out(write_baseline_path, std::ios::binary | std::ios::trunc);
+    if (!baseline_out) {
+      std::cerr << "nymlint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    baseline_out << nymlint::WriteBaseline(result.flow_findings,
+                                           "REVIEW: justify or fix, then keep or delete");
+    std::cerr << "nymlint: wrote " << result.flow_findings.size() << " baseline entr"
+              << (result.flow_findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif_out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!sarif_out) {
+      std::cerr << "nymlint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    sarif_out << nymlint::WriteSarif(result.diagnostics, result.flow_findings);
+  }
 
   std::ostream* out = &std::cout;
   std::ofstream file_out;

@@ -1,0 +1,673 @@
+#include "tools/nymlint/model.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "tools/nymlint/rules.h"
+
+namespace nymlint {
+namespace {
+
+bool IsKeyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "if", "else", "for", "while", "do", "switch", "case", "default", "return",
+      "break", "continue", "goto", "sizeof", "alignof", "new", "delete", "catch",
+      "try", "throw", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "co_return", "co_await", "co_yield"};
+  return kKeywords.count(text) > 0;
+}
+
+bool IsTypeKeyword(const std::string& text) {
+  static const std::set<std::string> kTypeKeywords = {
+      "void", "bool", "char", "int", "float", "double", "unsigned", "signed",
+      "long", "short", "wchar_t", "char8_t", "char16_t", "char32_t", "auto"};
+  return kTypeKeywords.count(text) > 0;
+}
+
+bool IsDeclNoise(const std::string& text) {
+  static const std::set<std::string> kNoise = {
+      "const", "constexpr", "consteval", "constinit", "static", "inline",
+      "virtual", "explicit", "mutable", "volatile", "extern", "typename",
+      "struct", "class", "enum", "register", "thread_local", "std"};
+  return kNoise.count(text) > 0;
+}
+
+class FileParser {
+ public:
+  FileParser(const ModelInput& input, int file_index, SymbolModel& model)
+      : input_(input), file_index_(file_index), model_(model),
+        toks_(*input.significant) {}
+
+  FileModel Run() {
+    FileModel out;
+    out.path = input_.path;
+    out.tokens = toks_;
+    file_ = &out;
+    while (i_ < toks_.size()) {
+      ParseTopLevel();
+    }
+    AttachDeclassifyMarkers(out);
+    return out;
+  }
+
+ private:
+  struct Frame {
+    enum Kind { kNamespace, kClass, kBlock } kind = kBlock;
+    std::string class_name;
+  };
+
+  const std::string& Text(size_t i) const {
+    static const std::string kEmpty;
+    return i < toks_.size() ? toks_[i].text : kEmpty;
+  }
+  bool IsIdentTok(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == TokenKind::kIdentifier;
+  }
+
+  std::string CurrentClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Frame::kClass) {
+        return it->class_name;
+      }
+    }
+    return "";
+  }
+
+  // Advances past a balanced (...) / {...} / [...] group starting at an
+  // opener at index `i`; returns the index just past the closer (or
+  // toks_.size() when unterminated — tolerance over precision).
+  size_t SkipBalanced(size_t i) const {
+    const std::string& open = Text(i);
+    std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (size_t j = i; j < toks_.size(); ++j) {
+      const std::string& t = Text(j);
+      if (t == open) {
+        ++depth;
+      } else if (t == close) {
+        if (--depth == 0) {
+          return j + 1;
+        }
+      }
+    }
+    return toks_.size();
+  }
+
+  // Advances past a balanced <...> template group (best effort: bails at
+  // ';' or '{', which cannot appear inside a template header).
+  size_t SkipAngles(size_t i) const {
+    int depth = 0;
+    for (size_t j = i; j < toks_.size(); ++j) {
+      const std::string& t = Text(j);
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) {
+          return j + 1;
+        }
+      } else if (t == ";" || t == "{") {
+        return j;
+      }
+    }
+    return toks_.size();
+  }
+
+  void SkipToSemicolon() {
+    while (i_ < toks_.size()) {
+      const std::string& t = Text(i_);
+      if (t == ";") {
+        ++i_;
+        return;
+      }
+      if (t == "(" || t == "{" || t == "[") {
+        i_ = SkipBalanced(i_);
+        continue;
+      }
+      if (t == "}") {
+        return;  // malformed; let the scope logic see it
+      }
+      ++i_;
+    }
+  }
+
+  void ParseTopLevel() {
+    const std::string& t = Text(i_);
+    if (toks_[i_].kind == TokenKind::kDirective) {
+      // Consume the directive's whole line (`#ifndef GUARD_H_` leaves the
+      // macro name as a plain identifier that must not reach the
+      // declaration scanner).
+      int line = toks_[i_].line;
+      ++i_;
+      while (i_ < toks_.size() && toks_[i_].line == line) {
+        ++i_;
+      }
+      return;
+    }
+    if (t == "namespace") {
+      ++i_;
+      while (i_ < toks_.size() && Text(i_) != "{" && Text(i_) != ";" && Text(i_) != "=") {
+        ++i_;
+      }
+      if (Text(i_) == "{") {
+        scopes_.push_back({Frame::kNamespace, ""});
+        ++i_;
+      } else {
+        SkipToSemicolon();  // namespace alias / malformed
+      }
+      return;
+    }
+    if (t == "template") {
+      ++i_;
+      if (Text(i_) == "<") {
+        i_ = SkipAngles(i_);
+      }
+      return;
+    }
+    if (t == "class" || t == "struct" || t == "union") {
+      ParseRecord();
+      return;
+    }
+    if (t == "enum") {
+      ++i_;
+      if (Text(i_) == "class" || Text(i_) == "struct") {
+        ++i_;
+      }
+      while (i_ < toks_.size() && Text(i_) != "{" && Text(i_) != ";") {
+        ++i_;
+      }
+      if (Text(i_) == "{") {
+        i_ = SkipBalanced(i_);
+      }
+      return;
+    }
+    if (t == "using" || t == "typedef" || t == "friend" || t == "static_assert") {
+      SkipToSemicolon();
+      return;
+    }
+    if (t == "public" || t == "protected" || t == "private") {
+      ++i_;
+      if (Text(i_) == ":") {
+        ++i_;
+      }
+      return;
+    }
+    if (t == "{") {
+      scopes_.push_back({Frame::kBlock, ""});
+      ++i_;
+      return;
+    }
+    if (t == "}") {
+      if (!scopes_.empty()) {
+        scopes_.pop_back();
+      }
+      ++i_;
+      if (Text(i_) == ";") {
+        ++i_;
+      }
+      return;
+    }
+    ParseDeclaration();
+  }
+
+  // `class X [final] [: bases] { ... }` — pushes a class frame; everything
+  // else (`class X;`, `class X* p`, elaborated uses) is skipped token-wise.
+  void ParseRecord() {
+    ++i_;  // class/struct/union
+    while (Text(i_) == "[" || Text(i_) == "alignas") {
+      i_ = Text(i_) == "[" ? SkipBalanced(i_) : SkipBalanced(i_ + 1);
+    }
+    if (!IsIdentTok(i_)) {
+      return;  // anonymous struct — treat `{` via top-level
+    }
+    std::string name = Text(i_);
+    int line = toks_[i_].line;
+    ++i_;
+    if (Text(i_) == "final") {
+      ++i_;
+    }
+    if (Text(i_) == ":") {
+      while (i_ < toks_.size() && Text(i_) != "{" && Text(i_) != ";") {
+        if (Text(i_) == "<") {
+          i_ = SkipAngles(i_);
+          continue;
+        }
+        ++i_;
+      }
+    }
+    if (Text(i_) != "{") {
+      return;  // forward declaration or elaborated type use
+    }
+    ++i_;
+    scopes_.push_back({Frame::kClass, name});
+    if (model_.records.find(name) == model_.records.end()) {
+      RecordInfo record;
+      record.name = name;
+      record.file = file_index_;
+      record.line = line;
+      model_.records[name] = std::move(record);
+    }
+  }
+
+  // Parses one declaration at i_: a function (with optional body) or, in a
+  // class scope, a field. Anything unclassifiable is skipped to the next
+  // ';' or balanced group.
+  void ParseDeclaration() {
+    size_t start = i_;
+    size_t name_idx = static_cast<size_t>(-1);
+    bool is_operator = false;
+    size_t j = i_;
+    // Scan the decl head for `ident (`, ';', '=' or '{' at depth 0.
+    while (j < toks_.size()) {
+      const std::string& t = Text(j);
+      if (t == "<") {
+        j = SkipAngles(j);
+        continue;
+      }
+      if (t == "operator") {
+        // operator+(...) — consume the symbol tokens up to '('.
+        size_t k = j + 1;
+        while (k < toks_.size() && Text(k) != "(" && Text(k) != ";") {
+          ++k;
+        }
+        if (Text(k) == "(" && Text(k + 1) == ")" && Text(k + 2) == "(") {
+          k += 2;  // operator()(...)
+        }
+        name_idx = j;
+        is_operator = true;
+        j = k;
+        break;
+      }
+      if (t == "(") {
+        if (j > start && IsIdentTok(j - 1) && !IsKeyword(Text(j - 1)) &&
+            !IsTypeKeyword(Text(j - 1)) && !IsDeclNoise(Text(j - 1))) {
+          name_idx = j - 1;
+        }
+        break;
+      }
+      if (t == ";" || t == "=" || t == "{" || t == "}") {
+        break;
+      }
+      ++j;
+    }
+
+    if (name_idx == static_cast<size_t>(-1) || j >= toks_.size() || Text(j) != "(") {
+      // Not a function: a field (class scope) or a variable/junk.
+      if (!scopes_.empty() && scopes_.back().kind == Frame::kClass) {
+        ParseField(start);
+      } else {
+        SkipToSemicolon();
+      }
+      return;
+    }
+
+    FunctionInfo fn;
+    fn.file = file_index_;
+    fn.line = toks_[name_idx].line;
+    fn.col = toks_[name_idx].col;
+    fn.bare_name = is_operator ? "operator" : Text(name_idx);
+    if (name_idx >= 1 && Text(name_idx - 1) == "~") {
+      fn.bare_name = "~" + fn.bare_name;
+    }
+    // Explicit qualification `Class::Name(` wins; otherwise the innermost
+    // class scope qualifies the name.
+    if (!is_operator && name_idx >= 2 && Text(name_idx - 1) == "::" &&
+        IsIdentTok(name_idx - 2)) {
+      fn.class_name = Text(name_idx - 2);
+    } else {
+      fn.class_name = CurrentClass();
+    }
+    fn.qualified_name =
+        fn.class_name.empty() ? fn.bare_name : fn.class_name + "::" + fn.bare_name;
+
+    size_t params_end = SkipBalanced(j);  // past ')'
+    ParseParams(j + 1, params_end - 1, fn.params);
+    i_ = params_end;
+
+    // Qualifier region up to the body, a terminator, or something that
+    // proves this was not a function after all.
+    while (i_ < toks_.size()) {
+      const std::string& t = Text(i_);
+      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+          t == "&" || t == "mutable" || t == "volatile" || t == "try") {
+        ++i_;
+        if (Text(i_ - 1) == "noexcept" && Text(i_) == "(") {
+          i_ = SkipBalanced(i_);
+        }
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++i_;
+        while (i_ < toks_.size() && Text(i_) != "{" && Text(i_) != ";") {
+          if (Text(i_) == "<") {
+            i_ = SkipAngles(i_);
+            continue;
+          }
+          ++i_;
+        }
+        continue;
+      }
+      if (t == ":") {  // constructor initializer list
+        ++i_;
+        while (i_ < toks_.size()) {
+          if (Text(i_) == "(" || Text(i_) == "[") {
+            i_ = SkipBalanced(i_);
+            continue;
+          }
+          if (Text(i_) == "{") {
+            // `member_{value}` braces follow an identifier (or a template
+            // closer); the body brace follows ')' / '}' / the list itself.
+            if (i_ > 0 && (IsIdentTok(i_ - 1) || Text(i_ - 1) == ">")) {
+              i_ = SkipBalanced(i_);
+              continue;
+            }
+            break;  // function body
+          }
+          ++i_;
+        }
+        continue;
+      }
+      if (t == "=") {  // = 0; / = default; / = delete;
+        SkipToSemicolon();
+        Register(std::move(fn));
+        return;
+      }
+      if (t == ";") {
+        ++i_;
+        Register(std::move(fn));
+        return;
+      }
+      if (t == "{") {
+        size_t body_close = SkipBalanced(i_) - 1;
+        fn.body_begin = i_ + 1;
+        fn.body_end = std::min(body_close, toks_.size());
+        fn.has_body = fn.body_end > fn.body_begin;
+        i_ = std::min(body_close + 1, toks_.size());
+        Register(std::move(fn));
+        return;
+      }
+      // Unexpected (a call at block scope, a macro, an initializer):
+      // not a declaration we understand.
+      SkipToSemicolon();
+      return;
+    }
+    Register(std::move(fn));
+  }
+
+  void Register(FunctionInfo fn) {
+    int fn_index = static_cast<int>(file_->functions.size());
+    model_.by_qualified[fn.qualified_name].push_back({file_index_, fn_index});
+    if (!fn.class_name.empty()) {
+      model_.by_bare[fn.bare_name].push_back({file_index_, fn_index});
+    }
+    file_->functions.push_back(std::move(fn));
+  }
+
+  // Parses `[l, r)` as a comma-separated parameter list.
+  void ParseParams(size_t l, size_t r, std::vector<TypedName>& out) {
+    size_t item = l;
+    int depth = 0;
+    for (size_t j = l; j <= r && j < toks_.size(); ++j) {
+      const std::string& t = j == r ? std::string(",") : Text(j);
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+      } else if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        --depth;
+      } else if (t == "," && depth == 0) {
+        if (j > item) {
+          TypedName param = ParseTypedName(item, j);
+          if (!param.type_idents.empty() || !param.name.empty()) {
+            out.push_back(std::move(param));
+          }
+        }
+        item = j + 1;
+      }
+    }
+  }
+
+  // Parses a typed-name range: `const std::string& domain`,
+  // `std::vector<Cookie> jar_`, `char buf[8]`, `ByteSpan` (unnamed).
+  TypedName ParseTypedName(size_t l, size_t r) {
+    TypedName out;
+    int depth = 0;
+    std::vector<size_t> top_idents;
+    std::vector<std::string> all_idents;
+    size_t limit = r;
+    for (size_t j = l; j < limit && j < toks_.size(); ++j) {
+      const std::string& t = Text(j);
+      if (t == "=" && depth == 0) {
+        limit = j;  // default argument / initializer: not part of the type
+        break;
+      }
+      if (t == "[" && depth == 0) {
+        limit = j;  // array extent follows the name
+        break;
+      }
+      if (t == "(" || t == "{") {
+        depth += 1;
+        continue;
+      }
+      if (t == ")" || t == "}") {
+        depth -= 1;
+        continue;
+      }
+      if (t == "<") { ++depth; continue; }
+      if (t == ">") { --depth; continue; }
+      if (toks_[j].kind != TokenKind::kIdentifier) {
+        if (depth == 0 && t == "&") out.is_ref = true;
+        if (depth == 0 && t == "*") out.is_pointer = true;
+        continue;
+      }
+      if (t == "const") {
+        if (depth == 0) out.is_const = true;
+        continue;
+      }
+      if (IsDeclNoise(t)) {
+        continue;
+      }
+      if (depth == 0) {
+        top_idents.push_back(j);
+      }
+      all_idents.push_back(t);
+    }
+    // Two or more top-level identifiers: the last is the declared name; the
+    // rest (minus that one occurrence) are the type.
+    if (top_idents.size() >= 2) {
+      out.name = Text(top_idents.back());
+      bool skipped_name = false;
+      for (auto it = all_idents.rbegin(); it != all_idents.rend(); ++it) {
+        if (!skipped_name && *it == out.name) {
+          skipped_name = true;
+          continue;
+        }
+        if (!IsTypeKeyword(*it)) {
+          out.type_idents.push_back(*it);
+        }
+      }
+      std::reverse(out.type_idents.begin(), out.type_idents.end());
+      // Keep type keywords visible when nothing else names the type
+      // (`unsigned x` -> type "unsigned").
+      if (out.type_idents.empty()) {
+        for (size_t idx : top_idents) {
+          if (Text(idx) != out.name) {
+            out.type_idents.push_back(Text(idx));
+          }
+        }
+      }
+    } else {
+      for (const std::string& ident : all_idents) {
+        if (!IsTypeKeyword(ident)) {
+          out.type_idents.push_back(ident);
+        }
+      }
+    }
+    return out;
+  }
+
+  // A class-scope statement with no call shape: a field.
+  void ParseField(size_t start) {
+    size_t end = start;
+    int depth = 0;
+    while (end < toks_.size()) {
+      const std::string& t = Text(end);
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == "(" || t == "{" || t == "[") {
+        end = SkipBalanced(end);
+        continue;
+      }
+      else if ((t == ";" || t == "=") && depth <= 0) break;
+      else if (t == "}") break;
+      ++end;
+    }
+    TypedName field = ParseTypedName(start, end);
+    if (!field.name.empty()) {
+      auto it = model_.records.find(scopes_.back().class_name);
+      if (it != model_.records.end()) {
+        it->second.fields.push_back(std::move(field));
+      }
+    }
+    i_ = end;
+    SkipToSemicolon();
+  }
+
+  // --- declassify markers -------------------------------------------------
+
+  struct Marker {
+    std::vector<std::string> rules;
+    int line = 1;
+    int end_line = 1;
+    bool has_reason = false;
+  };
+
+  // `// nymlint:declassify(rule-a, rule-b): reason` — same shape as the
+  // allow protocol; honored only as the comment's first content.
+  static bool ParseMarker(const Token& comment, Marker& out) {
+    const std::string& text = comment.text;
+    size_t pos = text.rfind("//", 0) == 0 || text.rfind("/*", 0) == 0 ? 2 : 0;
+    pos = text.find_first_not_of(" \t", pos);
+    const std::string kTag = "nymlint:declassify";
+    if (pos == std::string::npos || text.compare(pos, kTag.size(), kTag) != 0) {
+      return false;
+    }
+    size_t cursor = pos + kTag.size();
+    if (cursor >= text.size() || text[cursor] != '(') {
+      return false;
+    }
+    size_t close = text.find(')', cursor);
+    if (close == std::string::npos) {
+      return false;
+    }
+    out.line = comment.line;
+    out.end_line =
+        comment.line + static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+    std::string list = text.substr(cursor + 1, close - cursor - 1);
+    size_t item = 0;
+    while (item <= list.size()) {
+      size_t comma = list.find(',', item);
+      size_t len = comma == std::string::npos ? std::string::npos : comma - item;
+      std::string rule = list.substr(item, len);
+      size_t b = rule.find_first_not_of(" \t");
+      size_t e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) {
+        out.rules.push_back(rule.substr(b, e - b + 1));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      item = comma + 1;
+    }
+    std::string reason = text.substr(close + 1);
+    if (reason.size() >= 2 && reason.compare(reason.size() - 2, 2, "*/") == 0) {
+      reason.resize(reason.size() - 2);
+    }
+    size_t begin = reason.find_first_not_of(" \t:-");
+    out.has_reason = begin != std::string::npos && reason.size() - begin >= 3;
+    return true;
+  }
+
+  void AttachDeclassifyMarkers(FileModel& out) {
+    if (input_.all == nullptr) {
+      return;
+    }
+    for (const Token& token : *input_.all) {
+      if (token.kind != TokenKind::kComment) {
+        continue;
+      }
+      Marker marker;
+      if (!ParseMarker(token, marker)) {
+        continue;
+      }
+      if (marker.rules.empty()) {
+        model_.marker_issues.push_back(
+            {input_.path, marker.line, "nymlint:declassify(...) names no rule"});
+        continue;
+      }
+      bool bad_rule = false;
+      for (const std::string& rule : marker.rules) {
+        if (!IsKnownRule(rule)) {
+          model_.marker_issues.push_back(
+              {input_.path, marker.line,
+               "nymlint:declassify names unknown rule '" + rule + "'"});
+          bad_rule = true;
+        }
+      }
+      if (!marker.has_reason) {
+        model_.marker_issues.push_back(
+            {input_.path, marker.line,
+             "nymlint:declassify must carry a written reason: "
+             "// nymlint:declassify(rule): why scrubbing here is sound"});
+        continue;
+      }
+      if (bad_rule) {
+        continue;
+      }
+      // Attach to the first function declared on or just below the marker.
+      FunctionInfo* best = nullptr;
+      for (FunctionInfo& fn : out.functions) {
+        if (fn.line >= marker.line && fn.line <= marker.end_line + 3 &&
+            (best == nullptr || fn.line < best->line)) {
+          best = &fn;
+        }
+      }
+      if (best == nullptr) {
+        model_.marker_issues.push_back(
+            {input_.path, marker.line,
+             "nymlint:declassify marker attaches to no function declaration"});
+        continue;
+      }
+      best->declassifies.insert(marker.rules.begin(), marker.rules.end());
+    }
+  }
+
+  const ModelInput& input_;
+  int file_index_;
+  SymbolModel& model_;
+  const std::vector<Token>& toks_;
+  FileModel* file_ = nullptr;
+  size_t i_ = 0;
+  std::vector<Frame> scopes_;
+};
+
+}  // namespace
+
+const RecordInfo* SymbolModel::FindRecord(const std::string& name) const {
+  auto it = records.find(name);
+  return it == records.end() ? nullptr : &it->second;
+}
+
+SymbolModel BuildModel(const std::vector<ModelInput>& inputs) {
+  SymbolModel model;
+  model.files.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    FileParser parser(inputs[i], static_cast<int>(i), model);
+    model.files.push_back(parser.Run());
+  }
+  return model;
+}
+
+}  // namespace nymlint

@@ -1,0 +1,95 @@
+// nymflow pass 1: a lightweight whole-program symbol model built from the
+// lexer's token streams. A tolerant declaration recognizer — not a C++
+// parser — extracts just enough structure for interprocedural dataflow:
+// record types with typed fields, free functions and methods with typed
+// parameters and body token ranges, and `nymlint:declassify` markers.
+//
+// Tolerance contract: anything the recognizer cannot classify is skipped,
+// never fatal. A missed declaration degrades precision (a call site goes
+// unresolved and propagates conservatively), it never wedges the analysis.
+#ifndef TOOLS_NYMLINT_MODEL_H_
+#define TOOLS_NYMLINT_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/lexer.h"
+
+namespace nymlint {
+
+// A declared, typed name: a function parameter, a local, or a record field.
+struct TypedName {
+  std::string name;                     // may be empty (unnamed parameter)
+  std::vector<std::string> type_idents; // identifiers in the type, e.g.
+                                        // {"vector", "TorRelay"} — template
+                                        // arguments included so a
+                                        // container-of-identity is typed
+  bool is_const = false;
+  bool is_ref = false;      // declared with & or && at the top level
+  bool is_pointer = false;  // declared with * at the top level
+};
+
+struct FunctionInfo {
+  std::string qualified_name;  // "Class::Name" for methods, "Name" otherwise
+  std::string bare_name;
+  std::string class_name;  // innermost enclosing/explicit class, or ""
+  int file = -1;           // index into SymbolModel::files
+  int line = 1;
+  int col = 1;
+  std::vector<TypedName> params;
+  // Body range [body_begin, body_end) into the file's significant tokens;
+  // body_begin == body_end for declarations without a body.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  bool has_body = false;
+  // Rules this function declassifies, from a `// nymlint:declassify(rule):
+  // reason` marker directly above/on the declaration.
+  std::set<std::string> declassifies;
+};
+
+struct RecordInfo {
+  std::string name;
+  int file = -1;
+  int line = 1;
+  std::vector<TypedName> fields;
+};
+
+// One file's contribution to the model. Token storage is owned here (a
+// copy of the significant stream) so the model is self-contained.
+struct FileModel {
+  std::string path;
+  std::vector<Token> tokens;  // significant tokens (comments removed)
+  std::vector<FunctionInfo> functions;
+};
+
+struct SymbolModel {
+  std::vector<FileModel> files;
+  std::map<std::string, RecordInfo> records;  // by bare type name
+  // Function indices by qualified and bare name: (file index, fn index).
+  std::map<std::string, std::vector<std::pair<int, int>>> by_qualified;
+  std::map<std::string, std::vector<std::pair<int, int>>> by_bare;
+  // Malformed declassify markers (unknown rule / missing reason) reported
+  // as nymflow-registry-error by the driver.
+  struct MarkerIssue {
+    std::string path;
+    int line = 1;
+    std::string message;
+  };
+  std::vector<MarkerIssue> marker_issues;
+
+  const RecordInfo* FindRecord(const std::string& name) const;
+};
+
+struct ModelInput {
+  std::string path;
+  const std::vector<Token>* significant = nullptr;  // comments removed
+  const std::vector<Token>* all = nullptr;          // with comments (markers)
+};
+
+SymbolModel BuildModel(const std::vector<ModelInput>& inputs);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_MODEL_H_

@@ -1,0 +1,93 @@
+#include "tools/nymlint/registry.h"
+
+#include <sstream>
+
+namespace nymlint {
+namespace {
+
+std::string StripComment(const std::string& line) {
+  size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) {
+    words.push_back(word);
+  }
+  return words;
+}
+
+// A symbol operand: identifier characters plus at most one "::" qualifier.
+bool ValidSymbol(const std::string& word) {
+  if (word.empty()) {
+    return false;
+  }
+  size_t sep = word.find("::");
+  if (sep != std::string::npos &&
+      (sep == 0 || sep + 2 >= word.size() || word.find("::", sep + 2) != std::string::npos)) {
+    return false;
+  }
+  for (size_t i = 0; i < word.size(); ++i) {
+    char c = word[i];
+    bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == '~';
+    if (!ident && !(c == ':' && sep != std::string::npos && (i == sep || i == sep + 1))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+IdentityRegistry ParseRegistry(const std::string& path, const std::string& text) {
+  IdentityRegistry registry;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto error = [&](const std::string& message) {
+    registry.errors.push_back(
+        Diagnostic{path, line_no, 1, "nymflow-registry-error", message});
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> words = SplitWords(StripComment(line));
+    if (words.empty()) {
+      continue;
+    }
+    const std::string& directive = words[0];
+    std::set<std::string>* target = nullptr;
+    if (directive == "source-type") target = &registry.source_types;
+    else if (directive == "source-field") target = &registry.source_fields;
+    else if (directive == "source-fn") target = &registry.source_fns;
+    else if (directive == "sink") target = &registry.sinks;
+    else if (directive == "declassify") target = &registry.declassifiers;
+    else if (directive == "shard-root") target = &registry.shard_roots;
+    else if (directive == "channel-type") target = &registry.channel_types;
+    else if (directive == "shared-safe") target = &registry.shared_safe;
+    else {
+      error("unknown registry directive '" + directive +
+            "' (see docs/static-analysis.md for the format)");
+      continue;
+    }
+    if (words.size() < 2) {
+      error("directive '" + directive + "' needs a symbol operand");
+      continue;
+    }
+    if (words.size() > 2) {
+      error("directive '" + directive + "' takes one operand; use '#' for comments");
+      continue;
+    }
+    if (!ValidSymbol(words[1])) {
+      error("'" + words[1] + "' is not a valid symbol (identifier or Class::Member)");
+      continue;
+    }
+    target->insert(words[1]);
+  }
+  return registry;
+}
+
+}  // namespace nymlint

@@ -1,0 +1,57 @@
+// The identity registry: the checked-in declaration of what nymflow
+// considers identity-bearing (taint sources), cross-boundary (sinks),
+// sanctioned scrubbing (declassifiers), and shard-confinement vocabulary.
+// See tools/nymlint/identity_registry.txt for the live registry and
+// docs/static-analysis.md for the format reference.
+#ifndef TOOLS_NYMLINT_REGISTRY_H_
+#define TOOLS_NYMLINT_REGISTRY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/rules.h"
+
+namespace nymlint {
+
+struct IdentityRegistry {
+  // Identity-taint vocabulary. Function entries are either qualified
+  // ("Class::Method", matched when the receiver's type resolves) or bare
+  // ("Function", matched on unqualified calls).
+  std::set<std::string> source_types;   // a value of this type IS identity
+  std::set<std::string> source_fields;  // reading .field / ->field taints
+  std::set<std::string> source_fns;     // the call's result is identity
+  std::set<std::string> sinks;          // identity must not reach these
+  std::set<std::string> declassifiers;  // calls return scrubbed (clean) data
+
+  // Shard-confinement vocabulary.
+  std::set<std::string> shard_roots;    // per-shard ownership roots
+  std::set<std::string> channel_types;  // the sanctioned cross-shard conduit
+  std::set<std::string> shared_safe;    // immutable/share-safe types
+
+  // Parse problems, reported as nymflow-registry-error diagnostics.
+  std::vector<Diagnostic> errors;
+
+  bool empty() const {
+    return source_types.empty() && source_fields.empty() && source_fns.empty() &&
+           sinks.empty() && shard_roots.empty();
+  }
+};
+
+// Parses the line-oriented registry format:
+//   # comment
+//   source-type  TypeName      # trailing comment
+//   source-field field_name
+//   source-fn    Class::Method
+//   sink         Class::Method
+//   declassify   FreeFunction
+//   shard-root   Simulation
+//   channel-type CrossShardChannel
+//   shared-safe  Config
+// Unknown directives and missing operands become errors positioned at
+// `path`:line; parsing continues (one bad line never disables the stage).
+IdentityRegistry ParseRegistry(const std::string& path, const std::string& text);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_REGISTRY_H_

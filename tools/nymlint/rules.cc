@@ -588,6 +588,22 @@ const std::vector<RuleInfo>& AllRules() {
       {"include-guard", "headers must open with #ifndef/#define or #pragma once", kEverywhere,
        true},
       {"using-namespace-header", "no 'using namespace' in headers", kEverywhere, true},
+      // nymflow dataflow rules (tools/nymlint/flow.h). They run as the
+      // analyzer's second stage, not through the per-file dispatch below,
+      // but live in this table so --list-rules, IsKnownRule, and the
+      // nymlint:allow / nymlint:declassify validators know them.
+      {"nymflow-identity-taint",
+       "identity-bearing value (cookie, evercookie, account, guard) reaches a "
+       "cross-boundary sink without a declassifier",
+       kSrc, false},
+      {"nymflow-shard-confinement",
+       "mutable state reachable from two shard contexts outside a CrossShardChannel", kSrc,
+       false},
+      {"nymflow-registry-error",
+       "identity_registry.txt, a baseline, or a declassify marker failed to parse",
+       kEverywhere, false},
+      {"nymflow-stale-baseline",
+       "nymflow_baseline.json entry that matches no current finding", kEverywhere, false},
       // Meta rules emitted by the suppression scanner itself; they are not
       // suppressible and exist so --list-rules documents every name that can
       // appear in a report.

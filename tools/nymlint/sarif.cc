@@ -1,0 +1,111 @@
+#include "tools/nymlint/sarif.h"
+
+#include <map>
+#include <sstream>
+
+#include "tools/nymlint/jsonlite.h"
+
+namespace nymlint {
+namespace {
+
+void WriteLocation(std::ostream& out, const std::string& path, int line, int col) {
+  out << "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+      << JsonEscapeString(path)
+      << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":" << (line > 0 ? line : 1)
+      << ",\"startColumn\":" << (col > 0 ? col : 1) << "}}}";
+}
+
+void WriteResult(std::ostream& out, const Diagnostic& diag,
+                 const std::map<std::string, size_t>& rule_index,
+                 const FlowFinding* flow) {
+  out << "{\"ruleId\":\"" << JsonEscapeString(diag.rule) << "\"";
+  auto index = rule_index.find(diag.rule);
+  if (index != rule_index.end()) {
+    out << ",\"ruleIndex\":" << index->second;
+  }
+  out << ",\"level\":\"error\",\"message\":{\"text\":\"" << JsonEscapeString(diag.message)
+      << "\"},\"locations\":[";
+  WriteLocation(out, diag.path, diag.line, diag.col);
+  out << "]";
+  if (flow != nullptr) {
+    out << ",\"partialFingerprints\":{\"nymflowFingerprint/v1\":\""
+        << JsonEscapeString(flow->fingerprint) << "\"}";
+    if (!flow->steps.empty()) {
+      out << ",\"codeFlows\":[{\"threadFlows\":[{\"locations\":[";
+      for (size_t i = 0; i < flow->steps.size(); ++i) {
+        const FlowStep& step = flow->steps[i];
+        if (i > 0) {
+          out << ",";
+        }
+        out << "{\"location\":";
+        std::ostringstream loc;
+        WriteLocation(loc, step.path, step.line, step.col);
+        std::string text = loc.str();
+        // Splice the step note into the location as its message.
+        text.insert(text.size() - 1,
+                    ",\"message\":{\"text\":\"" + JsonEscapeString(step.note) + "\"}");
+        out << text << "}";
+      }
+      out << "]}]}]";
+    }
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string WriteSarif(const std::vector<Diagnostic>& diagnostics,
+                       const std::vector<FlowFinding>& flow_findings) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      << "\"name\":\"nymlint\",\"informationUri\":"
+      << "\"https://example.invalid/nymix/docs/static-analysis.md\","
+      << "\"version\":\"2.0.0\",\"rules\":[";
+  std::map<std::string, size_t> rule_index;
+  size_t count = 0;
+  auto emit_rule = [&](const std::string& id, const std::string& summary) {
+    if (rule_index.count(id)) {
+      return;
+    }
+    if (count > 0) {
+      out << ",";
+    }
+    rule_index[id] = count++;
+    out << "{\"id\":\"" << JsonEscapeString(id) << "\",\"name\":\""
+        << JsonEscapeString(id) << "\",\"shortDescription\":{\"text\":\""
+        << JsonEscapeString(summary)
+        << "\"},\"defaultConfiguration\":{\"level\":\"error\"}}";
+  };
+  for (const RuleInfo& rule : AllRules()) {
+    emit_rule(rule.name, rule.summary);
+  }
+  out << "]}},\"columnKind\":\"utf16CodeUnits\","
+      << "\"originalUriBaseIds\":{\"SRCROOT\":{\"description\":{\"text\":"
+      << "\"repository root\"}}},\"results\":[";
+  bool first = true;
+  // Flow findings are indexed by diagnostic identity so the shared
+  // diagnostics list (which already contains flow diags) gains code flows.
+  std::map<std::string, const FlowFinding*> by_key;
+  for (const FlowFinding& finding : flow_findings) {
+    std::ostringstream key;
+    key << finding.diag.path << ":" << finding.diag.line << ":" << finding.diag.col
+        << ":" << finding.diag.rule;
+    by_key[key.str()] = &finding;
+  }
+  for (const Diagnostic& diag : diagnostics) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    std::ostringstream key;
+    key << diag.path << ":" << diag.line << ":" << diag.col << ":" << diag.rule;
+    auto flow = by_key.find(key.str());
+    WriteResult(out, diag, rule_index,
+                flow != by_key.end() ? flow->second : nullptr);
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace nymlint

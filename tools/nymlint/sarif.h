@@ -1,0 +1,26 @@
+// SARIF 2.1.0 serialization for nymlint/nymflow results, consumable by
+// GitHub code scanning (github/codeql-action/upload-sarif) and any SARIF
+// viewer. Lexical diagnostics become plain results; nymflow findings carry
+// codeFlows built from their step chains and a partialFingerprints entry
+// ("nymflowFingerprint/v1") so baseline identity survives line drift.
+#ifndef TOOLS_NYMLINT_SARIF_H_
+#define TOOLS_NYMLINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/nymlint/flow.h"
+#include "tools/nymlint/rules.h"
+
+namespace nymlint {
+
+// Renders one SARIF run. `diagnostics` are lexical results (no code flow);
+// `flow_findings` contribute codeFlows + fingerprints. Rule metadata is
+// emitted for every rule that appears plus all registered rules, so
+// dashboards can show help text even for clean runs.
+std::string WriteSarif(const std::vector<Diagnostic>& diagnostics,
+                       const std::vector<FlowFinding>& flow_findings);
+
+}  // namespace nymlint
+
+#endif  // TOOLS_NYMLINT_SARIF_H_
