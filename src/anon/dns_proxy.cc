@@ -52,11 +52,17 @@ SimDuration DnsProxy::LookupLatency() const {
 void DnsProxy::Resolve(const std::string& name,
                        std::function<void(Result<Ipv4Address>)> done) {
   ++queries_;
+  std::weak_ptr<char> alive = alive_;
   auto cached = cache_.find(name);
   if (cached != cache_.end()) {
     ++cache_hits_;
     Ipv4Address ip = cached->second;
-    sim_.loop().ScheduleAfter(Micros(50), [ip, done = std::move(done)] { done(ip); });
+    sim_.loop().ScheduleAfter(Micros(50), [alive, ip, done = std::move(done)] {
+      if (alive.expired()) {
+        return;  // proxy torn down while the answer was in flight
+      }
+      done(ip);
+    });
     return;
   }
   if (!anonymizer_->ready()) {
@@ -68,7 +74,10 @@ void DnsProxy::Resolve(const std::string& name,
   if (transport_ == Transport::kUdpToTcpConversion) {
     ++conversions_;
   }
-  sim_.loop().ScheduleAfter(LookupLatency(), [this, name, done = std::move(done)] {
+  sim_.loop().ScheduleAfter(LookupLatency(), [this, alive, name, done = std::move(done)] {
+    if (alive.expired()) {
+      return;  // proxy (and its nym) torn down mid-query; drop everything
+    }
     auto resolved = sim_.internet().Resolve(name);
     if (resolved.ok()) {
       cache_[name] = *resolved;

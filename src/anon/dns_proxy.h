@@ -12,6 +12,8 @@
 #ifndef SRC_ANON_DNS_PROXY_H_
 #define SRC_ANON_DNS_PROXY_H_
 
+#include <memory>
+
 #include "src/anon/anonymizer.h"
 
 namespace nymix {
@@ -50,6 +52,11 @@ class DnsProxy {
   Simulation& sim_;
   Anonymizer* anonymizer_;
   Transport transport_;
+  // Lifetime token for in-flight queries: a nym crash (§3.4 wipe) destroys
+  // the proxy while resolve events are still queued on the loop; those
+  // events must evaporate, not touch the freed proxy or call into the
+  // equally-dead browser.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   std::map<std::string, Ipv4Address> cache_;
   uint64_t queries_ = 0;
   uint64_t cache_hits_ = 0;

@@ -187,6 +187,14 @@ TorClient::TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t 
   NYMIX_CHECK(attachment_.vm_uplink != nullptr);
 }
 
+TorClient::~TorClient() {
+  // Owner teardown: a build pending at destruction must not complete — the
+  // ready callback belongs to the nym being destroyed right now, and the
+  // drop-status fire from the OnceCallback destructor would run it
+  // mid-teardown.
+  on_circuit_ready_.Dismiss();
+}
+
 std::string TorClient::TraceTrack() const {
   std::string track = attachment_.vm_uplink->name();
   constexpr std::string_view kSuffix = "-uplink";
@@ -249,10 +257,14 @@ void TorClient::ChooseGuardIfNeeded() {
 
 void TorClient::DownloadDirectory(std::function<void(Status)> then) {
   SimTime started = attachment_.sim->now();
+  std::weak_ptr<char> alive = alive_;
   RetryWithBackoff(
       attachment_.sim->loop(), config_.directory_retry,
       Mix64(seed_ ^ Fnv1a64("tor.directory.backoff")), "tor.directory",
-      [this](std::function<void(Status)> finish) {
+      [this, alive](std::function<void(Status)> finish) {
+        if (alive.expired()) {
+          return;  // client torn down; dropping finish cancels the retry run
+        }
         uint64_t bytes = has_cached_consensus_
                              ? config_.refresh_bytes
                              : config_.consensus_bytes + config_.descriptors_bytes;
@@ -268,14 +280,20 @@ void TorClient::DownloadDirectory(std::function<void(Status)> then) {
               finish(finished.ok() ? OkStatus() : finished.status());
             });
       },
-      [this, started, then = std::move(then)](Status status) {
+      [this, alive, started, then = std::move(then)](Status status) {
+        if (alive.expired()) {
+          return;  // client torn down while retries drained
+        }
         if (!status.ok()) {
           then(std::move(status));
           return;
         }
         has_cached_consensus_ = true;
         attachment_.sim->loop().ScheduleAfter(config_.bootstrap_processing,
-                                              [this, started, then] {
+                                              [this, alive, started, then] {
+                                                if (alive.expired()) {
+                                                  return;
+                                                }
                                                 if (TraceRecorder* tracer =
                                                         attachment_.sim->loop().tracer()) {
                                                   tracer->AddComplete(
@@ -364,7 +382,11 @@ void TorClient::StartBuildAttempt() {
   const uint64_t generation = build_generation_;
   if (config_.circuit_build_timeout > 0) {
     timeout_event_ = attachment_.sim->loop().ScheduleAfter(
-        config_.circuit_build_timeout, [this, generation] {
+        config_.circuit_build_timeout,
+        [this, alive = std::weak_ptr<char>(alive_), generation] {
+          if (alive.expired()) {
+            return;  // client torn down with the timeout still queued
+          }
           if (generation != build_generation_ || pending_step_ == 0) {
             return;  // attempt already finished or was superseded
           }
@@ -421,9 +443,7 @@ void TorClient::OnBuildAttemptFailure(Status status) {
     if (on_circuit_ready_) {
       auto callback = std::move(on_circuit_ready_);
       on_circuit_ready_ = OnceCallback<Result<SimTime>>();
-      callback(Status(status.code(),
-                      status.message() + " (circuit build abandoned after " +
-                          std::to_string(circuit_backoff_.attempts() + 1) + " attempts)"));
+      callback(circuit_backoff_.Exhausted("circuit build abandoned", status));
     }
     return;
   }
@@ -434,12 +454,16 @@ void TorClient::OnBuildAttemptFailure(Status status) {
     tracer->AddInstant("retry", "circuit_retry", TraceTrack(), attachment_.sim->now());
   }
   const uint64_t generation = build_generation_;
-  attachment_.sim->loop().ScheduleAfter(*delay, [this, generation] {
-    if (generation != build_generation_) {
-      return;  // superseded while waiting out the backoff
-    }
-    StartBuildAttempt();
-  });
+  attachment_.sim->loop().ScheduleAfter(
+      *delay, [this, alive = std::weak_ptr<char>(alive_), generation] {
+        if (alive.expired()) {
+          return;  // client torn down while waiting out the backoff
+        }
+        if (generation != build_generation_) {
+          return;  // superseded while waiting out the backoff
+        }
+        StartBuildAttempt();
+      });
 }
 
 void TorClient::SendCircuitCell(int step) {
@@ -558,11 +582,15 @@ void TorClient::Fetch(const std::string& host, uint64_t request_bytes, uint64_t 
   // and the entry guard — are untouched.
   auto receipt = std::make_shared<FetchReceipt>();
   const Ipv4Address destination = *resolved;
+  std::weak_ptr<char> alive = alive_;
   RetryWithBackoff(
       attachment_.sim->loop(), config_.fetch_retry,
       Mix64(seed_ ^ Fnv1a64("tor.fetch.backoff") ^ Fnv1a64(host)), "tor.fetch",
-      [this, host, destination, request_bytes, response_bytes,
+      [this, alive, host, destination, request_bytes, response_bytes,
        receipt](std::function<void(Status)> finish) {
+        if (alive.expired()) {
+          return;  // client torn down; dropping finish cancels the retry run
+        }
         size_t exit_index = ExitIndexForDestination(host);
         Ipv4Address exit_ip = network_.relays()[exit_index].ip;
         Route route = RouteThroughCircuit(destination, exit_index);
@@ -570,7 +598,11 @@ void TorClient::Fetch(const std::string& host, uint64_t request_bytes, uint64_t 
         options.stall_timeout = config_.fetch_stall_timeout;
         attachment_.sim->flows().StartFlow(
             route, request_bytes + response_bytes, config_.cell_overhead, options,
-            [this, host, exit_ip, receipt, finish = std::move(finish)](Result<SimTime> t) {
+            [this, alive, host, exit_ip, receipt,
+             finish = std::move(finish)](Result<SimTime> t) {
+              if (alive.expired()) {
+                return;  // flow outlived the client (nym crash mid-fetch)
+              }
               if (!t.ok()) {
                 exit_by_destination_.erase(host);
                 if (MetricsRegistry* meters = attachment_.sim->loop().meters()) {
@@ -583,7 +615,14 @@ void TorClient::Fetch(const std::string& host, uint64_t request_bytes, uint64_t 
               finish(OkStatus());
             });
       },
-      [once, receipt](Status status) mutable {
+      [alive, once, receipt](Status status) mutable {
+        if (alive.expired()) {
+          // The caller's completion belongs to the same dead nym (browser
+          // and client are torn down together); Dismiss so neither a late
+          // fire nor the drop-status path runs it.
+          once.Dismiss();
+          return;
+        }
         if (!status.ok()) {
           once(std::move(status));
           return;

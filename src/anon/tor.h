@@ -155,6 +155,7 @@ class TorClient : public Anonymizer {
  public:
   TorClient(ClientAttachment attachment, TorNetwork& network, uint64_t seed,
             TorClientConfig config = TorClientConfig{});
+  ~TorClient() override;
 
   AnonymizerKind kind() const override { return AnonymizerKind::kTor; }
   std::string_view Name() const override { return "Tor"; }
@@ -215,6 +216,14 @@ class TorClient : public Anonymizer {
   TorClientConfig config_;
   uint64_t seed_;
   Prng prng_;
+  // Lifetime token for deferred work. The client schedules events on the
+  // simulation-owned loop (circuit timeouts, backoff retries, bootstrap
+  // processing) and hands callbacks to the flow scheduler; a nym crash
+  // (§3.4 wipe) destroys the client while those are still pending. Every
+  // such lambda captures a weak_ptr to this token and evaporates if the
+  // client is gone — it must not touch freed state or complete into the
+  // equally-dead browser.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   bool has_cached_consensus_ = false;
   bool circuit_ready_ = false;

@@ -1,6 +1,16 @@
 #include "src/core/fleet.h"
 
 namespace nymix {
+namespace {
+
+// Retry budgets for the fault-tolerant slot paths. Generous relative to
+// recovery times (a crashed VM is back in tens of virtual seconds, a visit
+// retry waits 0.5–2 s), so only a genuinely unrecoverable schedule — e.g. a
+// host whose uplink never comes back — burns through them.
+constexpr int kMaxVisitRetries = 64;
+constexpr int kMaxCreateRetries = 8;
+
+}  // namespace
 
 ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& options,
                            uint64_t seed)
@@ -79,45 +89,127 @@ void ShardedFleet::Run() {
   }
 }
 
+SimDuration ShardedFleet::ThinkTime(ShardState& shard) {
+  return Millis(500 + static_cast<SimDuration>(shard.think_prng.NextBelow(1500)));
+}
+
 void ShardedFleet::SpawnNym(int slot) {
   Slot& state = slots_[static_cast<size_t>(slot)];
+  const int epoch = state.epoch;
   std::string name = "c" + std::to_string(state.cluster) + "-s" +
                      std::to_string(slot % options_.nyms_per_host) + "-g" +
                      std::to_string(state.generation);
   ClusterOf(slot).manager->CreateNym(
-      name, NymManager::CreateOptions{}, [this, slot](Result<Nym*> nym, NymStartupReport) {
-        NYMIX_CHECK_MSG(nym.ok(), nym.status().ToString().c_str());
-        slots_[static_cast<size_t>(slot)].nym = *nym;
-        slots_[static_cast<size_t>(slot)].visits_done = 0;
-        VisitNext(slot);
+      name, NymManager::CreateOptions{},
+      [this, slot, epoch](Result<Nym*> nym, NymStartupReport) {
+        Slot& state = slots_[static_cast<size_t>(slot)];
+        if (state.finished || state.epoch != epoch) {
+          // Abandoned or superseded while booting; tear the straggler down
+          // if it made it.
+          if (nym.ok()) {
+            Status ignored = ClusterOf(slot).manager->TerminateNym(*nym);
+            (void)ignored;
+          }
+          return;
+        }
+        ShardState& shard = ShardOf(slot);
+        if (!nym.ok()) {
+          // A create can fail under fault schedules (anonymizer bootstrap
+          // exhausted its retry budget, say). Back off and try again; the
+          // boot is from pristine base state, so a retry is safe.
+          ++shard.create_failures;
+          if (++state.create_retries > kMaxCreateRetries) {
+            AbandonSlot(slot);
+            return;
+          }
+          sharded_.shard(ClusterOf(slot).shard)
+              .loop()
+              .ScheduleAfter(ThinkTime(shard), [this, slot] { SpawnNym(slot); });
+          return;
+        }
+        state.create_retries = 0;
+        state.nym = *nym;
+        state.visits_done = 0;
+        VisitNext(slot, epoch);
       });
 }
 
-void ShardedFleet::VisitNext(int slot) {
+void ShardedFleet::VisitNext(int slot, int epoch) {
   Cluster& cluster = ClusterOf(slot);
   Slot& state = slots_[static_cast<size_t>(slot)];
-  state.nym->browser()->Visit(*cluster.site, [this, slot](Result<SimTime> done) {
-    NYMIX_CHECK_MSG(done.ok(), done.status().ToString().c_str());
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
+  if (state.nym == nullptr) {
+    // The slot's VM crashed and its recovery has not handed back a nym yet
+    // (ScheduleVmCrash nulls the pointer at crash time). Wait a think-time
+    // and look again, on the same budget as failed visits.
+    ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+    if (++state.visit_retries > kMaxVisitRetries) {
+      AbandonSlot(slot);
+      return;
+    }
+    sharded_.shard(cluster.shard)
+        .loop()
+        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { VisitNext(slot, epoch); });
+    return;
+  }
+  state.nym->browser()->Visit(*cluster.site, [this, slot, epoch](Result<SimTime> done) {
     Cluster& cluster = ClusterOf(slot);
     ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+    Slot& state = slots_[static_cast<size_t>(slot)];
+    if (state.finished || state.epoch != epoch) {
+      return;
+    }
+    if (!done.ok()) {
+      // Failed visit (aborted flow, dead uplink, crashed VM): retry after a
+      // think-time. The budget keeps a never-healing fault from looping.
+      ++shard.visit_failures;
+      if (++state.visit_retries > kMaxVisitRetries) {
+        AbandonSlot(slot);
+        return;
+      }
+      sharded_.shard(cluster.shard)
+          .loop()
+          .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { VisitNext(slot, epoch); });
+      return;
+    }
+    state.visit_retries = 0;
     ++shard.visits;
-    ++slots_[static_cast<size_t>(slot)].visits_done;
+    ++state.visits_done;
     // Think time before the next action; acting from a fresh event also
     // means churn never tears a nym down from inside its own callback.
-    SimDuration think =
-        Millis(500 + static_cast<SimDuration>(shard.think_prng.NextBelow(1500)));
-    sharded_.shard(cluster.shard).loop().ScheduleAfter(think, [this, slot] { Advance(slot); });
+    sharded_.shard(cluster.shard)
+        .loop()
+        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { Advance(slot, epoch); });
   });
 }
 
-void ShardedFleet::Advance(int slot) {
+void ShardedFleet::Advance(int slot, int epoch) {
   Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
   if (state.visits_done < options_.visits_per_generation) {
-    VisitNext(slot);
+    VisitNext(slot, epoch);
+    return;
+  }
+  if (state.nym == nullptr) {
+    // A crash landed between the last visit and this churn; wait for the
+    // recovery to hand the slot a nym to terminate (same retry budget).
+    ShardState& shard = ShardOf(slot);
+    if (++state.visit_retries > kMaxVisitRetries) {
+      AbandonSlot(slot);
+      return;
+    }
+    sharded_.shard(ClusterOf(slot).shard)
+        .loop()
+        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { Advance(slot, epoch); });
     return;
   }
   ++state.generation;
-  NYMIX_CHECK(ClusterOf(slot).manager->TerminateNym(state.nym).ok());
+  Status terminated = ClusterOf(slot).manager->TerminateNym(state.nym);
+  NYMIX_CHECK_MSG(terminated.ok(), terminated.ToString().c_str());
   state.nym = nullptr;
   if (state.generation >= options_.generations) {
     FinishSlot(slot);
@@ -125,6 +217,77 @@ void ShardedFleet::Advance(int slot) {
   }
   ++ShardOf(slot).churns;
   SpawnNym(slot);
+}
+
+void ShardedFleet::AbandonSlot(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  ShardState& shard = ShardOf(slot);
+  ++shard.slots_abandoned;
+  state.finished = true;
+  if (state.nym != nullptr) {
+    // Best-effort teardown; a half-crashed wreck may refuse, and the slot
+    // is being written off either way.
+    Status ignored = ClusterOf(slot).manager->TerminateNym(state.nym);
+    (void)ignored;
+    state.nym = nullptr;
+  }
+  FinishSlot(slot);
+}
+
+void ShardedFleet::ScheduleVmCrash(int host, SimTime at) {
+  NYMIX_CHECK(host >= 0 && host < host_count());
+  Cluster& cluster = *clusters_[static_cast<size_t>(host)];
+  sharded_.shard(cluster.shard).loop().ScheduleAt(at, [this, host] {
+    // Crash the first slot on this host that currently has a live nym; a
+    // host whose slots are all booting, recovering, or finished absorbs the
+    // event as a no-op (so shrinking a scenario never creates a crash that
+    // aborts the run).
+    for (int i = 0; i < options_.nym_count; ++i) {
+      Slot& state = slots_[static_cast<size_t>(i)];
+      if (state.cluster != host || state.finished || state.nym == nullptr) {
+        continue;
+      }
+      Cluster& cluster = *clusters_[static_cast<size_t>(host)];
+      Nym* wreck = state.nym;
+      // Null the pointer and bump the epoch first: the wreck's in-flight
+      // work evaporates at its lifetime guards (no failure callback comes
+      // back), so the old drive chain is dead — and any timer of it that
+      // does survive now stands down as stale. The recovery callback below
+      // starts the slot's one replacement chain.
+      state.nym = nullptr;
+      ++state.epoch;
+      cluster.manager->InjectCrash(*wreck);
+      cluster.manager->RecoverNym(wreck, [this, i, host](Result<Nym*> nym, NymStartupReport) {
+        Cluster& cluster = *clusters_[static_cast<size_t>(host)];
+        ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+        Slot& state = slots_[static_cast<size_t>(i)];
+        if (state.finished) {
+          // The slot gave up while we were rebooting; don't leave a live
+          // orphan VM keeping the shard from quiescing.
+          if (nym.ok()) {
+            Status ignored = cluster.manager->TerminateNym(*nym);
+            (void)ignored;
+          }
+          return;
+        }
+        if (!nym.ok()) {
+          AbandonSlot(i);
+          return;
+        }
+        ++shard.vm_recoveries;
+        state.nym = *nym;
+        // Resume the drive loop. Advance handles both positions the severed
+        // chain could have been in: mid-generation (more visits due) and the
+        // churn boundary. Epoch is re-read, not captured from crash time: a
+        // later crash landing before this timer fires supersedes it.
+        const int epoch = state.epoch;
+        sharded_.shard(cluster.shard)
+            .loop()
+            .ScheduleAfter(ThinkTime(shard), [this, i, epoch] { Advance(i, epoch); });
+      });
+      return;
+    }
+  });
 }
 
 void ShardedFleet::FinishSlot(int slot) {
@@ -155,6 +318,38 @@ uint64_t ShardedFleet::churns() const {
   uint64_t total = 0;
   for (const auto& state : shard_states_) {
     total += state->churns;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::visit_failures() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->visit_failures;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::create_failures() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->create_failures;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::slots_abandoned() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->slots_abandoned;
+  }
+  return total;
+}
+
+uint64_t ShardedFleet::vm_recoveries() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->vm_recoveries;
   }
   return total;
 }

@@ -86,9 +86,29 @@ class ShardedFleet {
   // Spawns every slot's first nym and drives the executor to quiescence.
   void Run();
 
+  // --- Scenario hooks (src/fuzz) ---------------------------------------
+  // Schedules a VM crash + recovery on `host` at virtual time `at`: the
+  // first slot on that host with a live nym is crashed where it stands and
+  // rebooted through NymManager::RecoverNym. Shard-local (the event runs on
+  // the owning shard's loop), so thread count still cannot change a byte.
+  // Call before Run().
+  void ScheduleVmCrash(int host, SimTime at);
+
+  // Per-host internals for scenario fault schedules (uplink flaps, relay
+  // crashes). Only shard-local events may touch them while running.
+  HostMachine& host_machine(int host) { return *clusters_[static_cast<size_t>(host)]->host; }
+  TorNetwork& tor(int host) { return *clusters_[static_cast<size_t>(host)]->tor; }
+
   // Post-run aggregates, summed over shards in shard-id order.
   uint64_t visits() const;
   uint64_t churns() const;
+  // Fault-path aggregates: failed visits that were retried, failed creates
+  // that were retried, slots abandoned after the create-retry budget, and
+  // VM crash/recovery cycles executed by ScheduleVmCrash.
+  uint64_t visit_failures() const;
+  uint64_t create_failures() const;
+  uint64_t slots_abandoned() const;
+  uint64_t vm_recoveries() const;
   uint64_t events_executed() const;
   uint64_t waterfills_full() const;
   uint64_t waterfills_component() const;
@@ -123,6 +143,21 @@ class ShardedFleet {
     Nym* nym = nullptr;
     int visits_done = 0;
     int generation = 0;
+    // Consecutive failed visits / waits for a recovering VM; resets on the
+    // next successful visit. Exceeding the budget abandons the slot so a
+    // pathological fault schedule still quiesces.
+    int visit_retries = 0;
+    int create_retries = 0;
+    // Set by FinishSlot/AbandonSlot; late callbacks (a retry timer, a VM
+    // recovery) check it and stand down instead of reviving the slot.
+    bool finished = false;
+    // Drive-chain generation. A VM crash severs the slot's in-flight visit
+    // chain (the nym's deferred work evaporates at its lifetime guards, so
+    // no failure callback ever comes back); the crash bumps the epoch and
+    // the recovery callback starts the one replacement chain. Continuations
+    // carry the epoch they belong to and stand down when stale, so a timer
+    // surviving from the severed chain can never double-drive the slot.
+    int epoch = 0;
   };
 
   // Everything a worker thread mutates while running one shard's epoch.
@@ -132,6 +167,10 @@ class ShardedFleet {
     int finished_slots = 0;
     uint64_t visits = 0;
     uint64_t churns = 0;
+    uint64_t visit_failures = 0;
+    uint64_t create_failures = 0;
+    uint64_t slots_abandoned = 0;
+    uint64_t vm_recoveries = 0;
 
     explicit ShardState(uint64_t seed) : think_prng(seed) {}
   };
@@ -140,9 +179,13 @@ class ShardedFleet {
   ShardState& ShardOf(int slot) { return *shard_states_[static_cast<size_t>(ClusterOf(slot).shard)]; }
 
   void SpawnNym(int slot);
-  void VisitNext(int slot);
-  void Advance(int slot);
+  void VisitNext(int slot, int epoch);
+  void Advance(int slot, int epoch);
   void FinishSlot(int slot);
+  // Writes the slot off (retry budget spent, or recovery failed): tears
+  // down any live nym best-effort and retires the slot so Run() quiesces.
+  void AbandonSlot(int slot);
+  SimDuration ThinkTime(ShardState& shard);
 
   ShardedSimulation& sharded_;
   FleetOptions options_;

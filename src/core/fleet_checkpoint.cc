@@ -1,5 +1,6 @@
 #include "src/core/fleet_checkpoint.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -78,7 +79,15 @@ Status CheckpointHost(NymManager& manager, const std::string& host_key, KvStore&
   for (const std::string& key : stale) {
     store.Delete(key);
   }
-  for (Nym* nym : manager.nyms()) {
+  // Checkpoint in name order, not manager order: recovery re-wires a nym at
+  // the back of the manager's list, so manager order encodes the host's
+  // crash history. The log must be a pure function of host *state* or a
+  // restored host re-checkpoints differently (caught by the fuzzer's
+  // checkpoint-identity oracle).
+  std::vector<Nym*> live = manager.nyms();
+  std::sort(live.begin(), live.end(),
+            [](const Nym* a, const Nym* b) { return a->name() < b->name(); });
+  for (Nym* nym : live) {
     if (nym->anon_vm() == nullptr || nym->comm_vm() == nullptr) {
       continue;  // mid-teardown; nothing coherent to capture
     }

@@ -1,0 +1,66 @@
+#include "src/fuzz/entropy.h"
+
+#include <algorithm>
+
+// nymlint:allow(determinism-rand): AmbientSeed is the tree's one sanctioned ambient-entropy read; the drawn seed is printed and recorded so the run replays
+#include <random>
+
+namespace nymix {
+
+void EntropySource::MutateBytes(Bytes& data) {
+  if (data.empty()) {
+    data = RandomBytes(1 + Pick(32));
+    return;
+  }
+  // 1–4 independent mutations; most leave the buffer one edit away from a
+  // valid encoding, which is where framing and length-check bugs hide.
+  const int edits = 1 + static_cast<int>(Pick(4));
+  for (int e = 0; e < edits; ++e) {
+    switch (Pick(5)) {
+      case 0: {  // flip one bit
+        size_t at = Pick(data.size());
+        data[at] ^= static_cast<uint8_t>(1u << Pick(8));
+        break;
+      }
+      case 1: {  // overwrite one byte with an interesting value
+        static constexpr uint8_t kEdges[] = {0x00, 0x01, 0x7f, 0x80, 0xfe, 0xff};
+        data[Pick(data.size())] = kEdges[Pick(sizeof(kEdges))];
+        break;
+      }
+      case 2: {  // truncate (torn write)
+        data.resize(Pick(data.size()));
+        if (data.empty()) {
+          return;
+        }
+        break;
+      }
+      case 3: {  // splice a run of random bytes over the tail
+        size_t at = Pick(data.size());
+        Bytes noise = RandomBytes(1 + Pick(8));
+        for (size_t i = 0; i < noise.size() && at + i < data.size(); ++i) {
+          data[at + i] = noise[i];
+        }
+        break;
+      }
+      case 4: {  // duplicate a chunk onto the end (bounded growth)
+        if (data.size() < 2 * kMiB) {
+          size_t at = Pick(data.size());
+          size_t len = 1 + Pick(std::min<size_t>(data.size() - at, 16));
+          data.insert(data.end(), data.begin() + static_cast<ptrdiff_t>(at),
+                      data.begin() + static_cast<ptrdiff_t>(at + len));
+        }
+        break;
+      }
+    }
+  }
+}
+
+uint64_t AmbientSeed() {
+  // nymlint:allow(determinism-rand): the one sanctioned ambient read — seeds chosen here are printed by nymfuzz and recorded in .nymfuzz repros
+  std::random_device device;
+  uint64_t high = device();
+  uint64_t low = device();
+  return Mix64((high << 32) ^ low ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace nymix

@@ -1,0 +1,64 @@
+// EntropySource: the fuzzer's single randomness root.
+//
+// Everything the generator and the byte mutators draw — topologies, step
+// arguments, payload corruption — flows from one explicitly seeded Prng, so
+// a scenario is a pure function of (seed, max_steps) and every failure
+// replays bit-for-bit from its .nymfuzz file. The only place in the whole
+// tree allowed to read ambient entropy is AmbientSeed() below, and only to
+// pick a seed that is then printed and recorded: once the seed is known,
+// the run is as deterministic as any other.
+//
+// nymlint's fuzz-entropy rule enforces this contract mechanically: any
+// std::random_device / rand() / time-seeded engine outside this file fails
+// the lint.
+#ifndef SRC_FUZZ_ENTROPY_H_
+#define SRC_FUZZ_ENTROPY_H_
+
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+
+class EntropySource {
+ public:
+  explicit EntropySource(uint64_t seed)
+      : seed_(seed), prng_(Mix64(seed ^ Fnv1a64("nymfuzz.entropy"))) {}
+
+  uint64_t seed() const { return seed_; }
+  Prng& prng() { return prng_; }
+
+  // Independent child stream; used so one family's draws cannot perturb
+  // another's (adding a net step kind must not reshuffle host scenarios).
+  EntropySource Fork(std::string_view label) {
+    return EntropySource(Mix64(seed_ ^ Fnv1a64(label)));
+  }
+
+  // --- Generator primitives -------------------------------------------
+  bool Chance(double probability) { return prng_.NextDouble() < probability; }
+  int64_t IntIn(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(prng_.NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  size_t Pick(size_t count) { return static_cast<size_t>(prng_.NextBelow(count)); }
+  Bytes RandomBytes(size_t count) { return prng_.NextBytes(count); }
+
+  // Structured corruption of a valid byte string: bit flips, truncation,
+  // random splices and byte overwrites, biased to stay near the valid
+  // boundary (that is where decoder bugs live). Never grows the buffer
+  // beyond 2x its input size.
+  void MutateBytes(Bytes& data);
+
+ private:
+  uint64_t seed_;
+  Prng prng_;
+};
+
+// Draws a fresh seed from the environment for `nymfuzz --seed=random`. The
+// sole sanctioned ambient-entropy read in the tree; callers must print the
+// chosen seed so the run can be replayed.
+uint64_t AmbientSeed();
+
+}  // namespace nymix
+
+#endif  // SRC_FUZZ_ENTROPY_H_

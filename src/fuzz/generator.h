@@ -1,0 +1,26 @@
+// Scenario generator: maps a 64-bit seed to a Scenario, deterministically.
+// Same seed + same options = the same scenario, byte for byte — the fuzz
+// loop IS replayable from its seed alone, before any .nymfuzz file exists.
+#ifndef SRC_FUZZ_GENERATOR_H_
+#define SRC_FUZZ_GENERATOR_H_
+
+#include <optional>
+
+#include "src/fuzz/scenario.h"
+
+namespace nymix {
+
+struct GeneratorOptions {
+  // Pin the family; unset = the seed picks one (weighted toward the cheap
+  // decoder family so long fuzz runs spend most wall-clock on byte-level
+  // coverage and sample the simulation families).
+  std::optional<ScenarioFamily> family;
+  // Upper bound on generated steps (>=1; actual count is seed-driven).
+  int max_steps = 12;
+};
+
+Scenario GenerateScenario(uint64_t seed, const GeneratorOptions& options = {});
+
+}  // namespace nymix
+
+#endif  // SRC_FUZZ_GENERATOR_H_

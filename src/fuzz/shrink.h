@@ -1,0 +1,45 @@
+// Deterministic scenario shrinker: given a failing scenario, produce the
+// smallest scenario that still fails the SAME oracle.
+//
+// Guarantees (tests/fuzz_test.cc property-checks all three):
+//   - Deterministic: shrinking the same scenario twice yields identical
+//     results — passes run in a fixed order and take the first improvement,
+//     never a random one.
+//   - Monotonic: every accepted candidate strictly decreases the weight
+//     metric (steps dominate, then payload bytes, then topology, then
+//     argument magnitudes), so progress can never cycle.
+//   - Terminating: the weight is a non-negative integer that strictly
+//     decreases on acceptance, and candidate executions are hard-capped;
+//     shrinking a pathological scenario ends, it does not hang.
+#ifndef SRC_FUZZ_SHRINK_H_
+#define SRC_FUZZ_SHRINK_H_
+
+#include <cstdint>
+
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
+
+namespace nymix {
+
+// Ordering metric the shrinker minimizes. Steps dominate everything (one
+// deleted step beats any amount of payload trimming), then payload bytes,
+// then topology sizes, then raw argument magnitudes.
+uint64_t ScenarioWeight(const Scenario& scenario);
+
+struct ShrinkResult {
+  Scenario scenario;       // the minimized scenario
+  RunReport report;        // its (still-failing) report
+  int candidates_tried = 0;
+  int candidates_accepted = 0;
+};
+
+// Minimizes `scenario`, which must currently fail (report.ok == false)
+// under `options`; `report` is its failing RunReport. Candidates are
+// accepted only when they fail the SAME oracle with strictly lower weight.
+// `max_candidates` caps total candidate executions.
+ShrinkResult ShrinkScenario(const Scenario& scenario, const RunReport& report,
+                            const RunnerOptions& options, int max_candidates = 400);
+
+}  // namespace nymix
+
+#endif  // SRC_FUZZ_SHRINK_H_

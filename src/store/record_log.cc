@@ -44,8 +44,29 @@ void RecordLogWriter::Append(uint32_t type, ByteSpan payload) {
 
 ScanResult ScanRecordLog(ByteSpan data) {
   ScanResult out;
-  if (data.size() < kHeaderSize ||
-      std::memcmp(data.data(), kRecordLogMagic, sizeof(kRecordLogMagic)) != 0 ||
+  // A zero-length buffer is a log that was never written (an interrupted
+  // first write, a freshly created file): clean-empty, not foreign bytes.
+  // The first fuzzer-found decoder repro was exactly this case classified
+  // as kBadHeader, which made crash recovery refuse an empty store file.
+  if (data.empty()) {
+    out.tail = LogTail::kClean;
+    return out;
+  }
+  if (data.size() < kHeaderSize) {
+    // Shorter than a full header: a torn header write if the bytes agree
+    // with the header prefix, foreign content otherwise. Reconstruct the
+    // expected header prefix (magic then LE version) for the comparison.
+    uint8_t expected[kHeaderSize];
+    std::memcpy(expected, kRecordLogMagic, sizeof(kRecordLogMagic));
+    for (size_t i = 0; i < 4; ++i) {
+      expected[sizeof(kRecordLogMagic) + i] =
+          static_cast<uint8_t>((kRecordLogVersion >> (8 * i)) & 0xff);
+    }
+    out.tail = std::memcmp(data.data(), expected, data.size()) == 0 ? LogTail::kTruncated
+                                                                    : LogTail::kBadHeader;
+    return out;
+  }
+  if (std::memcmp(data.data(), kRecordLogMagic, sizeof(kRecordLogMagic)) != 0 ||
       RawU32(data, sizeof(kRecordLogMagic)) != kRecordLogVersion) {
     out.tail = LogTail::kBadHeader;
     return out;

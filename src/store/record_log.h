@@ -40,10 +40,15 @@ struct Record {
   ByteSpan payload;
 };
 
-// Why a scan stopped.
+// Why a scan stopped. A zero-length buffer is kClean with zero records
+// ("clean-empty": a log that was never written — a freshly created or
+// torn-at-birth file — carries no records and no evidence of foreign
+// content). A buffer shorter than the header that agrees with the header
+// prefix is kTruncated (a torn header write); kBadHeader is reserved for
+// bytes that demonstrably are not a nymix log.
 enum class LogTail {
-  kClean,      // buffer ended exactly at a record boundary
-  kTruncated,  // ran out of bytes mid-record (torn final write)
+  kClean,      // buffer ended exactly at a record boundary (or was empty)
+  kTruncated,  // ran out of bytes mid-record or mid-header (torn write)
   kCorrupt,    // CRC mismatch or nonsensical length field
   kBadHeader,  // magic/version check failed; no records scanned
 };

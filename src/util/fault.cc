@@ -104,6 +104,17 @@ Result<SimDuration> Backoff::NextDelay() {
   return static_cast<SimDuration>(delay);
 }
 
+Status Backoff::Exhausted(std::string_view what, const Status& last_error) const {
+  std::string message(what);
+  message += " after " + std::to_string(policy_.max_attempts) + " attempts; last error: ";
+  message += StatusCodeName(last_error.code());
+  if (!last_error.message().empty()) {
+    message += ": ";
+    message += last_error.message();
+  }
+  return ResourceExhaustedError(std::move(message));
+}
+
 namespace {
 
 // Heap-held driver for one RetryWithBackoff run; keeps itself alive through
@@ -142,8 +153,7 @@ struct RetryRun : std::enable_shared_from_this<RetryRun> {
       if (auto* t = loop.tracer()) {
         t->AddInstant("retry", "exhausted:" + label, "faults", loop.now());
       }
-      done(Status(status.code(), status.message() + " (after " +
-                                     std::to_string(backoff.attempts() + 1) + " attempts)"));
+      done(backoff.Exhausted("retry budget for '" + label + "' exhausted", status));
       return;
     }
     if (auto* m = loop.meters()) {

@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "src/util/event_loop.h"
@@ -125,6 +126,12 @@ class Backoff {
   int attempts() const { return attempts_; }
   bool exhausted() const { return attempts_ >= policy_.max_attempts - 1; }
 
+  // Canonical exhaustion status: kResourceExhausted carrying both the
+  // attempt budget and the last underlying error, so a shrunk fuzz repro
+  // (or a log line) shows the root cause instead of just "exhausted".
+  // `what` names the abandoned operation ("circuit build abandoned", ...).
+  Status Exhausted(std::string_view what, const Status& last_error) const;
+
   // Fresh budget (e.g. a new circuit-build request reuses the object).
   void Reset() { attempts_ = 0; }
 
@@ -205,8 +212,9 @@ class OnceCallback {
 // `attempt` receives a finish callback it must eventually invoke exactly
 // once with the attempt's Status; on failure the runner waits the next
 // backoff delay in virtual time and tries again. `done` fires exactly once:
-// OkStatus() on success, or the final attempt's Status annotated with the
-// attempt count on exhaustion. `label` names the operation in metrics
+// OkStatus() on success, or — on exhaustion — Backoff::Exhausted's
+// kResourceExhausted carrying the attempt budget and the last attempt's
+// underlying error. `label` names the operation in metrics
 // ("retry.<label>.attempts" / ".retries" / ".exhausted") and traces.
 void RetryWithBackoff(EventLoop& loop, const BackoffPolicy& policy, uint64_t seed,
                       std::string label,

@@ -263,7 +263,12 @@ void BrowserModel::Visit(Website& site, std::function<void(Result<SimTime>)> don
           }
           anon_vm_->memory().DirtyPages(profile.memory_dirty_bytes / kPageSize, prng_);
           sim_.loop().ScheduleAfter(
-              config_.render_time, [this, profile, visit_start, fetch_done = std::move(fetch_done)] {
+              config_.render_time,
+              [this, alive = std::weak_ptr<char>(alive_), profile, visit_start,
+               fetch_done = std::move(fetch_done)] {
+                if (alive.expired()) {
+                  return;  // browser (and its nym) torn down mid-render
+                }
                 if (TraceRecorder* tracer = sim_.loop().tracer()) {
                   // The span lands on the owning nym's track: the AnonVM is
                   // named "<nym>-anon".

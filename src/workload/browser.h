@@ -8,6 +8,7 @@
 #ifndef SRC_WORKLOAD_BROWSER_H_
 #define SRC_WORKLOAD_BROWSER_H_
 
+#include <memory>
 #include <string>
 
 #include "src/anon/anonymizer.h"
@@ -86,6 +87,11 @@ class BrowserModel {
   std::map<std::string, bool> visited_;             // domain -> seen before
   uint64_t next_cache_file_ = 1;
   size_t visits_performed_ = 0;
+  // Lifetime token for the render timer: the browser schedules it on the
+  // simulation-owned loop, and a nym crash (§3.4 wipe) destroys the browser
+  // with the timer still queued. The timer must evaporate, not touch the
+  // freed browser or complete a visit for a dead nym.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace nymix

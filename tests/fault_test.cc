@@ -281,8 +281,13 @@ TEST(RetryTest, ExhaustionAnnotatesTheFinalStatus) {
       [&](Status status) { final = std::move(status); });
   sim.loop().RunUntilIdle();
   EXPECT_EQ(attempts, 3);
-  EXPECT_EQ(final.code(), StatusCode::kUnavailable);
-  EXPECT_NE(final.message().find("(after 3 attempts)"), std::string::npos) << final.ToString();
+  // Exhaustion is reported as kResourceExhausted carrying both the attempt
+  // budget and the last underlying error, so the root cause survives into
+  // logs and shrunk fuzz repros.
+  EXPECT_EQ(final.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(final.message().find("after 3 attempts"), std::string::npos) << final.ToString();
+  EXPECT_NE(final.message().find("UNAVAILABLE: server down"), std::string::npos)
+      << final.ToString();
 }
 
 TEST(RetryTest, DroppedAttemptCompletionCountsAsFailure) {
@@ -586,8 +591,11 @@ TEST(TorFaultTest, AllGuardsDeadAbandonsWithStatus) {
   client.Start([&](Result<SimTime> r) { ready = std::move(r); });
   harness.sim.loop().RunUntilIdle();
   ASSERT_FALSE(ready.ok());
-  EXPECT_EQ(ready.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ready.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(ready.status().message().find("abandoned after 4 attempts"), std::string::npos)
+      << ready.status().ToString();
+  // The last underlying error (the circuit-build timeout) rides along.
+  EXPECT_NE(ready.status().message().find("DEADLINE_EXCEEDED"), std::string::npos)
       << ready.status().ToString();
   EXPECT_FALSE(client.ready());
 }

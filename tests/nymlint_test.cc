@@ -386,6 +386,36 @@ TEST(NymlintRules, FlagsUsingNamespaceInHeaderOnly) {
                      "using-namespace-header"));
 }
 
+// --- fuzz-entropy ----------------------------------------------------------
+
+TEST(NymlintRules, FlagsAmbientSeedOutsideFuzzEntropy) {
+  // The sanctioned escape hatch used anywhere else makes a run unreplayable.
+  EXPECT_TRUE(Fired(LintOne("src/core/demo.cc", "uint64_t s = AmbientSeed();\n"),
+                    "fuzz-entropy"));
+  EXPECT_TRUE(Fired(LintOne("tests/demo.cc", "uint64_t s = nymix::AmbientSeed();\n"),
+                    "fuzz-entropy"));
+  EXPECT_TRUE(Fired(LintOne("src/fuzz/generator.cc", "uint64_t s = AmbientSeed();\n"),
+                    "fuzz-entropy"));
+}
+
+TEST(NymlintRules, AmbientSeedAllowedInEntropyAndTools) {
+  // Its own definition and the nymfuzz --seed=random path, which prints the
+  // chosen seed so the run still replays.
+  EXPECT_FALSE(Fired(LintOne("src/fuzz/entropy.cc", "uint64_t s = AmbientSeed();\n"),
+                     "fuzz-entropy"));
+  EXPECT_FALSE(Fired(LintOne("tools/nymfuzz.cc", "uint64_t s = nymix::AmbientSeed();\n"),
+                     "fuzz-entropy"));
+}
+
+TEST(NymlintRules, AmbientSeedLookalikesAreFine) {
+  // Member calls and declarations are not ambient reads.
+  EXPECT_FALSE(Fired(LintOne("src/core/demo.cc", "uint64_t s = source.AmbientSeed();\n"),
+                     "fuzz-entropy"));
+  EXPECT_FALSE(Fired(LintOne("src/core/demo.h",
+                             "#pragma once\nuint64_t AmbientSeed();\n"),
+                     "fuzz-entropy"));
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(NymlintSuppress, TrailingAllowSuppresses) {

@@ -1,0 +1,311 @@
+// nymfuzz: property-based scenario fuzzer for the nymix simulation stack.
+//
+// Modes:
+//   nymfuzz --runs=200 --seed=1            fixed-seed sweep (CI smoke lane)
+//   nymfuzz --runs=500 --seed=random       nightly randomized lane; the
+//                                          chosen seed is printed so any
+//                                          finding replays exactly
+//   nymfuzz --replay repro.nymfuzz         re-run a shrunk repro and verify
+//                                          the recorded oracle AND outcome
+//                                          digest byte-for-byte
+//   nymfuzz --corpus tests/fuzz_corpus     replay every .nymfuzz in a dir
+//   nymfuzz --gen-seed=S --record=FILE     run one scenario and write it —
+//                                          with its observed oracle and
+//                                          outcome digest — as a .nymfuzz
+//                                          fixture (corpus curation; a clean
+//                                          run records an empty oracle, so
+//                                          the fixture pins the digest)
+//   nymfuzz --list-oracles                 print the invariant suite
+//
+// Knobs: --family=net|host|fleet|decoder, --max-steps=N, --out-dir=DIR
+// (where shrunk repros are written), --plant=nat-leak (sabotage the CommVM
+// policy; the nat-isolation oracle MUST catch it — the self-test that the
+// suite is alive), --no-shrink, --disable-oracle=NAME.
+//
+// Exit codes: 0 = clean, 1 = an oracle failed (or a replay diverged),
+// 2 = usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/entropy.h"
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracle.h"
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
+#include "src/fuzz/shrink.h"
+#include "src/store/file_io.h"
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nymfuzz [--runs=N] [--seed=N|random] [--family=F] [--max-steps=N]\n"
+               "               [--out-dir=DIR] [--plant=nat-leak] [--no-shrink]\n"
+               "               [--disable-oracle=NAME]\n"
+               "       nymfuzz --gen-seed=S [--record=FILE.nymfuzz]\n"
+               "       nymfuzz --replay FILE.nymfuzz\n"
+               "       nymfuzz --corpus DIR\n"
+               "       nymfuzz --list-oracles\n");
+  return 2;
+}
+
+// Replays one .nymfuzz file and verifies its expectation block.
+// Returns 0 = verified, 1 = diverged, 2 = unreadable.
+int ReplayFile(const std::string& path, const nymix::RunnerOptions& options) {
+  nymix::Result<nymix::Bytes> data = nymix::ReadFileBytes(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "nymfuzz: %s: %s\n", path.c_str(), data.status().ToString().c_str());
+    return 2;
+  }
+  nymix::Result<nymix::ReproFile> repro =
+      nymix::ReproFromText(nymix::StringFromBytes(*data));
+  if (!repro.ok()) {
+    std::fprintf(stderr, "nymfuzz: %s: %s\n", path.c_str(), repro.status().ToString().c_str());
+    return 2;
+  }
+  nymix::RunReport report = nymix::RunScenario(repro->scenario, options);
+  const std::string& want_oracle = repro->oracle;
+  if (report.oracle != want_oracle) {
+    std::fprintf(stderr, "nymfuzz: %s: oracle mismatch: recorded '%s', got '%s' (%s)\n",
+                 path.c_str(), want_oracle.c_str(), report.oracle.c_str(),
+                 report.detail.c_str());
+    return 1;
+  }
+  if (!repro->digest.empty() && report.digest != repro->digest) {
+    std::fprintf(stderr, "nymfuzz: %s: outcome digest mismatch: recorded %s, got %s\n",
+                 path.c_str(), repro->digest.c_str(), report.digest.c_str());
+    return 1;
+  }
+  std::printf("nymfuzz: %s: verified (%s)\n", path.c_str(),
+              want_oracle.empty() ? "clean" : want_oracle.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  bool seed_random = false;
+  uint64_t gen_seed = 0;
+  bool has_gen_seed = false;
+  int runs = 100;
+  nymix::GeneratorOptions generator_options;
+  nymix::RunnerOptions runner_options;
+  bool do_shrink = true;
+  bool verbose = false;
+  bool dump = false;
+  bool list_oracles = false;
+  std::string out_dir;
+  std::string replay_path;
+  std::string corpus_dir;
+  std::string record_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--runs=")) {
+      runs = std::atoi(v);
+      if (runs <= 0) return Usage();
+    } else if (const char* v = value("--seed=")) {
+      if (std::strcmp(v, "random") == 0) {
+        seed_random = true;
+      } else {
+        seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+      }
+    } else if (const char* v = value("--gen-seed=")) {
+      // Replay ONE scenario from the exact generator seed a failure line
+      // printed (`run N seed S ...`), skipping the base-seed derivation.
+      gen_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+      has_gen_seed = true;
+    } else if (const char* v = value("--family=")) {
+      nymix::Result<nymix::ScenarioFamily> family = nymix::ParseScenarioFamily(v);
+      if (!family.ok()) {
+        std::fprintf(stderr, "nymfuzz: unknown family '%s'\n", v);
+        return 2;
+      }
+      generator_options.family = *family;
+    } else if (const char* v = value("--max-steps=")) {
+      generator_options.max_steps = std::atoi(v);
+      if (generator_options.max_steps <= 0) return Usage();
+    } else if (const char* v = value("--out-dir=")) {
+      out_dir = v;
+    } else if (const char* v = value("--plant=")) {
+      if (std::strcmp(v, "nat-leak") != 0) {
+        std::fprintf(stderr, "nymfuzz: unknown plant '%s' (only nat-leak)\n", v);
+        return 2;
+      }
+      runner_options.plant_nat_leak = true;
+    } else if (const char* v = value("--disable-oracle=")) {
+      if (!nymix::IsKnownOracle(v)) {
+        std::fprintf(stderr, "nymfuzz: unknown oracle '%s' (see --list-oracles)\n", v);
+        return 2;
+      }
+      runner_options.disabled_oracles.push_back(v);
+    } else if (arg == "--no-shrink") {
+      do_shrink = false;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--list-oracles") {
+      list_oracles = true;
+    } else if (arg == "--replay") {
+      if (++i >= argc) return Usage();
+      replay_path = argv[i];
+    } else if (const char* v = value("--replay=")) {
+      replay_path = v;
+    } else if (arg == "--corpus") {
+      if (++i >= argc) return Usage();
+      corpus_dir = argv[i];
+    } else if (const char* v = value("--corpus=")) {
+      corpus_dir = v;
+    } else if (const char* v = value("--record=")) {
+      record_path = v;
+    } else {
+      std::fprintf(stderr, "nymfuzz: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (list_oracles) {
+    for (const nymix::OracleInfo& oracle : nymix::AllOracles()) {
+      std::printf("%-20s %s\n", oracle.name, oracle.property);
+    }
+    return 0;
+  }
+
+  if (!replay_path.empty()) {
+    return ReplayFile(replay_path, runner_options);
+  }
+
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir, ec)) {
+      if (entry.path().extension() == ".nymfuzz") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "nymfuzz: %s: %s\n", corpus_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "nymfuzz: %s: no .nymfuzz files\n", corpus_dir.c_str());
+      return 2;
+    }
+    int worst = 0;
+    for (const std::string& file : files) {
+      worst = std::max(worst, ReplayFile(file, runner_options));
+    }
+    return worst;
+  }
+
+  if (seed_random) {
+    seed = nymix::AmbientSeed();
+    std::printf("nymfuzz: --seed=random chose %llu (pass --seed=%llu to replay)\n",
+                static_cast<unsigned long long>(seed), static_cast<unsigned long long>(seed));
+  }
+
+  // --- the fuzz loop ----------------------------------------------------
+  // Scenario seeds derive from (base seed, run index); every line printed
+  // carries enough to replay that single run.
+  if (has_gen_seed || !record_path.empty()) {
+    runs = 1;
+  }
+  for (int run = 0; run < runs; ++run) {
+    uint64_t scenario_seed =
+        has_gen_seed
+            ? gen_seed
+            : nymix::Mix64(seed ^ (static_cast<uint64_t>(run) * 0x9e3779b97f4a7c15ULL));
+    nymix::Scenario scenario = nymix::GenerateScenario(scenario_seed, generator_options);
+    if (verbose) {
+      std::printf("nymfuzz: run %d seed %llu family %s steps %zu\n", run,
+                  static_cast<unsigned long long>(scenario_seed),
+                  std::string(nymix::ScenarioFamilyName(scenario.family)).c_str(),
+                  scenario.steps.size());
+      std::fflush(stdout);
+    }
+    if (dump) {
+      std::printf("%s", nymix::ScenarioToText(scenario).c_str());
+      std::fflush(stdout);
+    }
+    nymix::RunReport report = nymix::RunScenario(scenario, runner_options);
+    if (!record_path.empty()) {
+      nymix::ReproFile repro;
+      repro.scenario = scenario;
+      repro.oracle = report.oracle;
+      repro.detail = report.detail;
+      repro.digest = report.digest;
+      nymix::Status wrote =
+          nymix::WriteFileBytes(record_path, nymix::BytesFromString(nymix::ReproToText(repro)));
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "nymfuzz: writing %s: %s\n", record_path.c_str(),
+                     wrote.ToString().c_str());
+        return 2;
+      }
+      std::printf("nymfuzz: recorded %s (%s, digest %s)\n", record_path.c_str(),
+                  report.ok ? "clean" : report.oracle.c_str(), report.digest.c_str());
+      return 0;
+    }
+    if (report.ok) {
+      if ((run + 1) % 50 == 0) {
+        std::printf("nymfuzz: %d/%d clean\n", run + 1, runs);
+      }
+      continue;
+    }
+
+    std::printf("nymfuzz: run %d (scenario seed %llu, family %s): ORACLE %s: %s\n", run,
+                static_cast<unsigned long long>(scenario_seed),
+                std::string(nymix::ScenarioFamilyName(scenario.family)).c_str(),
+                report.oracle.c_str(), report.detail.c_str());
+
+    nymix::ReproFile repro;
+    if (do_shrink) {
+      nymix::ShrinkResult shrunk = nymix::ShrinkScenario(scenario, report, runner_options);
+      std::printf("nymfuzz: shrunk %zu -> %zu steps (%d candidates, %d accepted)\n",
+                  scenario.steps.size(), shrunk.scenario.steps.size(),
+                  shrunk.candidates_tried, shrunk.candidates_accepted);
+      repro.scenario = std::move(shrunk.scenario);
+      repro.oracle = shrunk.report.oracle;
+      repro.detail = shrunk.report.detail;
+      repro.digest = shrunk.report.digest;
+    } else {
+      repro.scenario = std::move(scenario);
+      repro.oracle = report.oracle;
+      repro.detail = report.detail;
+      repro.digest = report.digest;
+    }
+
+    std::string text = nymix::ReproToText(repro);
+    if (!out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      std::string path = out_dir + "/repro-" + repro.oracle + "-" +
+                         std::to_string(scenario_seed) + ".nymfuzz";
+      nymix::Status wrote = nymix::WriteFileBytes(path, nymix::BytesFromString(text));
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "nymfuzz: writing %s: %s\n", path.c_str(),
+                     wrote.ToString().c_str());
+        return 2;
+      }
+      std::printf("nymfuzz: repro written to %s\n", path.c_str());
+    } else {
+      std::printf("%s", text.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("nymfuzz: %d run(s) clean\n", runs);
+  return 0;
+}

@@ -560,6 +560,40 @@ void RuleUsingNamespaceHeader(const FileContext& file, std::vector<Diagnostic>& 
   }
 }
 
+// --- fuzz-entropy ---------------------------------------------------------
+
+// The fuzzer's reproducibility contract (src/fuzz/entropy.h): every random
+// draw flows from a recorded seed. AmbientSeed() is the one sanctioned
+// escape hatch, callable only from its own definition and from tools/ (the
+// nymfuzz --seed=random path, which prints the chosen seed). Anywhere else
+// an ambient seed would silently make a run unreplayable.
+void RuleFuzzEntropy(const FileContext& file, std::vector<Diagnostic>& out) {
+  static const char* kRule = "fuzz-entropy";
+  if (file.path.rfind("src/fuzz/entropy", 0) == 0 || file.path.rfind("tools/", 0) == 0) {
+    return;
+  }
+  for (size_t i = 0; i < T(file).size(); ++i) {
+    if (!IsIdent(file, i) || T(file)[i].text != "AmbientSeed" || TokText(file, i + 1) != "(") {
+      continue;
+    }
+    const std::string prev = i > 0 ? TokText(file, i - 1) : std::string();
+    if (prev == "." || prev == "->") {
+      continue;  // member lookalike on some other type
+    }
+    if (prev == "::") {
+      if (i >= 2 && IsIdent(file, i - 2) && T(file)[i - 2].text != "nymix") {
+        continue;  // foreign namespace
+      }
+    } else if (!IsStrictCallPosition(file, i)) {
+      continue;  // declaration shape: `uint64_t AmbientSeed();`
+    }
+    Report(file, i, kRule,
+           "'AmbientSeed()' outside src/fuzz/entropy and tools/ makes the run "
+           "unreplayable; take an explicit seed and record it (src/fuzz/entropy.h)",
+           out);
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -588,6 +622,10 @@ const std::vector<RuleInfo>& AllRules() {
       {"include-guard", "headers must open with #ifndef/#define or #pragma once", kEverywhere,
        true},
       {"using-namespace-header", "no 'using namespace' in headers", kEverywhere, true},
+      {"fuzz-entropy",
+       "AmbientSeed() outside src/fuzz/entropy and tools/ (fuzz runs must replay from a "
+       "recorded seed)",
+       kEverywhere, false},
       // nymflow dataflow rules (tools/nymlint/flow.h). They run as the
       // analyzer's second stage, not through the per-file dispatch below,
       // but live in this table so --list-rules, IsKnownRule, and the
@@ -660,7 +698,7 @@ void RunRules(const FileContext& file, std::vector<Diagnostic>& out) {
     const char* name;
     void (*fn)(const FileContext&, std::vector<Diagnostic>&);
   };
-  static constexpr std::array<Entry, 12> kDispatch = {{
+  static constexpr std::array<Entry, 13> kDispatch = {{
       {"determinism-rand", RuleDeterminismRand},
       {"determinism-wallclock", RuleDeterminismWallclock},
       {"determinism-env", RuleDeterminismEnv},
@@ -673,6 +711,7 @@ void RunRules(const FileContext& file, std::vector<Diagnostic>& out) {
       {"error-ignored-status", RuleErrorIgnoredStatus},
       {"include-guard", RuleIncludeGuard},
       {"using-namespace-header", RuleUsingNamespaceHeader},
+      {"fuzz-entropy", RuleFuzzEntropy},
   }};
   for (const Entry& entry : kDispatch) {
     const RuleInfo* info = nullptr;
