@@ -9,7 +9,7 @@
 // Usage:
 //   scale_fleet [--n=8,64,256,1024] [--mode=both|incremental|full]
 //               [--full-recompute] [--out=BENCH_scale.json] [--seed=13]
-//               [--threads=1,8] [--shards=8]
+//               [--threads=1,8] [--shards=8] [--topology=isolated|crossed]
 //               [--warm-start[=CKPT]] [--stats-out=...] [--trace-out=...]
 //               [--trace-format=json|nbt]
 //
@@ -40,6 +40,17 @@
 // "threaded", "threads_speedup" and "hardware_threads" entries;
 // tools/bench_diff.py gates the speedup only when the recorded hardware
 // actually has the cores to show one.
+//
+// --topology=crossed runs the threaded series over the cross-shard fleet
+// workload (src/core/fleet.h, FleetTopology::kCrossed): every page visit is
+// followed by a windowed cloud fetch served from the next shard over a
+// CrossShardChannel ring, so the executor's adaptive horizons, mailboxes
+// and placement actually get exercised (cross_deliveries > 0, epochs > 1).
+// Each n first runs a serial calibration pass whose observed per-host
+// weights feed BalancedPlacement; the resulting placement is shared by
+// every thread count of that n. Threaded rows gain "topology",
+// "cloud_fetches" and the parallel.* executor columns (barrier_wait_ms,
+// shard_skew_events, outbox_depth).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -111,11 +122,17 @@ struct ThreadedPointResult {
   double events_per_sec = 0;
   uint64_t epochs = 0;
   uint64_t cross_deliveries = 0;
+  uint64_t cloud_fetches = 0;
   uint64_t visits = 0;
   uint64_t churns = 0;
   uint64_t ksm_pages_sharing = 0;
   uint64_t fleet_pages_sharing = 0;
   uint64_t cross_host_extra_sharing = 0;
+  // parallel.* executor self-metrics (see sharded_sim.h) — wall-clock and
+  // load-shape diagnostics, reported per point, never part of the digests.
+  double barrier_wait_ms = 0;
+  double shard_skew_events = 0;
+  double outbox_depth = 0;
   std::string trace_sha256;
   std::string stats_sha256;
   double trace_encode_ms = 0;
@@ -161,14 +178,34 @@ std::string HexDigest(const Sha256Digest& digest) {
   return out;
 }
 
+// Crossed topology only: a serial calibration run (threads=1, no
+// observability) whose per-host activity weights feed BalancedPlacement.
+// The resulting placement is part of the experiment definition and is
+// shared by every thread count of the same n — weights from a fixed serial
+// run are a pure function of (seed, shards, n), so the placement is too.
+ShardPlacement CalibratePlacement(int n, int shards, uint64_t seed) {
+  FleetOptions options;
+  options.nym_count = n;
+  options.topology = FleetTopology::kCrossed;
+  ShardedSimulation sharded(seed, ShardPlan{shards, 1});
+  ShardedFleet fleet(sharded, options, seed);
+  fleet.Run();
+  return BalancedPlacement(fleet.HostWeights(), shards, seed);
+}
+
 // One sharded-executor run. Observability is always attached here (wall
 // clock off): the per-point digests ARE the byte-identity check, so the
 // threaded series measures obs-attached throughput — both thread counts
 // pay the same cost, which is what the speedup ratio needs.
 ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int threads,
-                                     uint64_t seed, WarmStart* warm) {
+                                     uint64_t seed, WarmStart* warm, bool crossed,
+                                     const ShardPlacement& placement) {
   FleetOptions options;
   options.nym_count = n;
+  if (crossed) {
+    options.topology = FleetTopology::kCrossed;
+    options.placement = placement;
+  }
   double restore_ms = 0;
   if (warm != nullptr && warm->enabled) {
     restore_ms = AcquireWarmImages(*warm, shards, options.images);
@@ -193,6 +230,10 @@ ThreadedPointResult RunThreadedPoint(BenchStats& stats, int n, int shards, int t
       result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0;
   result.epochs = sharded.epochs();
   result.cross_deliveries = sharded.cross_deliveries();
+  result.cloud_fetches = fleet.cloud_fetches();
+  result.barrier_wait_ms = sharded.barrier_wait_ms_mean();
+  result.shard_skew_events = sharded.shard_skew_events_mean();
+  result.outbox_depth = sharded.outbox_depth_max();
   result.visits = fleet.visits();
   result.churns = fleet.churns();
   result.ksm_pages_sharing = fleet.ksm_pages_sharing();
@@ -384,8 +425,9 @@ PointResult RunPoint(BenchStats& stats, bool attach_obs, int n, uint64_t seed,
   return result;
 }
 
-void WriteJson(const std::string& path, const std::string& mode, uint64_t seed, bool warm_start,
-               const std::vector<PointResult>& incremental, const std::vector<PointResult>& full,
+void WriteJson(const std::string& path, const std::string& mode, const std::string& topology,
+               uint64_t seed, bool warm_start, const std::vector<PointResult>& incremental,
+               const std::vector<PointResult>& full,
                const std::vector<ThreadedPointResult>& threaded) {
   std::ofstream out(path);
   if (!out) {
@@ -419,11 +461,16 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed, 
     out << "  ]";
   };
 
-  out << "{\n  \"bench\": \"scale_fleet\",\n  \"mode\": \"" << mode << "\",\n  \"seed\": " << seed
+  out << "{\n  \"bench\": \"scale_fleet\",\n  \"mode\": \"" << mode << "\",\n  \"topology\": \""
+      << topology << "\",\n  \"seed\": " << seed
       << ",\n  \"warm_start\": " << (warm_start ? "true" : "false") << ",\n";
+  // Top-level keys must end with "," exactly when another key follows —
+  // emitted by the block that knows what comes next, so the file is
+  // canonical JSON in every mode combination (a stray separator here once
+  // broke every downstream json.load of the bench artifact).
   if (!incremental.empty()) {
     emit_points("incremental", incremental);
-    out << (full.empty() ? "\n" : ",\n");
+    out << (full.empty() && threaded.empty() ? "\n" : ",\n");
   }
   if (!full.empty()) {
     emit_points("full_recompute", full);
@@ -437,36 +484,43 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed, 
                     speedup, i + 1 < full.size() ? "," : "");
       out << buf;
     }
-    out << "  ]\n";
+    out << "  ]" << (threaded.empty() ? "\n" : ",\n");
   }
   if (!threaded.empty()) {
     // hardware_threads lets bench_diff.py gate the parallel speedup on
     // machines that can actually exhibit one (CI containers are often
     // single-core; byte-identity is still checked there).
-    out << ",\n  \"shards\": " << threaded.front().shards
+    out << "  \"shards\": " << threaded.front().shards
         << ",\n  \"hardware_threads\": " << ThreadPool::HardwareThreads()
         << ",\n  \"threaded\": [\n";
-    char tbuf[768];  // two 64-char digests push a row past the shared buf
+    char tbuf[1024];  // two 64-char digests push a row past the shared buf
     for (size_t i = 0; i < threaded.size(); ++i) {
       const ThreadedPointResult& p = threaded[i];
       std::snprintf(tbuf, sizeof(tbuf),
-                    "    {\"n\": %d, \"threads\": %d, \"wall_seconds\": %.4f, "
+                    "    {\"n\": %d, \"threads\": %d, \"topology\": \"%s\", "
+                    "\"wall_seconds\": %.4f, "
                     "\"events\": %llu, \"events_per_sec\": %.1f, \"epochs\": %llu, "
-                    "\"cross_deliveries\": %llu, \"visits\": %llu, \"churns\": %llu, "
+                    "\"cross_deliveries\": %llu, \"cloud_fetches\": %llu, "
+                    "\"visits\": %llu, \"churns\": %llu, "
                     "\"ksm_pages_sharing\": %llu, \"fleet_pages_sharing\": %llu, "
-                    "\"cross_host_extra_sharing\": %llu, \"trace_encode_ms\": %.3f, "
+                    "\"cross_host_extra_sharing\": %llu,\n"
+                    "     \"barrier_wait_ms\": %.3f, \"shard_skew_events\": %.1f, "
+                    "\"outbox_depth\": %.0f, \"trace_encode_ms\": %.3f, "
                     "\"checkpoint_restore_ms\": %.3f,\n"
                     "     \"trace_sha256\": \"%s\", \"stats_sha256\": \"%s\"}%s\n",
-                    p.n, p.threads, p.wall_seconds, static_cast<unsigned long long>(p.events),
-                    p.events_per_sec, static_cast<unsigned long long>(p.epochs),
+                    p.n, p.threads, topology.c_str(), p.wall_seconds,
+                    static_cast<unsigned long long>(p.events), p.events_per_sec,
+                    static_cast<unsigned long long>(p.epochs),
                     static_cast<unsigned long long>(p.cross_deliveries),
+                    static_cast<unsigned long long>(p.cloud_fetches),
                     static_cast<unsigned long long>(p.visits),
                     static_cast<unsigned long long>(p.churns),
                     static_cast<unsigned long long>(p.ksm_pages_sharing),
                     static_cast<unsigned long long>(p.fleet_pages_sharing),
                     static_cast<unsigned long long>(p.cross_host_extra_sharing),
-                    p.trace_encode_ms, p.checkpoint_restore_ms, p.trace_sha256.c_str(),
-                    p.stats_sha256.c_str(), i + 1 < threaded.size() ? "," : "");
+                    p.barrier_wait_ms, p.shard_skew_events, p.outbox_depth, p.trace_encode_ms,
+                    p.checkpoint_restore_ms, p.trace_sha256.c_str(), p.stats_sha256.c_str(),
+                    i + 1 < threaded.size() ? "," : "");
       out << tbuf;
     }
     out << "  ],\n  \"threads_speedup\": [\n";
@@ -488,9 +542,9 @@ void WriteJson(const std::string& path, const std::string& mode, uint64_t seed, 
       bool identical =
           p.trace_sha256 == base->trace_sha256 && p.stats_sha256 == base->stats_sha256;
       std::snprintf(buf, sizeof(buf),
-                    "%s    {\"n\": %d, \"threads\": %d, \"wall_clock\": %.2f, "
-                    "\"trace_identical\": %s}",
-                    first_row ? "" : ",\n", p.n, p.threads, speedup,
+                    "%s    {\"n\": %d, \"threads\": %d, \"topology\": \"%s\", "
+                    "\"wall_clock\": %.2f, \"trace_identical\": %s}",
+                    first_row ? "" : ",\n", p.n, p.threads, topology.c_str(), speedup,
                     identical ? "true" : "false");
       out << buf;
       first_row = false;
@@ -508,6 +562,7 @@ int main(int argc, char** argv) {
   std::vector<int> threads_list;
   int shards = 8;
   std::string mode = "both";
+  std::string topology = "isolated";
   std::string out_path = "BENCH_scale.json";
   uint64_t seed = 13;
   WarmStart warm;
@@ -540,6 +595,8 @@ int main(int argc, char** argv) {
       shards = std::stoi(arg.substr(9));
     } else if (arg.rfind("--mode=", 0) == 0) {
       mode = arg.substr(7);
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      topology = arg.substr(11);
     } else if (arg == "--full-recompute") {
       mode = "full";
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -572,6 +629,9 @@ int main(int argc, char** argv) {
   }
   NYMIX_CHECK_MSG(mode == "both" || mode == "incremental" || mode == "full",
                   "--mode must be both, incremental or full");
+  NYMIX_CHECK_MSG(topology == "isolated" || topology == "crossed",
+                  "--topology must be isolated or crossed");
+  const bool crossed = topology == "crossed";
   // Tracing/metrics change the per-event work (and trace layout is
   // per-simulation-attach), so obs-attached runs are for equivalence
   // checking, not for headline throughput.
@@ -606,13 +666,22 @@ int main(int argc, char** argv) {
   bool identity_ok = true;
   if (!threads_list.empty()) {
     NYMIX_CHECK_MSG(shards >= 1, "--shards must be >= 1");
-    std::printf("# sharded executor: %d shards, hardware threads: %d\n", shards,
-                ThreadPool::HardwareThreads());
+    std::printf("# sharded executor: %d shards, topology: %s, hardware threads: %d\n", shards,
+                topology.c_str(), ThreadPool::HardwareThreads());
     for (int n : ns) {
+      ShardPlacement placement;
+      if (crossed) {
+        // Calibrate once per n; every thread count then runs the exact
+        // same (seed, shards, placement) experiment, so the identity
+        // cross-check below still compares like with like.
+        placement = CalibratePlacement(n, shards, seed);
+        std::printf("%-6d %-12s placement=%s\n", n, "calibrate", placement.Label().c_str());
+      }
       ThreadedPointResult base;  // first thread count of this n (by value:
                                  // threaded reallocates as points append)
       for (int threads : threads_list) {
-        ThreadedPointResult p = RunThreadedPoint(stats, n, shards, threads, seed, &warm);
+        ThreadedPointResult p =
+            RunThreadedPoint(stats, n, shards, threads, seed, &warm, crossed, placement);
         std::printf("%-6d %-12s %12.3f %12llu %14.0f  trace=%.12s\n", n,
                     ("threads=" + std::to_string(threads)).c_str(), p.wall_seconds,
                     static_cast<unsigned long long>(p.events), p.events_per_sec,
@@ -635,7 +704,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  WriteJson(out_path, mode, seed, warm.enabled, incremental, full, threaded);
+  WriteJson(out_path, mode, topology, seed, warm.enabled, incremental, full, threaded);
   std::printf("# wrote %s\n", out_path.c_str());
 
   if (warm.enabled) {

@@ -10,6 +10,23 @@ namespace {
 constexpr int kMaxVisitRetries = 64;
 constexpr int kMaxCreateRetries = 8;
 
+// Cloud fetch wire sizes: a small consensus-style request, a directory-ish
+// reply. Serialization on the 50 Mbit default channel stays well under the
+// window period, so replies always make their promised window.
+constexpr size_t kCloudRequestBytes = 512;
+constexpr size_t kCloudReplyBytes = 4096;
+
+// Adapter so the cloud gateway/client sinks can be plain lambdas owned by
+// the fleet (PacketSink is the only wire-facing interface).
+class FnPacketSink : public PacketSink {
+ public:
+  explicit FnPacketSink(std::function<void(const Packet&)> fn) : fn_(std::move(fn)) {}
+  void OnPacket(const Packet& packet, Link&, bool) override { fn_(packet); }
+
+ private:
+  std::function<void(const Packet&)> fn_;
+};
+
 }  // namespace
 
 ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& options,
@@ -18,6 +35,14 @@ ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& optio
   NYMIX_CHECK(options_.nym_count >= 1);
   NYMIX_CHECK(options_.nyms_per_host >= 1);
   int shards = sharded_.shard_count();
+  // A crossed fleet needs a second shard to host the cloud; on a 1-shard
+  // plan it degrades to the isolated workload (fleet.h documents this).
+  crossed_ = options_.topology == FleetTopology::kCrossed && shards >= 2;
+  if (crossed_) {
+    NYMIX_CHECK(options_.cloud_weight_max >= 1);
+    NYMIX_CHECK(options_.cloud_window > 0);
+    NYMIX_CHECK(options_.cloud_latency > 0);
+  }
   for (int s = 0; s < shards; ++s) {
     // Think-time randomness is per shard and derived from (seed, shard id):
     // a slot's think stream must not depend on how other shards interleave.
@@ -26,6 +51,17 @@ ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& optio
   }
 
   int hosts = (options_.nym_count + options_.nyms_per_host - 1) / options_.nyms_per_host;
+  if (!options_.placement.empty()) {
+    // A placement is part of the experiment definition; a partial or
+    // out-of-range table would silently fall back to round-robin for the
+    // missing hosts, so reject it loudly instead.
+    NYMIX_CHECK_MSG(static_cast<int>(options_.placement.shard_of_host.size()) == hosts,
+                    "ShardPlacement must assign exactly one shard per host");
+    for (int assigned : options_.placement.shard_of_host) {
+      NYMIX_CHECK(assigned >= 0 && assigned < shards);
+    }
+    sharded_.set_placement_label(options_.placement.Label());
+  }
   // One distribution image per shard, like every host booting from a copy
   // of the same release stick. Per shard, not fleet-global: the image
   // memoizes its whole-image Merkle verification, and two shards verifying
@@ -41,10 +77,18 @@ ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& optio
   }
 
   for (int c = 0; c < hosts; ++c) {
-    int shard = ShardForIndex(static_cast<size_t>(c), shards);
+    int shard = options_.placement.shard_for(static_cast<size_t>(c), shards);
     Simulation& sim = sharded_.shard(shard);
     auto cluster = std::make_unique<Cluster>();
     cluster->shard = shard;
+    if (crossed_) {
+      // Seeded per-host heterogeneity: this is the load skew BalancedPlacement
+      // exists to repack. Derived from (seed, host index) only, so the
+      // multiplier survives any placement change.
+      cluster->visit_multiplier =
+          1 + static_cast<int>(Mix64(seed ^ Fnv1a64("fleet.hostweight") ^ static_cast<uint64_t>(c)) %
+                               static_cast<uint64_t>(options_.cloud_weight_max));
+    }
     cluster->host = std::make_unique<HostMachine>(sim, HostConfig{});
     cluster->host->ksm().set_full_rescan(options_.full_recompute);
     sim.flows().set_full_recompute(options_.full_recompute);
@@ -64,6 +108,45 @@ ShardedFleet::ShardedFleet(ShardedSimulation& sharded, const FleetOptions& optio
     sim.loop().ScheduleAt(options_.ksm_snapshot_time, [raw] {
       raw->ksm_snapshot = raw->host->ksm().ContentHistogram();
     });
+  }
+
+  if (crossed_) {
+    // The cloud ring: shard s's nyms fetch from a gateway hosted on shard
+    // (s+1) % K. Both directions promise windowed departures (requests on
+    // the hour, replies half a window later), which is the application
+    // lookahead the executor's adaptive horizon feeds on.
+    SendSchedule request_windows{options_.cloud_window, 0};
+    SendSchedule reply_windows{options_.cloud_window, options_.cloud_window / 2};
+    cloud_edges_.resize(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      int server = (s + 1) % shards;
+      CloudEdge& edge = cloud_edges_[static_cast<size_t>(s)];
+      edge.channel =
+          sharded_.CreateChannel("cloud-s" + std::to_string(s), s, server,
+                                 options_.cloud_latency, options_.cloud_bandwidth_bps);
+      edge.channel->PromiseSendWindows(request_windows, reply_windows);
+      // Worst case every slot on the shard has a request and a reply
+      // buffered in the same epoch.
+      edge.channel->ReserveOutboxes(static_cast<size_t>(options_.nym_count) + 1);
+      CrossShardChannel* channel = edge.channel;
+      EventLoop* server_loop = &sharded_.shard(server).loop();
+      edge.gateway = std::make_unique<FnPacketSink>([channel, server_loop](const Packet& request) {
+        // Serve the fetch: the reply departs at the next promised reply
+        // window, echoing the request's correlation annotation.
+        std::string annotation = request.annotation;
+        SimTime window = NextSendWindow(channel->schedule_b_to_a(), server_loop->now());
+        server_loop->ScheduleAt(window, [channel, annotation = std::move(annotation)] {
+          Packet reply;
+          reply.payload = Bytes(kCloudReplyBytes, 0);
+          reply.annotation = annotation;
+          channel->b_end()->SendFromA(std::move(reply));
+        });
+      });
+      edge.channel->b_end()->AttachA(edge.gateway.get());
+      edge.client = std::make_unique<FnPacketSink>(
+          [this](const Packet& reply) { HandleCloudReply(reply.annotation); });
+      edge.channel->a_end()->AttachA(edge.client.get());
+    }
   }
 
   slots_.resize(static_cast<size_t>(options_.nym_count));
@@ -177,12 +260,77 @@ void ShardedFleet::VisitNext(int slot, int epoch) {
     state.visit_retries = 0;
     ++shard.visits;
     ++state.visits_done;
+    ++cluster.weight_events;
     // Think time before the next action; acting from a fresh event also
     // means churn never tears a nym down from inside its own callback.
     sharded_.shard(cluster.shard)
         .loop()
-        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { Advance(slot, epoch); });
+        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { NextAction(slot, epoch); });
   });
+}
+
+void ShardedFleet::NextAction(int slot, int epoch) {
+  if (crossed_) {
+    StartCloudFetch(slot, epoch);
+    return;
+  }
+  Advance(slot, epoch);
+}
+
+void ShardedFleet::StartCloudFetch(int slot, int epoch) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
+  int shard = ClusterOf(slot).shard;
+  EventLoop& loop = sharded_.shard(shard).loop();
+  const CloudEdge& edge = cloud_edges_[static_cast<size_t>(shard)];
+  // Hold the request until the promised departure window (the send-time
+  // CHECK in Link would fire otherwise, by design).
+  SimTime window = NextSendWindow(edge.channel->schedule_a_to_b(), loop.now());
+  loop.ScheduleAt(window, [this, slot, epoch] { SendCloudFetch(slot, epoch); });
+}
+
+void ShardedFleet::SendCloudFetch(int slot, int epoch) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
+  int shard = ClusterOf(slot).shard;
+  Packet request;
+  request.payload = Bytes(kCloudRequestBytes, 0);
+  // Correlation tag: the reply carries it back so the cloud round can
+  // resume exactly the slot/epoch chain that started it.
+  request.annotation = "cf:" + std::to_string(slot) + ":" + std::to_string(epoch);
+  cloud_edges_[static_cast<size_t>(shard)].channel->a_end()->SendFromA(std::move(request));
+}
+
+void ShardedFleet::HandleCloudReply(const std::string& annotation) {
+  // Annotation format: "cf:<slot>:<epoch>" (written by SendCloudFetch).
+  size_t first = annotation.find(':');
+  size_t second = annotation.find(':', first + 1);
+  NYMIX_CHECK_MSG(first != std::string::npos && second != std::string::npos,
+                  "malformed cloud fetch annotation");
+  int slot = std::stoi(annotation.substr(first + 1, second - first - 1));
+  int epoch = std::stoi(annotation.substr(second + 1));
+  NYMIX_CHECK(slot >= 0 && slot < options_.nym_count);
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    // The slot crashed, churned, or gave up while the round was in flight;
+    // the reply is stale and its chain is already dead.
+    return;
+  }
+  Cluster& cluster = ClusterOf(slot);
+  ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+  ++shard.cloud_fetches;
+  ++cluster.weight_events;
+  sharded_.shard(cluster.shard)
+      .loop()
+      .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { Advance(slot, epoch); });
+}
+
+int ShardedFleet::VisitTarget(int slot) {
+  return options_.visits_per_generation * ClusterOf(slot).visit_multiplier;
 }
 
 void ShardedFleet::Advance(int slot, int epoch) {
@@ -190,7 +338,7 @@ void ShardedFleet::Advance(int slot, int epoch) {
   if (state.finished || state.epoch != epoch) {
     return;
   }
-  if (state.visits_done < options_.visits_per_generation) {
+  if (state.visits_done < VisitTarget(slot)) {
     VisitNext(slot, epoch);
     return;
   }
@@ -216,6 +364,7 @@ void ShardedFleet::Advance(int slot, int epoch) {
     return;
   }
   ++ShardOf(slot).churns;
+  ++ClusterOf(slot).weight_events;
   SpawnNym(slot);
 }
 
@@ -320,6 +469,25 @@ uint64_t ShardedFleet::churns() const {
     total += state->churns;
   }
   return total;
+}
+
+uint64_t ShardedFleet::cloud_fetches() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->cloud_fetches;
+  }
+  return total;
+}
+
+std::vector<double> ShardedFleet::HostWeights() const {
+  std::vector<double> weights;
+  weights.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    // Floor at 1 so an idle host still gets packed somewhere deliberate.
+    weights.push_back(cluster->weight_events > 0 ? static_cast<double>(cluster->weight_events)
+                                                 : 1.0);
+  }
+  return weights;
 }
 
 uint64_t ShardedFleet::visit_failures() const {

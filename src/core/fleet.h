@@ -40,9 +40,45 @@ inline constexpr const char* kFleetImageName = "nymix";
 inline constexpr uint64_t kFleetImageSeed = 42;
 inline constexpr uint64_t kFleetImageSizeBytes = 64 * kMiB;
 
+// How the fleet's clusters relate across shards.
+//
+// kIsolated is the historical workload: every cluster is self-contained,
+// shards never exchange a packet, and the executor runs one run-to-idle
+// epoch per shard. kCrossed adds the inter-host traffic the paper's
+// deployment actually has — after every page visit the nym performs a
+// cloud fetch (directory/consensus-style round) whose service lives on the
+// NEXT shard, reached over a CrossShardChannel ring. Fetches depart only
+// on promised send windows (SendSchedule; one request window and one reply
+// window per cloud_window period), which is what lets the executor's
+// adaptive horizon run each shard a full half-window of dense local work
+// per epoch instead of trickling along at channel latency. Crossed fleets
+// are also heterogeneous: each host draws a seeded visit multiplier in
+// [1, cloud_weight_max], so shard load skews unless a BalancedPlacement
+// (shard_plan.h) repacks hosts by observed weight.
+//
+// A crossed fleet on a 1-shard plan degrades to kIsolated (there is no
+// second shard to host the cloud), so small plans remain runnable.
+enum class FleetTopology {
+  kIsolated,
+  kCrossed,
+};
+
 struct FleetOptions {
   int nym_count = 8;
   int nyms_per_host = 8;  // §5.2: a 16 GB desktop comfortably fits 8 nymboxes
+  FleetTopology topology = FleetTopology::kIsolated;
+  // Crossed-topology shape: the window period shared by the request and
+  // reply send schedules, the ring channel's wire parameters, and the
+  // upper bound of the per-host visit multiplier.
+  SimDuration cloud_window = Seconds(5);
+  SimDuration cloud_latency = Millis(200);
+  uint64_t cloud_bandwidth_bps = 50'000'000;
+  int cloud_weight_max = 3;
+  // Host -> shard assignment. Empty = round-robin by creation index (the
+  // historical partition). A non-empty placement must have exactly one
+  // entry per host; it becomes part of the experiment definition and its
+  // label is stamped into the merged trace (sharded_sim.h).
+  ShardPlacement placement;
   int visits_per_generation = 2;
   int generations = 2;  // one churn (terminate + replace) per slot
   // Reference-mode toggles (flow waterfill / KSM rescan), for wall-clock
@@ -102,6 +138,13 @@ class ShardedFleet {
   // Post-run aggregates, summed over shards in shard-id order.
   uint64_t visits() const;
   uint64_t churns() const;
+  // Crossed topology: completed cloud fetch rounds (one request + one reply
+  // crossing shards each).
+  uint64_t cloud_fetches() const;
+  // Observed per-host activity (visits + cloud fetches + churns) — the
+  // weight vector BalancedPlacement bin-packs on. Meaningful after Run();
+  // hosts that did nothing report weight 1 so the pack stays total.
+  std::vector<double> HostWeights() const;
   // Fault-path aggregates: failed visits that were retried, failed creates
   // that were retried, slots abandoned after the create-retry budget, and
   // VM crash/recovery cycles executed by ScheduleVmCrash.
@@ -130,12 +173,26 @@ class ShardedFleet {
  private:
   struct Cluster {
     int shard = 0;
+    // Crossed topology: seeded per-host workload heterogeneity (visits per
+    // generation scale by this), and the observed activity count feeding
+    // HostWeights(). Both shard-local.
+    int visit_multiplier = 1;
+    uint64_t weight_events = 0;
     std::unique_ptr<HostMachine> host;
     std::unique_ptr<TorNetwork> tor;
     std::unique_ptr<NymManager> manager;
     std::unique_ptr<Website> site;
     // Captured at ksm_snapshot_time by a shard-local event.
     std::map<uint64_t, uint64_t> ksm_snapshot;
+  };
+
+  // One cross-shard cloud edge: shard s's nyms fetch from the gateway
+  // hosted on shard (s+1) % K over `channel`. Sinks are owned here; the
+  // channel belongs to the executor.
+  struct CloudEdge {
+    CrossShardChannel* channel = nullptr;
+    std::unique_ptr<PacketSink> gateway;  // lives in the server shard
+    std::unique_ptr<PacketSink> client;   // lives in the client shard
   };
 
   struct Slot {
@@ -167,6 +224,7 @@ class ShardedFleet {
     int finished_slots = 0;
     uint64_t visits = 0;
     uint64_t churns = 0;
+    uint64_t cloud_fetches = 0;
     uint64_t visit_failures = 0;
     uint64_t create_failures = 0;
     uint64_t slots_abandoned = 0;
@@ -180,7 +238,14 @@ class ShardedFleet {
 
   void SpawnNym(int slot);
   void VisitNext(int slot, int epoch);
+  // Post-visit step: crossed fleets interleave a windowed cloud fetch
+  // before Advance; isolated fleets go straight to Advance.
+  void NextAction(int slot, int epoch);
+  void StartCloudFetch(int slot, int epoch);
+  void SendCloudFetch(int slot, int epoch);
+  void HandleCloudReply(const std::string& annotation);
   void Advance(int slot, int epoch);
+  int VisitTarget(int slot);
   void FinishSlot(int slot);
   // Writes the slot off (retry budget spent, or recovery failed): tears
   // down any live nym best-effort and retires the slot so Run() quiesces.
@@ -189,9 +254,11 @@ class ShardedFleet {
 
   ShardedSimulation& sharded_;
   FleetOptions options_;
+  bool crossed_ = false;  // kCrossed effective (needs >= 2 shards)
   std::vector<std::unique_ptr<Cluster>> clusters_;
   std::vector<Slot> slots_;
   std::vector<std::unique_ptr<ShardState>> shard_states_;
+  std::vector<CloudEdge> cloud_edges_;  // index = client shard
 };
 
 }  // namespace nymix

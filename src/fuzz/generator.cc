@@ -64,7 +64,7 @@ ScenarioStep RandomStepFor(ScenarioFamily family, EntropySource& entropy);
 Bytes ValidScenarioText(EntropySource& entropy) {
   // A tiny self-referential scenario: the parser fuzzes itself.
   Scenario inner;
-  inner.family = static_cast<ScenarioFamily>(entropy.Pick(4));
+  inner.family = static_cast<ScenarioFamily>(entropy.Pick(5));
   inner.seed = entropy.prng().NextU64();
   inner.topology.shards = static_cast<int>(1 + entropy.Pick(4));
   int steps = static_cast<int>(entropy.Pick(4));
@@ -159,6 +159,19 @@ ScenarioStep RandomStepFor(ScenarioFamily family, EntropySource& entropy) {
       step.payload = DecoderPayload(step.kind, entropy);
       break;
     }
+    case ScenarioFamily::kParallel: {
+      // Burst-heavy: channels are only interesting when traffic actually
+      // collides on their promised windows.
+      static constexpr StepKind kMenu[] = {
+          StepKind::kParChannel, StepKind::kParChannel, StepKind::kParBurst,
+          StepKind::kParBurst,   StepKind::kParBurst,   StepKind::kParEcho};
+      step.kind = kMenu[entropy.Pick(6)];
+      step.a = entropy.IntIn(0, 7);
+      step.b = entropy.IntIn(0, 7);
+      step.c = entropy.IntIn(0, 3000);
+      step.d = entropy.IntIn(0, 2000);
+      break;
+    }
   }
   return step;
 }
@@ -175,11 +188,12 @@ Scenario GenerateScenario(uint64_t seed, const GeneratorOptions& options) {
   } else {
     // Weighted: decoder scenarios are ~milliseconds, simulation families
     // ~tens of milliseconds; spend most draws where iteration is cheap.
-    size_t roll = entropy.Pick(10);
-    scenario.family = roll < 4   ? ScenarioFamily::kDecoder
-                      : roll < 6 ? ScenarioFamily::kNet
-                      : roll < 8 ? ScenarioFamily::kHost
-                                 : ScenarioFamily::kFleet;
+    size_t roll = entropy.Pick(12);
+    scenario.family = roll < 4    ? ScenarioFamily::kDecoder
+                      : roll < 6  ? ScenarioFamily::kNet
+                      : roll < 8  ? ScenarioFamily::kHost
+                      : roll < 10 ? ScenarioFamily::kFleet
+                                  : ScenarioFamily::kParallel;
   }
 
   // Family-forked streams: a draw-count change in one family's generator

@@ -917,6 +917,184 @@ void RunDecoderFamily(const Scenario& scenario, OracleSuite& suite, std::string&
   }
 }
 
+// -------------------------------------------------------- parallel family
+
+// One end of a windowed channel: counts arrivals into the owning shard's
+// metrics, and (when the scenario enabled echo on this channel) replies on
+// the direction's next promised send window until the deadline. Replying
+// anywhere else would trip the send-window CHECK in Link::Send — the
+// promise is a hard contract, and this harness stays inside it by
+// construction so every generated/shrunk scenario is runnable.
+class WindowedSink : public PacketSink {
+ public:
+  WindowedSink(EventLoop& loop, Link* out, const SendSchedule& schedule, std::string name,
+               SimTime deadline, const bool& echo)
+      : loop_(loop), out_(out), schedule_(schedule), name_(std::move(name)),
+        deadline_(deadline), echo_(echo) {}
+
+  void OnPacket(const Packet&, Link&, bool) override {
+    ++delivered_;
+    if (MetricsRegistry* meters = loop_.meters()) {
+      meters->GetCounter("fuzz.par." + name_)->Increment();
+    }
+    if (echo_ && loop_.now() < deadline_) {
+      SimTime window = NextSendWindow(schedule_, loop_.now());
+      Link* out = out_;
+      std::string name = name_;
+      loop_.ScheduleAt(window, [out, name] {
+        Packet packet;
+        packet.payload = Bytes(64);
+        packet.annotation = name;
+        out->SendFromA(std::move(packet));
+      });
+    }
+  }
+
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  EventLoop& loop_;
+  Link* out_;
+  SendSchedule schedule_;
+  std::string name_;
+  SimTime deadline_;
+  const bool& echo_;  // owned by the channel record; set before the run
+  uint64_t delivered_ = 0;
+};
+
+struct ParRunResult {
+  std::string trace;
+  std::string stats;
+  uint64_t deliveries = 0;
+};
+
+ParRunResult RunParallelOnce(const Scenario& scenario, int threads) {
+  const ScenarioTopology& t = scenario.topology;
+  int shards = static_cast<int>(ClampI(t.shards, 1, 4));
+  SimTime deadline = Millis(ClampI(t.echo_deadline_ms, 200, 3000));
+
+  ShardedSimulation sharded(scenario.seed, ShardPlan{shards, threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+
+  struct ParChannel {
+    CrossShardChannel* channel = nullptr;
+    int shard_a = 0;
+    int shard_b = 0;
+    std::unique_ptr<WindowedSink> sink_a;
+    std::unique_ptr<WindowedSink> sink_b;
+    std::unique_ptr<bool> echo = std::make_unique<bool>(false);
+  };
+  std::vector<ParChannel> channels;
+
+  for (const ScenarioStep& step : scenario.steps) {
+    switch (step.kind) {
+      case StepKind::kParChannel: {
+        if (shards < 2) {
+          break;  // needs two shards; shrunk to no-op
+        }
+        ParChannel par;
+        par.shard_a = Wrap(step.a, shards);
+        par.shard_b = (par.shard_a + 1 + Wrap(step.b, shards - 1)) % shards;
+        SimDuration latency = Millis(ClampI(step.c, 1, 250));
+        SimDuration window = Millis(ClampI(step.d, 0, 2000));  // 0 = unconstrained
+        std::string id = std::to_string(channels.size());
+        par.channel = sharded.CreateChannel("par-ch" + id, par.shard_a, par.shard_b, latency,
+                                            4'000'000);
+        // Offset phases so opposite directions never share an instant.
+        par.channel->PromiseSendWindows(SendSchedule{window, 0},
+                                        SendSchedule{window, window / 2});
+        par.sink_a = std::make_unique<WindowedSink>(
+            sharded.shard(par.shard_a).loop(), par.channel->a_end(),
+            par.channel->schedule_a_to_b(), "ch" + id + ".a", deadline, *par.echo);
+        par.sink_b = std::make_unique<WindowedSink>(
+            sharded.shard(par.shard_b).loop(), par.channel->b_end(),
+            par.channel->schedule_b_to_a(), "ch" + id + ".b", deadline, *par.echo);
+        par.channel->a_end()->AttachA(par.sink_a.get());
+        par.channel->b_end()->AttachA(par.sink_b.get());
+        channels.push_back(std::move(par));
+        break;
+      }
+      case StepKind::kParBurst: {
+        if (channels.empty()) {
+          break;
+        }
+        ParChannel& par = channels[static_cast<size_t>(
+            Wrap(step.a, static_cast<int>(channels.size())))];
+        bool from_a = (step.b % 2) == 0;
+        int shard = from_a ? par.shard_a : par.shard_b;
+        Link* out = from_a ? par.channel->a_end() : par.channel->b_end();
+        SendSchedule schedule =
+            from_a ? par.channel->schedule_a_to_b() : par.channel->schedule_b_to_a();
+        SimTime at = Millis(ClampI(step.c, 0, 3000));
+        int count = static_cast<int>(ClampI(step.d, 1, 5));
+        EventLoop& loop = sharded.shard(shard).loop();
+        // Two hops: land on the requested tick, then snap the burst onto
+        // the direction's next promised window.
+        loop.ScheduleAt(at, [&loop, out, schedule, count] {
+          loop.ScheduleAt(NextSendWindow(schedule, loop.now()), [out, count] {
+            for (int k = 0; k < count; ++k) {
+              Packet packet;
+              packet.payload = Bytes(64);
+              packet.annotation = "burst" + std::to_string(k);
+              out->SendFromA(std::move(packet));
+            }
+          });
+        });
+        break;
+      }
+      case StepKind::kParEcho: {
+        if (channels.empty()) {
+          break;
+        }
+        *channels[static_cast<size_t>(Wrap(step.a, static_cast<int>(channels.size())))].echo =
+            true;
+        break;
+      }
+      default:
+        break;  // foreign-family step: no-op by the closure rule
+    }
+  }
+
+  sharded.RunUntilIdle();
+  sharded.MergeObservability();
+
+  ParRunResult result;
+  result.trace = sharded.merged().trace.ToChromeJson();
+  std::ostringstream stats;
+  sharded.merged().metrics.WriteJson(stats);
+  // Epoch structure and cross-delivery totals are part of the identity
+  // surface: an executor change that alters horizons shows up here even
+  // when the trace happens to coincide.
+  stats << " epochs=" << sharded.epochs() << " xdeliv=" << sharded.cross_deliveries();
+  for (const ParChannel& par : channels) {
+    stats << " " << par.sink_a->delivered() << "/" << par.sink_b->delivered();
+  }
+  result.stats = stats.str();
+  result.deliveries = sharded.cross_deliveries();
+  return result;
+}
+
+void RunParallelFamily(const Scenario& scenario, OracleSuite& suite, std::string& surface) {
+  int threads = static_cast<int>(ClampI(scenario.topology.threads, 1, 8));
+  ParRunResult base = RunParallelOnce(scenario, /*threads=*/1);
+  surface += "parallel deliveries=" + std::to_string(base.deliveries) + "\n";
+  surface += base.trace;
+  surface += base.stats;
+
+  if (threads > 1 && suite.enabled("trace-identity")) {
+    ParRunResult other = RunParallelOnce(scenario, threads);
+    if (other.trace != base.trace) {
+      suite.Fail("trace-identity",
+                 "windowed-storm trace diverged between --threads=1 and --threads=" +
+                     std::to_string(threads));
+    } else if (other.stats != base.stats) {
+      suite.Fail("trace-identity",
+                 "windowed-storm metrics/epochs diverged between --threads=1 and --threads=" +
+                     std::to_string(threads));
+    }
+  }
+}
+
 }  // namespace
 
 RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options) {
@@ -934,6 +1112,9 @@ RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options) {
       break;
     case ScenarioFamily::kDecoder:
       RunDecoderFamily(scenario, suite, surface);
+      break;
+    case ScenarioFamily::kParallel:
+      RunParallelFamily(scenario, suite, surface);
       break;
   }
   RunReport report;

@@ -15,6 +15,7 @@ constexpr FamilyName kFamilyNames[] = {
     {ScenarioFamily::kHost, "host"},
     {ScenarioFamily::kFleet, "fleet"},
     {ScenarioFamily::kDecoder, "decoder"},
+    {ScenarioFamily::kParallel, "parallel"},
 };
 
 struct KindName {
@@ -44,6 +45,9 @@ constexpr KindName kKindNames[] = {
     {StepKind::kDecodeNbt, ScenarioFamily::kDecoder, "decode_nbt"},
     {StepKind::kDecodeScenario, ScenarioFamily::kDecoder, "decode_scenario"},
     {StepKind::kScrubBytes, ScenarioFamily::kDecoder, "scrub_bytes"},
+    {StepKind::kParChannel, ScenarioFamily::kParallel, "par_channel"},
+    {StepKind::kParBurst, ScenarioFamily::kParallel, "par_burst"},
+    {StepKind::kParEcho, ScenarioFamily::kParallel, "par_echo"},
 };
 
 std::string_view TrimSpace(std::string_view text) {

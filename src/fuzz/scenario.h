@@ -27,10 +27,11 @@ namespace nymix {
 
 // One scenario family = one harness in src/fuzz/runner.cc.
 enum class ScenarioFamily {
-  kNet,      // cross-shard channel storms under the parallel executor
-  kHost,     // single-host nym lifecycle: visits, crashes, checkpoints
-  kFleet,    // ShardedFleet churn with fault schedules
-  kDecoder,  // malformed bytes against NYMLOG/KvStore/NBT/scenario decoders
+  kNet,       // cross-shard channel storms under the parallel executor
+  kHost,      // single-host nym lifecycle: visits, crashes, checkpoints
+  kFleet,     // ShardedFleet churn with fault schedules
+  kDecoder,   // malformed bytes against NYMLOG/KvStore/NBT/scenario decoders
+  kParallel,  // windowed-schedule channel storms: adaptive-horizon executor
 };
 
 std::string_view ScenarioFamilyName(ScenarioFamily family);
@@ -61,6 +62,10 @@ enum class StepKind {
   kDecodeNbt,        // payload=nbt bytes
   kDecodeScenario,   // payload=.nymfuzz text (the parser fuzzes itself)
   kScrubBytes,       // a=paranoia level, payload=file bytes
+  // --- parallel family (windowed cross-shard storms) --------------------
+  kParChannel,  // a=shard_a, b=shard_b offset, c=latency_ms, d=window_ms (0=free)
+  kParBurst,    // a=channel index, b=side (even=A, odd=B), c=at_ms, d=count
+  kParEcho,     // a=channel index (both ends echo on promised windows)
 };
 
 std::string_view StepKindName(StepKind kind);

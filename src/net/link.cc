@@ -113,6 +113,12 @@ void Link::Send(Packet packet, bool from_a) {
     // (A) ever sends on a half-link, and max_in_flight is not modeled across
     // shards (in_flight_ stays 0, so the overflow check never trips).
     NYMIX_CHECK(from_a);
+    // A promised send window is load-bearing for the executor's adaptive
+    // horizon: a send outside the window would let a delivery land inside
+    // an epoch another shard already executed past.
+    NYMIX_CHECK_MSG(remote_schedule_.period <= 0 ||
+                        loop_.now() == NextSendWindow(remote_schedule_, loop_.now()),
+                    "cross-shard send outside its promised send window");
     remote_forward_(std::move(packet), loop_.now() + delay);
     return;
   }

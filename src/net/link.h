@@ -57,6 +57,32 @@ class PacketSink {
   virtual void OnPacket(const Packet& packet, Link& link, bool from_a) = 0;
 };
 
+// A send-window promise for a cross-shard half-link: every send departs at
+// exactly t = phase + k * period (k >= 0). period 0 means unconstrained —
+// sends may happen at any virtual time, which is the default. The promise
+// is application lookahead: the parallel executor can advance a
+// destination shard's horizon to the *next window* plus the wire latency
+// instead of tracking the source shard's next local event, which is what
+// collapses epoch counts for round-based traffic (directory fetch rounds,
+// DC-net rounds). Enforced with a CHECK at send time, so a workload cannot
+// quietly break the horizon proof.
+struct SendSchedule {
+  SimDuration period = 0;
+  SimTime phase = 0;
+};
+
+// First window time >= t (identity when the schedule is unconstrained).
+inline SimTime NextSendWindow(const SendSchedule& schedule, SimTime t) {
+  if (schedule.period <= 0) {
+    return t;
+  }
+  if (t <= schedule.phase) {
+    return schedule.phase;
+  }
+  SimTime k = (t - schedule.phase + schedule.period - 1) / schedule.period;
+  return schedule.phase + k * schedule.period;
+}
+
 class Link {
  public:
   Link(EventLoop& loop, std::string name, SimDuration latency, uint64_t bandwidth_bps);
@@ -112,6 +138,11 @@ class Link {
     remote_forward_ = std::move(forward);
   }
   bool remote() const { return static_cast<bool>(remote_forward_); }
+  // Promises that every outbound send on this half-link departs on a
+  // window of `schedule` (CHECKed in Send). Meaningful only on remote
+  // half-links; CrossShardChannel::PromiseSendWindows installs it.
+  void set_remote_send_schedule(SendSchedule schedule) { remote_schedule_ = schedule; }
+  const SendSchedule& remote_send_schedule() const { return remote_schedule_; }
   // Delivers an inbound cross-shard packet to the local side-A sink (drops
   // with kNoSink when nothing is attached, like any other link).
   void DeliverFromRemote(const Packet& packet);
@@ -149,6 +180,7 @@ class Link {
   bool down_ = false;
   uint64_t in_flight_ = 0;
   std::function<void(Packet, SimTime)> remote_forward_;
+  SendSchedule remote_schedule_;
 };
 
 // Comparator for Link*-keyed ordered containers: creation order, which is

@@ -27,6 +27,18 @@ CrossShardChannel::CrossShardChannel(uint64_t id, std::string name, int shard_a,
   });
 }
 
+void CrossShardChannel::PromiseSendWindows(SendSchedule a_to_b, SendSchedule b_to_a) {
+  NYMIX_CHECK(a_to_b.period >= 0 && b_to_a.period >= 0);
+  NYMIX_CHECK(a_to_b.phase >= 0 && b_to_a.phase >= 0);
+  link_a_->set_remote_send_schedule(a_to_b);
+  link_b_->set_remote_send_schedule(b_to_a);
+}
+
+void CrossShardChannel::ReserveOutboxes(size_t per_direction) {
+  outbox_to_b_.reserve(per_direction);
+  outbox_to_a_.reserve(per_direction);
+}
+
 void CrossShardChannel::SetFaultProfile(const LinkFaultProfile& profile, uint64_t seed) {
   link_a_->SetFaultProfile(profile, Mix64(seed ^ Fnv1a64("channel.a_to_b")));
   link_b_->SetFaultProfile(profile, Mix64(seed ^ Fnv1a64("channel.b_to_a")));

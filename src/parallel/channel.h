@@ -71,6 +71,26 @@ class CrossShardChannel {
   // seeds derived from `seed` (draws happen on the sending half-link).
   void SetFaultProfile(const LinkFaultProfile& profile, uint64_t seed);
 
+  // Promises per-direction send windows (see SendSchedule in src/net/link.h):
+  // every send in a direction departs exactly at t = phase + k * period.
+  // The executor's adaptive horizon then jumps a destination shard past the
+  // gap to the next window + latency instead of trailing the source shard's
+  // next local event — the difference between hundreds of epochs and a
+  // handful for round-based cross-shard traffic. A default (period 0)
+  // schedule keeps the direction unconstrained. Enforced by a CHECK at
+  // send, so the promise cannot drift from the workload.
+  void PromiseSendWindows(SendSchedule a_to_b, SendSchedule b_to_a);
+  const SendSchedule& schedule_a_to_b() const { return link_a_->remote_send_schedule(); }
+  const SendSchedule& schedule_b_to_a() const { return link_b_->remote_send_schedule(); }
+
+  // Pre-sizes both direction outboxes (a mailbox capacity hint from the
+  // workload, so steady-state sends never reallocate mid-epoch).
+  void ReserveOutboxes(size_t per_direction);
+
+  // Buffered-but-undelivered sends (sampled by the executor at barriers
+  // for the parallel.outbox_depth histogram).
+  size_t outbox_depth() const { return outbox_to_b_.size() + outbox_to_a_.size(); }
+
   // Takes both directions down/up (a fault-injection hook; each half drops
   // with LinkDropReason::kDown while down).
   void SetDown(bool down);

@@ -8,10 +8,25 @@
 // across *shard counts* is NOT expected to be identical — changing the
 // partition changes per-shard seeds and link creation order, just like
 // changing a topology.
+//
+// A ShardPlacement refines the partition: instead of blind round-robin, a
+// workload can bin-pack hosts onto shards by observed per-host event
+// weight (BalancedPlacement below). The placement is part of the
+// experiment definition exactly like `shards` is — identity is a pure
+// function of (seed, shards, placement) — so executors serialize the
+// placement label into the merged trace (ShardedSimulation::
+// set_placement_label) and anything that changes the assignment changes
+// the trace visibly, never silently.
 #ifndef SRC_PARALLEL_SHARD_PLAN_H_
 #define SRC_PARALLEL_SHARD_PLAN_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/prng.h"
 
 namespace nymix {
 
@@ -27,6 +42,88 @@ struct ShardPlan {
 // partition depends only on the experiment definition.
 inline int ShardForIndex(size_t index, int shards) {
   return static_cast<int>(index % static_cast<size_t>(shards));
+}
+
+// An explicit host -> shard table. Empty means "round-robin by index" (the
+// historical default, byte-compatible with every pre-placement trace).
+struct ShardPlacement {
+  std::vector<int> shard_of_host;
+
+  bool empty() const { return shard_of_host.empty(); }
+
+  int shard_for(size_t index, int shards) const {
+    if (index < shard_of_host.size()) {
+      return shard_of_host[index];
+    }
+    return ShardForIndex(index, shards);
+  }
+
+  // Compact serialization for the trace header: "rr" for the round-robin
+  // default, else the assignment CSV. Part of the identity story: the
+  // merged trace names the partition it was produced under.
+  std::string Label() const {
+    if (empty()) {
+      return "rr";
+    }
+    std::string label;
+    label.reserve(shard_of_host.size() * 2);
+    for (size_t i = 0; i < shard_of_host.size(); ++i) {
+      if (i > 0) {
+        label.push_back(',');
+      }
+      label += std::to_string(shard_of_host[i]);
+    }
+    return label;
+  }
+};
+
+// Deterministic shard load balancer: seeded greedy bin-pack over observed
+// per-host event weights (from a calibration run or a prior run's stats).
+// Hosts are taken heaviest-first — ties broken by a seeded draw, then by
+// index, so equal-weight fleets still spread by (seed, index) only — and
+// each host lands on the currently lightest shard (ties to the lowest
+// shard id). A pure function of (weights, shards, seed): the same inputs
+// yield the same placement on every machine and thread count, which is
+// what lets the placement join the experiment definition.
+inline ShardPlacement BalancedPlacement(const std::vector<double>& host_weights, int shards,
+                                        uint64_t seed) {
+  ShardPlacement placement;
+  if (shards <= 1 || host_weights.empty()) {
+    return placement;  // round-robin default; nothing to balance
+  }
+  struct Entry {
+    double weight;
+    uint64_t tie;
+    size_t index;
+  };
+  std::vector<Entry> order;
+  order.reserve(host_weights.size());
+  for (size_t i = 0; i < host_weights.size(); ++i) {
+    order.push_back(Entry{host_weights[i],
+                          Mix64(seed ^ Fnv1a64("nymix.placement") ^ static_cast<uint64_t>(i)), i});
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) {
+      return a.weight > b.weight;
+    }
+    if (a.tie != b.tie) {
+      return a.tie < b.tie;
+    }
+    return a.index < b.index;
+  });
+  std::vector<double> load(static_cast<size_t>(shards), 0.0);
+  placement.shard_of_host.assign(host_weights.size(), 0);
+  for (const Entry& entry : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < load.size(); ++s) {
+      if (load[s] < load[lightest]) {
+        lightest = s;
+      }
+    }
+    placement.shard_of_host[entry.index] = static_cast<int>(lightest);
+    load[lightest] += entry.weight;
+  }
+  return placement;
 }
 
 }  // namespace nymix

@@ -43,7 +43,8 @@ TEST(FuzzGeneratorTest, DifferentSeedsDiffer) {
 
 TEST(FuzzGeneratorTest, FamilyPinIsRespected) {
   for (ScenarioFamily family : {ScenarioFamily::kNet, ScenarioFamily::kHost,
-                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder}) {
+                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder,
+                                ScenarioFamily::kParallel}) {
     GeneratorOptions options;
     options.family = family;
     for (uint64_t seed = 1; seed <= 8; ++seed) {
@@ -76,7 +77,8 @@ TEST(FuzzEntropyTest, ForkedStreamsAreStableAndLabelled) {
 
 TEST(FuzzScenarioTextTest, RoundTripsAcrossFamiliesAndSeeds) {
   for (ScenarioFamily family : {ScenarioFamily::kNet, ScenarioFamily::kHost,
-                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder}) {
+                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder,
+                                ScenarioFamily::kParallel}) {
     GeneratorOptions options;
     options.family = family;
     for (uint64_t seed = 1; seed <= 12; ++seed) {
@@ -133,7 +135,8 @@ TEST(FuzzScenarioTextTest, ParserIsTotalOnGarbage) {
 // digest is stable run-to-run (the property --replay depends on).
 TEST(FuzzRunnerTest, EmptyScenarioIsCleanAndDeterministicPerFamily) {
   for (ScenarioFamily family : {ScenarioFamily::kNet, ScenarioFamily::kHost,
-                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder}) {
+                                ScenarioFamily::kFleet, ScenarioFamily::kDecoder,
+                                ScenarioFamily::kParallel}) {
     Scenario scenario;
     scenario.family = family;
     scenario.seed = 5;

@@ -5,7 +5,10 @@ Each case builds a (BENCH_scale.json, baseline) fixture pair in a temp dir
 and drives bench_diff.main() directly, asserting on the exit code and the
 printed report. Covers the 30% throughput-regression gate, the parallel
 trace-identity gate, the hardware_threads>=2 arming of the speedup floor,
-the warn-only store columns, and baseline seeding/ratcheting.
+the crossed-topology hard x2.0 floor (armed at hardware_threads>=4), the
+crossed epochs/cross_deliveries shape floors, the hard failure on
+unparseable bench JSON, the warn-only store columns, and baseline
+seeding/ratcheting.
 
 Run directly (python3 tools/bench_diff_test.py) or via ctest
 (`ctest -R bench_diff`). Only the standard library is used.
@@ -189,6 +192,110 @@ class BenchDiffCase(unittest.TestCase):
         code, out, _ = self.run_diff(doc, baseline({100: 1000.0}))
         self.assertEqual(code, 0)
         self.assertNotIn("WARNING", out)
+
+    # --- crossed-topology gates --------------------------------------------
+
+    def crossed_doc(self, speedup, hardware, epochs=126, deliveries=576):
+        """A result with one crossed threaded row + speedup row at 4 threads."""
+        return incremental(
+            {256: 1000.0},
+            topology="crossed",
+            hardware_threads=hardware,
+            threaded=[{"n": 256, "threads": 4, "topology": "crossed",
+                       "epochs": epochs, "cross_deliveries": deliveries}],
+            threads_speedup=[{"n": 256, "threads": 4, "topology": "crossed",
+                              "wall_clock": speedup, "trace_identical": True}])
+
+    def crossed_baseline(self, epochs_min=2, deliveries_min=1):
+        doc = baseline({256: 1000.0})
+        doc["crossed"] = {"epochs_min": epochs_min, "cross_deliveries_min": deliveries_min}
+        return doc
+
+    def test_crossed_speedup_floor_is_hard_two_on_quad(self):
+        # x1.5 would pass the generic min(2.0, 0.5*threads) floor at 3 hw
+        # threads; the crossed floor is a hard x2.0 once hardware >= 4.
+        code, out, err = self.run_diff(self.crossed_doc(1.5, hardware=4),
+                                       self.crossed_baseline())
+        self.assertEqual(code, 1)
+        self.assertIn("TOO SLOW", out)
+        self.assertIn("parallel executor gate failed", err)
+
+    def test_crossed_speedup_floor_met_passes(self):
+        code, out, _ = self.run_diff(self.crossed_doc(2.1, hardware=4),
+                                     self.crossed_baseline())
+        self.assertEqual(code, 0)
+        self.assertIn("crossed shape ok", out)
+
+    def test_crossed_floor_skipped_below_four_hardware_threads(self):
+        # 2 hw threads arm the generic gate but not the crossed x2.0 floor:
+        # the workload cannot double on a dual-core, only prove identity.
+        code, out, _ = self.run_diff(self.crossed_doc(0.9, hardware=2),
+                                     self.crossed_baseline())
+        self.assertEqual(code, 0)
+        self.assertIn("needs >=4 hw threads", out)
+
+    def test_crossed_epoch_collapse_fails(self):
+        # epochs=1 means the executor ran everything in one barrier-less
+        # sweep — the workload no longer crosses shards, so the (passing)
+        # speedup number is meaningless and the gate must trip.
+        code, _, err = self.run_diff(self.crossed_doc(2.5, hardware=4, epochs=1),
+                                     self.crossed_baseline(epochs_min=2))
+        self.assertEqual(code, 1)
+        self.assertIn("no longer crosses shards", err)
+        self.assertIn("crossed workload shape gate failed", err)
+
+    def test_crossed_zero_deliveries_fails(self):
+        code, _, err = self.run_diff(self.crossed_doc(2.5, hardware=4, deliveries=0),
+                                     self.crossed_baseline(deliveries_min=1))
+        self.assertEqual(code, 1)
+        self.assertIn("cross_deliveries=0", err)
+
+    def test_crossed_shape_skipped_without_baseline_block(self):
+        # Old baselines carry no "crossed" block; the shape gate stays off
+        # rather than inventing floors.
+        code, _, _ = self.run_diff(self.crossed_doc(2.5, hardware=4, epochs=1),
+                                   baseline({256: 1000.0}))
+        self.assertEqual(code, 0)
+
+    def test_isolated_rows_keep_generic_floor_next_to_crossed(self):
+        # Per-topology bests: an isolated x1.2 at 2 threads (floor 1.0)
+        # passes while the crossed x1.5 at 4 threads (floor 2.0) fails.
+        doc = incremental(
+            {256: 1000.0}, hardware_threads=8,
+            threads_speedup=[
+                {"n": 256, "threads": 2, "topology": "isolated",
+                 "wall_clock": 1.2, "trace_identical": True},
+                {"n": 256, "threads": 4, "topology": "crossed",
+                 "wall_clock": 1.5, "trace_identical": True}])
+        code, out, _ = self.run_diff(doc, baseline({256: 1000.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("[isolated] n=256: best parallel speedup x1.20", out)
+        self.assertIn("[crossed] n=256: best parallel speedup x1.50", out)
+
+    def test_seeding_records_crossed_minimums(self):
+        code, _, _ = self.run_diff(self.crossed_doc(2.5, hardware=4,
+                                                    epochs=100, deliveries=500))
+        self.assertEqual(code, 0)
+        with open(os.path.join(self.dir, "absent", "baseline.json")) as fh:
+            doc = json.load(fh)
+        # Half the observed minimum, floored at the degenerate thresholds.
+        self.assertEqual(doc["crossed"], {"epochs_min": 50, "cross_deliveries_min": 250})
+
+    # --- corrupt bench emission --------------------------------------------
+
+    def test_unparseable_result_is_hard_failure(self):
+        # The bench emitter wrote this file, so broken JSON is an emitter
+        # regression (a stray separator once caused exactly this): exit 1
+        # with a pointed message, not a quiet usage error.
+        bad = os.path.join(self.dir, "BENCH_scale.json")
+        with open(bad, "w") as fh:
+            fh.write('{"bench": "scale_fleet", "speedup": [1.0,]\n  "shards": 4}')
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = bench_diff.main(["bench_diff.py", bad])
+        self.assertEqual(code, 1)
+        self.assertIn("not valid JSON", err.getvalue())
+        self.assertIn("emitter produced corrupt output", err.getvalue())
 
     # --- usage errors ------------------------------------------------------
 

@@ -17,7 +17,7 @@
 //                                          the fixture pins the digest)
 //   nymfuzz --list-oracles                 print the invariant suite
 //
-// Knobs: --family=net|host|fleet|decoder, --max-steps=N, --out-dir=DIR
+// Knobs: --family=net|host|fleet|decoder|parallel, --max-steps=N, --out-dir=DIR
 // (where shrunk repros are written), --plant=nat-leak (sabotage the CommVM
 // policy; the nat-isolation oracle MUST catch it — the self-test that the
 // suite is alive), --no-shrink, --disable-oracle=NAME.
