@@ -25,6 +25,103 @@ const char* FlagValue(const char* arg, const char* flag) {
 
 }  // namespace
 
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    return;  // document root
+  }
+  Frame& frame = stack_.back();
+  if (frame.compact) {
+    if (!frame.first) {
+      out_ << ", ";
+    }
+  } else {
+    out_ << (frame.first ? "\n" : ",\n") << indent();
+  }
+  frame.first = false;
+}
+
+void JsonWriter::BeginObject(Style style) {
+  BeforeValue();
+  Frame frame;
+  frame.compact = style == kCompact || InCompact();
+  out_ << '{';
+  stack_.push_back(frame);
+}
+
+void JsonWriter::EndObject() {
+  Frame frame = stack_.back();
+  stack_.pop_back();
+  if (!frame.compact && !frame.first) {
+    out_ << '\n' << indent();
+  }
+  out_ << '}';
+}
+
+void JsonWriter::BeginArray(Style style) {
+  BeforeValue();
+  Frame frame;
+  frame.array = true;
+  frame.compact = style == kCompact || InCompact();
+  out_ << '[';
+  stack_.push_back(frame);
+}
+
+void JsonWriter::EndArray() {
+  Frame frame = stack_.back();
+  stack_.pop_back();
+  if (!frame.compact && !frame.first) {
+    out_ << '\n' << indent();
+  }
+  out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view name) {
+  BeforeValue();
+  out_ << '"' << JsonEscape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ << JsonNumber(value);
+}
+
+void JsonWriter::Number(double value, int precision) {
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  out_ << buf;
+}
+
+void JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  out_ << JsonNumber(value);
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  out_ << JsonNumber(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+}
+
+std::ostream& JsonWriter::RawValue() {
+  BeforeValue();
+  return out_;
+}
+
 BenchStats::BenchStats(std::string bench_name, int argc, char** argv)
     : bench_name_(std::move(bench_name)) {
   for (int i = 1; i < argc; ++i) {
@@ -67,30 +164,32 @@ int BenchStats::Finish() {
   if (!stats_path_.empty()) {
     std::ofstream out(stats_path_, std::ios::binary | std::ios::trunc);
     if (out) {
-      out << "{\n  \"bench\": \"" << JsonEscape(bench_name_) << "\"";
+      JsonWriter writer(out);
+      writer.BeginObject();
+      writer.Key("bench");
+      writer.String(bench_name_);
       if (!labels_.empty()) {
-        out << ",\n  \"labels\": {";
-        bool first = true;
+        writer.Key("labels");
+        writer.BeginObject();
         for (const auto& [name, value] : labels_) {
-          out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": \""
-              << JsonEscape(value) << "\"";
-          first = false;
+          writer.Key(name);
+          writer.String(value);
         }
-        out << "\n  }";
+        writer.EndObject();
       }
       if (!values_.empty()) {
-        out << ",\n  \"values\": {";
-        bool first = true;
+        writer.Key("values");
+        writer.BeginObject();
         for (const auto& [name, value] : values_) {
-          out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
-              << "\": " << JsonNumber(value);
-          first = false;
+          writer.Key(name);
+          writer.Number(value);
         }
-        out << "\n  }";
+        writer.EndObject();
       }
-      out << ",\n  \"metrics\": ";
-      obs_.metrics.WriteJson(out, "  ");
-      out << "\n}\n";
+      writer.Key("metrics");
+      obs_.metrics.WriteJson(writer.RawValue(), writer.indent());
+      writer.EndObject();
+      out << "\n";
       out.flush();
       if (!out) {
         std::fprintf(stderr, "bench_stats: write failed: %s\n", stats_path_.c_str());

@@ -14,14 +14,79 @@
 #ifndef BENCH_BENCH_STATS_H_
 #define BENCH_BENCH_STATS_H_
 
+#include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/obs/observability.h"
 
 namespace nymix {
 
 class Simulation;
+
+// Canonical JSON emitter for bench artifacts. The writer owns every
+// separator and all indentation, so no bench can emit a dangling comma or
+// an unbalanced brace no matter which optional sections it skips (the bug
+// class scale_fleet's hand-rolled emitter patched point-wise before).
+//
+// Layout: 2-space pretty printing, one key or array element per line.
+// BeginObject(kCompact) renders that object (and everything inside it) on
+// a single line — the row format bench artifacts use for point arrays.
+class JsonWriter {
+ public:
+  enum Style { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject(Style style = kPretty);
+  void EndObject();
+  void BeginArray(Style style = kPretty);
+  void EndArray();
+
+  // Starts a key inside the current object; the next call writes its value.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Number(double value);
+  // Fixed-precision decimal, for fields whose artifact-diff granularity is
+  // deliberate (e.g. wall_seconds at 4 places).
+  void Number(double value, int precision);
+  void Number(uint64_t value);
+  void Number(int64_t value);
+  void Number(int value) { Number(static_cast<int64_t>(value)); }
+  void Bool(bool value);
+
+  // Positions the stream for one externally-rendered value (e.g.
+  // MetricsRegistry::WriteJson) and returns it. The caller must write
+  // exactly one well-formed JSON value before the next writer call,
+  // using indent() as its continuation-line prefix.
+  std::ostream& RawValue();
+
+  // Indentation of the line the current value sits on.
+  std::string indent() const { return std::string(2 * stack_.size(), ' '); }
+
+  // True once every Begin* has been matched — callers assert this before
+  // trusting the artifact.
+  bool balanced() const { return stack_.empty() && !pending_key_; }
+
+ private:
+  struct Frame {
+    bool array = false;
+    bool first = true;
+    bool compact = false;
+  };
+
+  // Emits the separator/indentation owed before a value or key.
+  void BeforeValue();
+  bool InCompact() const { return !stack_.empty() && stack_.back().compact; }
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
 
 class BenchStats {
  public:

@@ -434,99 +434,142 @@ void WriteJson(const std::string& path, const std::string& mode, const std::stri
     std::fprintf(stderr, "scale_fleet: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  char buf[512];
+  // The JsonWriter owns every separator, so the file is canonical JSON in
+  // every mode combination (a stray hand-written comma here once broke
+  // every downstream json.load of the bench artifact).
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("scale_fleet");
+  w.Key("mode");
+  w.String(mode);
+  w.Key("topology");
+  w.String(topology);
+  w.Key("seed");
+  w.Number(seed);
+  w.Key("warm_start");
+  w.Bool(warm_start);
+
   auto emit_points = [&](const char* key, const std::vector<PointResult>& points) {
-    out << "  \"" << key << "\": [\n";
-    for (size_t i = 0; i < points.size(); ++i) {
-      const PointResult& p = points[i];
-      std::snprintf(buf, sizeof(buf),
-                    "    {\"n\": %d, \"wall_seconds\": %.4f, \"events\": %llu, "
-                    "\"events_per_sec\": %.1f, \"sim_seconds\": %.2f, \"visits\": %llu, "
-                    "\"churns\": %llu, \"waterfills_full\": %llu, "
-                    "\"waterfills_component\": %llu, \"waterfill_skips\": %llu, "
-                    "\"ksm_memories_merged\": %llu, \"ksm_memories_skipped\": %llu, "
-                    "\"ksm_pages_sharing\": %llu, \"checkpoint_restore_ms\": %.3f}%s\n",
-                    p.n, p.wall_seconds, static_cast<unsigned long long>(p.events),
-                    p.events_per_sec, p.sim_seconds, static_cast<unsigned long long>(p.visits),
-                    static_cast<unsigned long long>(p.churns),
-                    static_cast<unsigned long long>(p.waterfills_full),
-                    static_cast<unsigned long long>(p.waterfills_component),
-                    static_cast<unsigned long long>(p.waterfill_skips),
-                    static_cast<unsigned long long>(p.ksm_memories_merged),
-                    static_cast<unsigned long long>(p.ksm_memories_skipped),
-                    static_cast<unsigned long long>(p.ksm_pages_sharing),
-                    p.checkpoint_restore_ms, i + 1 < points.size() ? "," : "");
-      out << buf;
+    w.Key(key);
+    w.BeginArray();
+    for (const PointResult& p : points) {
+      w.BeginObject(JsonWriter::kCompact);
+      w.Key("n");
+      w.Number(p.n);
+      w.Key("wall_seconds");
+      w.Number(p.wall_seconds, 4);
+      w.Key("events");
+      w.Number(p.events);
+      w.Key("events_per_sec");
+      w.Number(p.events_per_sec, 1);
+      w.Key("sim_seconds");
+      w.Number(p.sim_seconds, 2);
+      w.Key("visits");
+      w.Number(p.visits);
+      w.Key("churns");
+      w.Number(p.churns);
+      w.Key("waterfills_full");
+      w.Number(p.waterfills_full);
+      w.Key("waterfills_component");
+      w.Number(p.waterfills_component);
+      w.Key("waterfill_skips");
+      w.Number(p.waterfill_skips);
+      w.Key("ksm_memories_merged");
+      w.Number(p.ksm_memories_merged);
+      w.Key("ksm_memories_skipped");
+      w.Number(p.ksm_memories_skipped);
+      w.Key("ksm_pages_sharing");
+      w.Number(p.ksm_pages_sharing);
+      w.Key("checkpoint_restore_ms");
+      w.Number(p.checkpoint_restore_ms, 3);
+      w.EndObject();
     }
-    out << "  ]";
+    w.EndArray();
   };
 
-  out << "{\n  \"bench\": \"scale_fleet\",\n  \"mode\": \"" << mode << "\",\n  \"topology\": \""
-      << topology << "\",\n  \"seed\": " << seed
-      << ",\n  \"warm_start\": " << (warm_start ? "true" : "false") << ",\n";
-  // Top-level keys must end with "," exactly when another key follows —
-  // emitted by the block that knows what comes next, so the file is
-  // canonical JSON in every mode combination (a stray separator here once
-  // broke every downstream json.load of the bench artifact).
   if (!incremental.empty()) {
     emit_points("incremental", incremental);
-    out << (full.empty() && threaded.empty() ? "\n" : ",\n");
   }
   if (!full.empty()) {
     emit_points("full_recompute", full);
-    out << ",\n  \"speedup\": [\n";
+    w.Key("speedup");
+    w.BeginArray();
     for (size_t i = 0; i < full.size(); ++i) {
       double speedup = 0;
       if (i < incremental.size() && incremental[i].wall_seconds > 0) {
         speedup = full[i].wall_seconds / incremental[i].wall_seconds;
       }
-      std::snprintf(buf, sizeof(buf), "    {\"n\": %d, \"wall_clock\": %.2f}%s\n", full[i].n,
-                    speedup, i + 1 < full.size() ? "," : "");
-      out << buf;
+      w.BeginObject(JsonWriter::kCompact);
+      w.Key("n");
+      w.Number(full[i].n);
+      w.Key("wall_clock");
+      w.Number(speedup, 2);
+      w.EndObject();
     }
-    out << "  ]" << (threaded.empty() ? "\n" : ",\n");
+    w.EndArray();
   }
   if (!threaded.empty()) {
     // hardware_threads lets bench_diff.py gate the parallel speedup on
     // machines that can actually exhibit one (CI containers are often
     // single-core; byte-identity is still checked there).
-    out << "  \"shards\": " << threaded.front().shards
-        << ",\n  \"hardware_threads\": " << ThreadPool::HardwareThreads()
-        << ",\n  \"threaded\": [\n";
-    char tbuf[1024];  // two 64-char digests push a row past the shared buf
-    for (size_t i = 0; i < threaded.size(); ++i) {
-      const ThreadedPointResult& p = threaded[i];
-      std::snprintf(tbuf, sizeof(tbuf),
-                    "    {\"n\": %d, \"threads\": %d, \"topology\": \"%s\", "
-                    "\"wall_seconds\": %.4f, "
-                    "\"events\": %llu, \"events_per_sec\": %.1f, \"epochs\": %llu, "
-                    "\"cross_deliveries\": %llu, \"cloud_fetches\": %llu, "
-                    "\"visits\": %llu, \"churns\": %llu, "
-                    "\"ksm_pages_sharing\": %llu, \"fleet_pages_sharing\": %llu, "
-                    "\"cross_host_extra_sharing\": %llu,\n"
-                    "     \"barrier_wait_ms\": %.3f, \"shard_skew_events\": %.1f, "
-                    "\"outbox_depth\": %.0f, \"trace_encode_ms\": %.3f, "
-                    "\"checkpoint_restore_ms\": %.3f,\n"
-                    "     \"trace_sha256\": \"%s\", \"stats_sha256\": \"%s\"}%s\n",
-                    p.n, p.threads, topology.c_str(), p.wall_seconds,
-                    static_cast<unsigned long long>(p.events), p.events_per_sec,
-                    static_cast<unsigned long long>(p.epochs),
-                    static_cast<unsigned long long>(p.cross_deliveries),
-                    static_cast<unsigned long long>(p.cloud_fetches),
-                    static_cast<unsigned long long>(p.visits),
-                    static_cast<unsigned long long>(p.churns),
-                    static_cast<unsigned long long>(p.ksm_pages_sharing),
-                    static_cast<unsigned long long>(p.fleet_pages_sharing),
-                    static_cast<unsigned long long>(p.cross_host_extra_sharing),
-                    p.barrier_wait_ms, p.shard_skew_events, p.outbox_depth, p.trace_encode_ms,
-                    p.checkpoint_restore_ms, p.trace_sha256.c_str(), p.stats_sha256.c_str(),
-                    i + 1 < threaded.size() ? "," : "");
-      out << tbuf;
+    w.Key("shards");
+    w.Number(threaded.front().shards);
+    w.Key("hardware_threads");
+    w.Number(ThreadPool::HardwareThreads());
+    w.Key("threaded");
+    w.BeginArray();
+    for (const ThreadedPointResult& p : threaded) {
+      w.BeginObject(JsonWriter::kCompact);
+      w.Key("n");
+      w.Number(p.n);
+      w.Key("threads");
+      w.Number(p.threads);
+      w.Key("topology");
+      w.String(topology);
+      w.Key("wall_seconds");
+      w.Number(p.wall_seconds, 4);
+      w.Key("events");
+      w.Number(p.events);
+      w.Key("events_per_sec");
+      w.Number(p.events_per_sec, 1);
+      w.Key("epochs");
+      w.Number(p.epochs);
+      w.Key("cross_deliveries");
+      w.Number(p.cross_deliveries);
+      w.Key("cloud_fetches");
+      w.Number(p.cloud_fetches);
+      w.Key("visits");
+      w.Number(p.visits);
+      w.Key("churns");
+      w.Number(p.churns);
+      w.Key("ksm_pages_sharing");
+      w.Number(p.ksm_pages_sharing);
+      w.Key("fleet_pages_sharing");
+      w.Number(p.fleet_pages_sharing);
+      w.Key("cross_host_extra_sharing");
+      w.Number(p.cross_host_extra_sharing);
+      w.Key("barrier_wait_ms");
+      w.Number(p.barrier_wait_ms, 3);
+      w.Key("shard_skew_events");
+      w.Number(p.shard_skew_events, 1);
+      w.Key("outbox_depth");
+      w.Number(p.outbox_depth, 0);
+      w.Key("trace_encode_ms");
+      w.Number(p.trace_encode_ms, 3);
+      w.Key("checkpoint_restore_ms");
+      w.Number(p.checkpoint_restore_ms, 3);
+      w.Key("trace_sha256");
+      w.String(p.trace_sha256);
+      w.Key("stats_sha256");
+      w.String(p.stats_sha256);
+      w.EndObject();
     }
-    out << "  ],\n  \"threads_speedup\": [\n";
+    w.EndArray();
+    w.Key("threads_speedup");
+    w.BeginArray();
     // Speedup and identity of each point vs the threads=1 run of the same n
     // (the serial reference execution of the same sharded structure).
-    bool first_row = true;
     for (const ThreadedPointResult& p : threaded) {
       const ThreadedPointResult* base = nullptr;
       for (const ThreadedPointResult& candidate : threaded) {
@@ -541,17 +584,24 @@ void WriteJson(const std::string& path, const std::string& mode, const std::stri
       double speedup = p.wall_seconds > 0 ? base->wall_seconds / p.wall_seconds : 0;
       bool identical =
           p.trace_sha256 == base->trace_sha256 && p.stats_sha256 == base->stats_sha256;
-      std::snprintf(buf, sizeof(buf),
-                    "%s    {\"n\": %d, \"threads\": %d, \"topology\": \"%s\", "
-                    "\"wall_clock\": %.2f, \"trace_identical\": %s}",
-                    first_row ? "" : ",\n", p.n, p.threads, topology.c_str(), speedup,
-                    identical ? "true" : "false");
-      out << buf;
-      first_row = false;
+      w.BeginObject(JsonWriter::kCompact);
+      w.Key("n");
+      w.Number(p.n);
+      w.Key("threads");
+      w.Number(p.threads);
+      w.Key("topology");
+      w.String(topology);
+      w.Key("wall_clock");
+      w.Number(speedup, 2);
+      w.Key("trace_identical");
+      w.Bool(identical);
+      w.EndObject();
     }
-    out << "\n  ]\n";
+    w.EndArray();
   }
-  out << "}\n";
+  w.EndObject();
+  out << "\n";
+  NYMIX_CHECK_MSG(w.balanced(), "scale_fleet: unbalanced JSON emitter");
 }
 
 }  // namespace
@@ -627,10 +677,19 @@ int main(int argc, char** argv) {
     std::printf("# warm start: checkpoint %s (%zu entries)\n", warm.path.c_str(),
                 warm.store.size());
   }
-  NYMIX_CHECK_MSG(mode == "both" || mode == "incremental" || mode == "full",
-                  "--mode must be both, incremental or full");
-  NYMIX_CHECK_MSG(topology == "isolated" || topology == "crossed",
-                  "--topology must be isolated or crossed");
+  // Bad CLI input is a usage error (exit 2, matching the bench_stats
+  // --trace-format contract), not an internal invariant failure — a typo'd
+  // sweep script should get a usage line, not a NYMIX_CHECK abort.
+  if (mode != "both" && mode != "incremental" && mode != "full") {
+    std::fprintf(stderr, "scale_fleet: unknown --mode \"%s\"\n", mode.c_str());
+    std::fprintf(stderr, "usage: scale_fleet [--mode=both|incremental|full]\n");
+    return 2;
+  }
+  if (topology != "isolated" && topology != "crossed") {
+    std::fprintf(stderr, "scale_fleet: unknown --topology \"%s\"\n", topology.c_str());
+    std::fprintf(stderr, "usage: scale_fleet [--topology=isolated|crossed]\n");
+    return 2;
+  }
   const bool crossed = topology == "crossed";
   // Tracing/metrics change the per-event work (and trace layout is
   // per-simulation-attach), so obs-attached runs are for equivalence

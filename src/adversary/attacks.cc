@@ -1,0 +1,166 @@
+#include "src/adversary/attacks.h"
+
+#include <algorithm>
+
+namespace nymix {
+
+double PairCounts::tpr() const {
+  uint64_t p = positives();
+  return p == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(p);
+}
+
+double PairCounts::fpr() const {
+  uint64_t n = negatives();
+  return n == 0 ? 0.0 : static_cast<double>(false_positive) / static_cast<double>(n);
+}
+
+double PairCounts::advantage() const { return std::max(0.0, tpr() - fpr()); }
+
+namespace {
+
+// Cookie probe: linked if any canonical site saw the same cookie value
+// from both instances.
+bool CookiesLink(const NymRecord& a, const NymRecord& b) {
+  for (const auto& [site, cookie] : a.cookies) {
+    auto it = b.cookies.find(site);
+    if (it != b.cookies.end() && !cookie.empty() && cookie == it->second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Exit probe: linked if the maps share >= min_common sites and agree on
+// every shared one.
+bool ExitsLink(const NymRecord& a, const NymRecord& b, size_t min_common) {
+  size_t common = 0;
+  for (const auto& [site, exit] : a.exits) {
+    auto it = b.exits.find(site);
+    if (it == b.exits.end()) {
+      continue;
+    }
+    if (it->second != exit) {
+      return false;
+    }
+    ++common;
+  }
+  return common >= min_common;
+}
+
+bool StainsLink(const NymRecord& a, const NymRecord& b) {
+  return !a.stain.empty() && a.stain == b.stain;
+}
+
+void Score(PairCounts& counts, bool linked, bool same_host) {
+  if (same_host) {
+    linked ? ++counts.true_positive : ++counts.false_negative;
+  } else {
+    linked ? ++counts.false_positive : ++counts.true_negative;
+  }
+}
+
+}  // namespace
+
+LinkageSummary LinkNyms(const std::vector<NymRecord>& nyms, size_t min_common_sites) {
+  LinkageSummary summary;
+  uint64_t positives = 0;
+  uint64_t positives_linked = 0;
+  for (size_t i = 0; i < nyms.size(); ++i) {
+    for (size_t j = i + 1; j < nyms.size(); ++j) {
+      const NymRecord& a = nyms[i];
+      const NymRecord& b = nyms[j];
+      const bool same_host = a.host == b.host;
+      const bool by_cookie = CookiesLink(a, b);
+      const bool by_exit = ExitsLink(a, b, min_common_sites);
+      const bool by_stain = StainsLink(a, b);
+      Score(summary.cookie, by_cookie, same_host);
+      Score(summary.exit_fingerprint, by_exit, same_host);
+      Score(summary.stain, by_stain, same_host);
+      if (same_host) {
+        ++positives;
+        if (by_cookie || by_exit || by_stain) {
+          ++positives_linked;
+        }
+      }
+    }
+  }
+  summary.advantage = std::max({summary.cookie.advantage(), summary.exit_fingerprint.advantage(),
+                                summary.stain.advantage()});
+  summary.linkage_probability =
+      positives == 0 ? 0.0 : static_cast<double>(positives_linked) / static_cast<double>(positives);
+  return summary;
+}
+
+AnonymitySummary IntersectLifetimes(const std::vector<NymRecord>& nyms,
+                                    const std::vector<FlowObservation>& exit_flows) {
+  AnonymitySummary summary;
+  double total = 0.0;
+  double min_set = 0.0;
+  bool first = true;
+  for (const FlowObservation& obs : exit_flows) {
+    if (!obs.completed) {
+      continue;
+    }
+    uint64_t alive = 0;
+    for (const NymRecord& nym : nyms) {
+      if (nym.born <= obs.ended_at && obs.ended_at <= nym.died) {
+        ++alive;
+      }
+    }
+    ++summary.samples;
+    total += static_cast<double>(alive);
+    if (first || static_cast<double>(alive) < min_set) {
+      min_set = static_cast<double>(alive);
+      first = false;
+    }
+  }
+  if (summary.samples > 0) {
+    summary.min_set = min_set;
+    summary.mean_set = total / static_cast<double>(summary.samples);
+  }
+  return summary;
+}
+
+FlowCorrelationSummary CorrelateFlows(const std::vector<FlowObservation>& entry_flows,
+                                      const std::vector<FlowObservation>& exit_flows,
+                                      SimDuration window) {
+  FlowCorrelationSummary summary;
+  for (const FlowObservation& exit : exit_flows) {
+    if (!exit.completed) {
+      continue;
+    }
+    ++summary.exit_flows;
+    uint64_t candidates = 0;
+    bool candidate_is_true = false;
+    for (const FlowObservation& entry : entry_flows) {
+      if (!entry.completed || entry.wire_bytes != exit.wire_bytes) {
+        continue;
+      }
+      SimTime delta = entry.ended_at > exit.ended_at ? entry.ended_at - exit.ended_at
+                                                     : exit.ended_at - entry.ended_at;
+      if (delta > window) {
+        continue;
+      }
+      ++candidates;
+      if (candidates == 1) {
+        candidate_is_true = entry.flow_id == exit.flow_id;
+      }
+    }
+    if (candidates == 0) {
+      ++summary.unmatched;
+    } else if (candidates > 1) {
+      ++summary.ambiguous;
+    } else if (candidate_is_true) {
+      ++summary.matched_correct;
+    } else {
+      ++summary.matched_wrong;
+    }
+  }
+  summary.accuracy = summary.exit_flows == 0
+                         ? 0.0
+                         : static_cast<double>(summary.matched_correct) /
+                               static_cast<double>(summary.exit_flows);
+  return summary;
+}
+
+}  // namespace nymix

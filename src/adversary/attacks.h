@@ -1,0 +1,122 @@
+// Attack analyzers: the computations a real adversary would run over what
+// the taps and colluding trackers collected. Three linkage probes score
+// unordered pairs of nym instances; ground truth (which instances belong to
+// the same user/host) comes from the harness, never from the attack.
+//
+//   * Cookie linkage — colluding trackers compare the cookie each browser
+//     presented for the same canonical site. Clean Nymix gives every nym a
+//     fresh jar, so no two instances ever share a value; a bled jar (the
+//     kSharedCookieJar plant) links same-host instances immediately (§3.3).
+//   * Exit-fingerprint linkage — a tracker observing which exit relay each
+//     session arrived from builds a site -> exit map per session. Clean
+//     clients draw exits independently per destination, so two maps agree
+//     on all sites only by chance; pinned exits (kReusedCircuit) make
+//     same-host maps identical (§3.5's stream-isolation argument).
+//   * Stain linkage — uploads that skipped the SaniVM scrub carry the
+//     device's EXIF body serial (§3.6, the paper's Bob scenario); two
+//     sessions uploading the same serial are the same device.
+//
+// Attacker advantage per probe is max(0, TPR - FPR) over unordered pairs —
+// how much better than random guessing the probe separates same-host pairs
+// from cross-host pairs. The overall advantage is the max over probes: an
+// adversary runs every attack and keeps what works.
+//
+// Intersection and flow-correlation attacks consume tap observations
+// directly. They are reported as metrics (anonymity-set size over virtual
+// time, attribution accuracy) but deliberately kept out of the pair
+// advantage: in a simulated network where one Flow object traverses the
+// whole route, entry/exit timing correlation is structurally perfect and
+// would mask the isolation signal the oracle tests pin.
+#ifndef SRC_ADVERSARY_ATTACKS_H_
+#define SRC_ADVERSARY_ATTACKS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/adversary/observer.h"
+
+namespace nymix {
+
+// Ground truth + per-attack evidence for one nym instance (one generation
+// of one slot). Assembled by the experiment harness at churn time.
+struct NymRecord {
+  int host = 0;  // true identity: the physical machine (and user) behind it
+  int slot = 0;
+  int generation = 0;
+  SimTime born = 0;
+  SimTime died = 0;
+  // Canonical site key -> cookie value the browser presented there.
+  std::map<std::string, std::string> cookies;
+  // Canonical site key -> exit relay index the session arrived from.
+  std::map<std::string, size_t> exits;
+  // EXIF body serial recovered from this instance's uploads ("" = none,
+  // i.e. the scrub pipeline did its job or nothing was uploaded).
+  std::string stain;
+};
+
+// Confusion counts over unordered pairs of nym instances. Positive class:
+// the two instances share a host.
+struct PairCounts {
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t false_negative = 0;
+  uint64_t true_negative = 0;
+
+  uint64_t positives() const { return true_positive + false_negative; }
+  uint64_t negatives() const { return false_positive + true_negative; }
+  double tpr() const;
+  double fpr() const;
+  // max(0, TPR - FPR): advantage over a random guesser with the same
+  // marginal link rate.
+  double advantage() const;
+};
+
+struct LinkageSummary {
+  PairCounts cookie;
+  PairCounts exit_fingerprint;
+  PairCounts stain;
+  // Best probe's advantage; what the planted-leak oracles threshold on.
+  double advantage = 0.0;
+  // Fraction of same-host pairs linked by at least one probe.
+  double linkage_probability = 0.0;
+};
+
+// Scores all three linkage probes over every unordered pair.
+// `min_common_sites`: the exit-fingerprint probe only links a pair whose
+// maps share at least this many sites AND agree on every shared site —
+// fewer coincidences than an any-site-agrees rule by orders of magnitude.
+LinkageSummary LinkNyms(const std::vector<NymRecord>& nyms, size_t min_common_sites);
+
+// Intersection attack: for each completed exit-side flow, how many nym
+// instances were alive when it ended? The minimum over observations is the
+// churn-epoch anonymity set — the set an intersection attacker narrows a
+// long-lived pseudonym down to (§3.5). A clean fleet must keep this floor
+// high; the baseline test pins it.
+struct AnonymitySummary {
+  uint64_t samples = 0;
+  double min_set = 0.0;
+  double mean_set = 0.0;
+};
+AnonymitySummary IntersectLifetimes(const std::vector<NymRecord>& nyms,
+                                    const std::vector<FlowObservation>& exit_flows);
+
+// Windowed flow correlation: match each completed exit-side observation to
+// entry-side observations with the same wire size ending within `window`.
+// Accuracy counts exits whose sole candidate is the true flow; ambiguous
+// exits had several candidates (the fair-share mixing the paper relies on).
+struct FlowCorrelationSummary {
+  uint64_t exit_flows = 0;
+  uint64_t matched_correct = 0;  // unique candidate, and it was the true one
+  uint64_t matched_wrong = 0;    // unique candidate, but a different flow
+  uint64_t ambiguous = 0;        // multiple candidates in the window
+  uint64_t unmatched = 0;        // no candidate (e.g. entry tap missing)
+  double accuracy = 0.0;         // matched_correct / exit_flows
+};
+FlowCorrelationSummary CorrelateFlows(const std::vector<FlowObservation>& entry_flows,
+                                      const std::vector<FlowObservation>& exit_flows,
+                                      SimDuration window);
+
+}  // namespace nymix
+
+#endif  // SRC_ADVERSARY_ATTACKS_H_

@@ -1,0 +1,425 @@
+#include "src/adversary/experiment.h"
+
+#include <algorithm>
+
+#include "src/anon/tor.h"
+#include "src/sanitize/jpeg.h"
+#include "src/sanitize/scrubber.h"
+#include "src/util/prng.h"
+
+namespace nymix {
+namespace {
+
+// Same retry budgets as the core fleet: generous against transient failure,
+// finite against a schedule that never heals.
+constexpr int kMaxVisitRetries = 64;
+constexpr int kMaxCreateRetries = 8;
+
+// Every cluster boots from a copy of the same release stick (content is a
+// pure function of these, like src/core/fleet).
+constexpr const char* kImageName = "nymix";
+constexpr uint64_t kImageSeed = 42;
+constexpr uint64_t kImageSizeBytes = 64 * kMiB;
+
+// The four-site workloads. Canonical names/domains; each cluster registers
+// replicas under "h<c>-" / "h<c>." prefixes (a shard's DNS would otherwise
+// overwrite duplicate names across clusters). Distinct byte sizes per site
+// keep the size dimension of flow correlation meaningful.
+WebsiteProfile BrowseProfile(const char* name, const char* domain, uint64_t page_kib,
+                             uint64_t revisit_kib) {
+  WebsiteProfile profile;
+  profile.name = name;
+  profile.domain = domain;
+  profile.page_bytes = page_kib * kKiB;
+  profile.revisit_bytes = revisit_kib * kKiB;
+  profile.cache_first_bytes = 3 * kMiB;
+  profile.cache_revisit_bytes = 512 * kKiB;
+  profile.memory_dirty_bytes = 8 * kMiB;
+  return profile;
+}
+
+std::vector<WebsiteProfile> WorkloadProfiles(WorkloadMix mix) {
+  WebsiteProfile alpha = BrowseProfile("alpha", "alpha.example.org", 900, 500);
+  WebsiteProfile beta = BrowseProfile("beta", "beta.example.org", 1300, 700);
+  WebsiteProfile gamma = BrowseProfile("gamma", "gamma.example.org", 700, 350);
+  WebsiteProfile delta = BrowseProfile("delta", "delta.example.org", 1100, 600);
+  switch (mix) {
+    case WorkloadMix::kBrowse:
+      return {alpha, beta, gamma, delta};
+    case WorkloadMix::kStreaming:
+      return {alpha, beta, gamma, StreamingWebsiteProfile()};
+    case WorkloadMix::kUpload:
+      return {alpha, beta, gamma, LargeUploadWebsiteProfile()};
+    case WorkloadMix::kMixed:
+      return {alpha, beta, StreamingWebsiteProfile(), LargeUploadWebsiteProfile()};
+  }
+  return {alpha, beta, gamma, delta};
+}
+
+}  // namespace
+
+std::string_view LeakPlantName(LeakPlant plant) {
+  switch (plant) {
+    case LeakPlant::kNone:
+      return "none";
+    case LeakPlant::kSharedCookieJar:
+      return "shared_cookie_jar";
+    case LeakPlant::kReusedCircuit:
+      return "reused_circuit";
+    case LeakPlant::kDisabledScrub:
+      return "disabled_scrub";
+  }
+  return "unknown";
+}
+
+std::string_view WorkloadMixName(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kBrowse:
+      return "browse";
+    case WorkloadMix::kStreaming:
+      return "streaming";
+    case WorkloadMix::kUpload:
+      return "upload";
+    case WorkloadMix::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+AdversaryExperiment::AdversaryExperiment(ShardedSimulation& sharded,
+                                         const AdversaryOptions& options, uint64_t seed)
+    : sharded_(sharded), options_(options), seed_(seed) {
+  NYMIX_CHECK(options_.nym_count >= 1);
+  NYMIX_CHECK(options_.nyms_per_host >= 1);
+  NYMIX_CHECK(options_.generations >= 1);
+  NYMIX_CHECK(options_.passes_per_generation >= 1);
+  site_profiles_ = WorkloadProfiles(options_.workload);
+
+  const int shards = sharded_.shard_count();
+  for (int s = 0; s < shards; ++s) {
+    shard_states_.push_back(std::make_unique<ShardState>(
+        Mix64(seed ^ Fnv1a64("adversary.think") ^ static_cast<uint64_t>(s))));
+  }
+
+  // One base image per shard, as in src/core/fleet: the Merkle-verification
+  // cache must not be shared across concurrently-running shards.
+  std::vector<std::shared_ptr<BaseImage>> images;
+  for (int s = 0; s < shards; ++s) {
+    images.push_back(BaseImage::CreateDistribution(kImageName, kImageSeed, kImageSizeBytes));
+  }
+
+  const int hosts = (options_.nym_count + options_.nyms_per_host - 1) / options_.nyms_per_host;
+  for (int c = 0; c < hosts; ++c) {
+    const int shard = c % shards;
+    Simulation& sim = sharded_.shard(shard);
+    auto cluster = std::make_unique<Cluster>();
+    cluster->shard = shard;
+    cluster->host = std::make_unique<HostMachine>(sim, HostConfig{});
+    cluster->tor = std::make_unique<TorNetwork>(sim, options_.tor);
+    cluster->manager = std::make_unique<NymManager>(
+        *cluster->host, images[static_cast<size_t>(shard)], cluster->tor.get(), nullptr);
+    const std::string prefix = "h" + std::to_string(c);
+    for (size_t i = 0; i < site_profiles_.size(); ++i) {
+      WebsiteProfile replica = site_profiles_[i];
+      replica.name = prefix + "-" + replica.name;
+      replica.domain = prefix + "." + replica.domain;
+      SiteReplica entry;
+      entry.site = std::make_unique<Website>(sim, replica);
+      entry.exit_tap = std::make_unique<PassiveObserver>(
+          TapSite::kExit, c * static_cast<int>(site_profiles_.size()) + static_cast<int>(i));
+      entry.site->access_link()->AttachTap(entry.exit_tap.get());
+      cluster->sites.push_back(std::move(entry));
+    }
+    cluster->entry_tap = std::make_unique<PassiveObserver>(TapSite::kEntry, c);
+    cluster->host->uplink()->AttachTap(cluster->entry_tap.get());
+    clusters_.push_back(std::move(cluster));
+  }
+
+  slots_.resize(static_cast<size_t>(options_.nym_count));
+  records_by_slot_.resize(static_cast<size_t>(options_.nym_count));
+  for (int i = 0; i < options_.nym_count; ++i) {
+    slots_[static_cast<size_t>(i)].cluster = i / options_.nyms_per_host;
+    ++ShardOf(i).total_slots;
+  }
+}
+
+AdversaryExperiment::~AdversaryExperiment() = default;
+
+void AdversaryExperiment::Run() {
+  for (int i = 0; i < options_.nym_count; ++i) {
+    SpawnNym(i);
+  }
+  sharded_.RunUntilIdle();
+  for (int s = 0; s < sharded_.shard_count(); ++s) {
+    const ShardState& state = *shard_states_[static_cast<size_t>(s)];
+    NYMIX_CHECK(state.finished_slots == state.total_slots);
+  }
+}
+
+SimDuration AdversaryExperiment::ThinkTime(ShardState& shard) {
+  return Millis(500 + static_cast<SimDuration>(shard.think_prng.NextBelow(1500)));
+}
+
+void AdversaryExperiment::SpawnNym(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  const int epoch = state.epoch;
+  const int host = state.cluster;
+  std::string name = "adv-h" + std::to_string(host) + "-s" +
+                     std::to_string(slot % options_.nyms_per_host) + "-g" +
+                     std::to_string(state.generation);
+  NymManager::CreateOptions create;
+  if (options_.plant == LeakPlant::kReusedCircuit) {
+    // Same-host nyms share the pin key, so they land on the same exit per
+    // destination — the stream-isolation failure the exit probe catches.
+    create.circuit_reuse_key =
+        Mix64(seed_ ^ Fnv1a64("adversary.reuse") ^ static_cast<uint64_t>(host));
+  }
+  ClusterOf(slot).manager->CreateNym(
+      name, create, [this, slot, epoch](Result<Nym*> nym, NymStartupReport) {
+        Slot& state = slots_[static_cast<size_t>(slot)];
+        if (state.finished || state.epoch != epoch) {
+          if (nym.ok()) {
+            Status ignored = ClusterOf(slot).manager->TerminateNym(*nym);
+            (void)ignored;
+          }
+          return;
+        }
+        ShardState& shard = ShardOf(slot);
+        if (!nym.ok()) {
+          if (++state.create_retries > kMaxCreateRetries) {
+            AbandonSlot(slot);
+            return;
+          }
+          sharded_.shard(ClusterOf(slot).shard)
+              .loop()
+              .ScheduleAfter(ThinkTime(shard), [this, slot] { SpawnNym(slot); });
+          return;
+        }
+        state.create_retries = 0;
+        state.nym = *nym;
+        state.visits_done = 0;
+        state.born = sharded_.shard(ClusterOf(slot).shard).now();
+        if (options_.plant == LeakPlant::kSharedCookieJar) {
+          // The bled jar: every nym on this host presents the same
+          // host-scoped cookie values (a sync-service bleed, §3.3).
+          Cluster& cluster = ClusterOf(slot);
+          std::map<std::string, std::string> jar;
+          for (size_t i = 0; i < cluster.sites.size(); ++i) {
+            jar[cluster.sites[i].site->profile().domain] =
+                "leak-h" + std::to_string(state.cluster) + "-" + site_profiles_[i].name;
+          }
+          state.nym->browser()->ImportCookies(jar);
+        }
+        VisitNext(slot, epoch);
+      });
+}
+
+void AdversaryExperiment::VisitNext(int slot, int epoch) {
+  Cluster& cluster = ClusterOf(slot);
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
+  Website& site =
+      *cluster.sites[static_cast<size_t>(state.visits_done) % cluster.sites.size()].site;
+  state.nym->browser()->Visit(site, [this, slot, epoch](Result<SimTime> done) {
+    Cluster& cluster = ClusterOf(slot);
+    ShardState& shard = *shard_states_[static_cast<size_t>(cluster.shard)];
+    Slot& state = slots_[static_cast<size_t>(slot)];
+    if (state.finished || state.epoch != epoch) {
+      return;
+    }
+    if (!done.ok()) {
+      if (++state.visit_retries > kMaxVisitRetries) {
+        AbandonSlot(slot);
+        return;
+      }
+      sharded_.shard(cluster.shard)
+          .loop()
+          .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { VisitNext(slot, epoch); });
+      return;
+    }
+    state.visit_retries = 0;
+    ++shard.visits;
+    ++state.visits_done;
+    sharded_.shard(cluster.shard)
+        .loop()
+        .ScheduleAfter(ThinkTime(shard), [this, slot, epoch] { Advance(slot, epoch); });
+  });
+}
+
+NymRecord AdversaryExperiment::SnapshotNym(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  Cluster& cluster = ClusterOf(slot);
+  NymRecord record;
+  record.host = state.cluster;
+  record.slot = slot;
+  record.generation = state.generation;
+  record.born = state.born;
+  record.died = sharded_.shard(cluster.shard).now();
+
+  BrowserModel* browser = state.nym->browser();
+  Anonymizer* anonymizer = state.nym->anonymizer();
+  TorClient* tor_client =
+      anonymizer->kind() == AnonymizerKind::kTor ? static_cast<TorClient*>(anonymizer) : nullptr;
+  bool uploaded = false;
+  for (size_t i = 0; i < cluster.sites.size(); ++i) {
+    const std::string& key = site_profiles_[i].name;  // canonical, cluster-invariant
+    const std::string& domain = cluster.sites[i].site->profile().domain;
+    if (browser->HasCookieFor(domain)) {
+      record.cookies[key] = browser->CookieFor(domain);
+    }
+    if (tor_client != nullptr) {
+      // Cached from the visits above — reading it back consumes no Prng.
+      record.exits[key] = tor_client->ExitIndexForDestination(domain);
+    }
+    if (site_profiles_[i].upload_bytes > 0) {
+      uploaded = true;
+    }
+  }
+
+  if (uploaded) {
+    // What the upload destination received: a photo from the host's one
+    // camera. The clean pipeline routes it through the SaniVM scrub first
+    // (§3.6); the plant ships it raw, serial and all.
+    JpegFile photo;
+    photo.image = Image::Solid(16, 16, 120, 100, 90);
+    ExifData exif;
+    exif.camera_make = "NymCam";
+    exif.body_serial_number = "serial-h" + std::to_string(state.cluster);
+    photo.exif = exif;
+    Bytes wire = EncodeJpeg(photo);
+    if (options_.plant != LeakPlant::kDisabledScrub) {
+      Prng scrub_prng(Mix64(seed_ ^ Fnv1a64("adversary.scrub") ^
+                            (static_cast<uint64_t>(slot) << 8) ^
+                            static_cast<uint64_t>(state.generation)));
+      auto scrubbed = ScrubFile(wire, ScrubOptions{}, scrub_prng);
+      NYMIX_CHECK_MSG(scrubbed.ok(), "upload scrub failed");
+      wire = std::move(scrubbed->data);
+    }
+    auto received = DecodeJpeg(wire);
+    if (received.ok() && received->exif.has_value() &&
+        received->exif->body_serial_number.has_value()) {
+      record.stain = *received->exif->body_serial_number;
+    }
+  }
+  return record;
+}
+
+void AdversaryExperiment::Advance(int slot, int epoch) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (state.finished || state.epoch != epoch) {
+    return;
+  }
+  const int target = options_.passes_per_generation * static_cast<int>(site_profiles_.size());
+  if (state.visits_done < target) {
+    VisitNext(slot, epoch);
+    return;
+  }
+  // Churn boundary: snapshot what this instance exposed, then wipe it.
+  records_by_slot_[static_cast<size_t>(slot)].push_back(SnapshotNym(slot));
+  ++state.generation;
+  Status terminated = ClusterOf(slot).manager->TerminateNym(state.nym);
+  NYMIX_CHECK_MSG(terminated.ok(), terminated.ToString().c_str());
+  state.nym = nullptr;
+  if (state.generation >= options_.generations) {
+    FinishSlot(slot);
+    return;
+  }
+  ++ShardOf(slot).churns;
+  SpawnNym(slot);
+}
+
+void AdversaryExperiment::AbandonSlot(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  state.finished = true;
+  if (state.nym != nullptr) {
+    Status ignored = ClusterOf(slot).manager->TerminateNym(state.nym);
+    (void)ignored;
+    state.nym = nullptr;
+  }
+  FinishSlot(slot);
+}
+
+void AdversaryExperiment::FinishSlot(int slot) {
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  state.finished = true;
+  ShardState& shard = ShardOf(slot);
+  ++shard.finished_slots;
+}
+
+AdversaryReport AdversaryExperiment::Analyze() const {
+  // Flatten in (cluster, slot, generation) order — slots are already
+  // cluster-major, and per-slot records are generation-ordered.
+  std::vector<NymRecord> records;
+  for (const auto& slot_records : records_by_slot_) {
+    records.insert(records.end(), slot_records.begin(), slot_records.end());
+  }
+  std::vector<FlowObservation> entry_flows;
+  std::vector<FlowObservation> exit_flows;
+  uint64_t tap_packets = 0;
+  uint64_t tap_bytes = 0;
+  for (const auto& cluster : clusters_) {
+    const auto& entry = cluster->entry_tap->flows();
+    entry_flows.insert(entry_flows.end(), entry.begin(), entry.end());
+    tap_packets += cluster->entry_tap->packets_seen();
+    tap_bytes += cluster->entry_tap->bytes_seen();
+    for (const auto& replica : cluster->sites) {
+      const auto& exit = replica.exit_tap->flows();
+      exit_flows.insert(exit_flows.end(), exit.begin(), exit.end());
+      tap_packets += replica.exit_tap->packets_seen();
+      tap_bytes += replica.exit_tap->bytes_seen();
+    }
+  }
+
+  AdversaryReport report;
+  report.linkage = LinkNyms(records, options_.min_common_sites);
+  report.anonymity = IntersectLifetimes(records, exit_flows);
+  report.correlation = CorrelateFlows(entry_flows, exit_flows, options_.correlation_window);
+  report.nym_instances = records.size();
+  report.entry_flows = entry_flows.size();
+  report.exit_flows = exit_flows.size();
+  report.tap_packets = tap_packets;
+  report.tap_bytes = tap_bytes;
+  return report;
+}
+
+void AdversaryExperiment::ExportMetrics(const AdversaryReport& report, MetricsRegistry& metrics) {
+  metrics.GetGauge("adversary.advantage.cookie")->Set(report.linkage.cookie.advantage());
+  metrics.GetGauge("adversary.advantage.exit_fingerprint")
+      ->Set(report.linkage.exit_fingerprint.advantage());
+  metrics.GetGauge("adversary.advantage.stain")->Set(report.linkage.stain.advantage());
+  metrics.GetGauge("adversary.advantage.overall")->Set(report.linkage.advantage);
+  metrics.GetGauge("adversary.linkage_probability")->Set(report.linkage.linkage_probability);
+  metrics.GetGauge("adversary.anonymity_set.min")->Set(report.anonymity.min_set);
+  metrics.GetGauge("adversary.anonymity_set.mean")->Set(report.anonymity.mean_set);
+  metrics.GetGauge("adversary.flowcorr.accuracy")->Set(report.correlation.accuracy);
+  metrics.GetCounter("adversary.flowcorr.matched")->Increment(report.correlation.matched_correct);
+  metrics.GetCounter("adversary.flowcorr.ambiguous")->Increment(report.correlation.ambiguous);
+  metrics.GetCounter("adversary.flowcorr.unmatched")->Increment(report.correlation.unmatched);
+  metrics.GetCounter("adversary.pairs.positive")->Increment(report.linkage.cookie.positives());
+  metrics.GetCounter("adversary.pairs.negative")->Increment(report.linkage.cookie.negatives());
+  metrics.GetCounter("adversary.nym_instances")->Increment(report.nym_instances);
+  metrics.GetCounter("adversary.flows.entry")->Increment(report.entry_flows);
+  metrics.GetCounter("adversary.flows.exit")->Increment(report.exit_flows);
+  metrics.GetCounter("adversary.taps.packets")->Increment(report.tap_packets);
+  metrics.GetCounter("adversary.taps.bytes")->Increment(report.tap_bytes);
+}
+
+uint64_t AdversaryExperiment::visits() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->visits;
+  }
+  return total;
+}
+
+uint64_t AdversaryExperiment::churns() const {
+  uint64_t total = 0;
+  for (const auto& state : shard_states_) {
+    total += state->churns;
+  }
+  return total;
+}
+
+}  // namespace nymix

@@ -1,0 +1,185 @@
+// AdversaryExperiment: a churning fleet of Nymix clusters instrumented
+// with the adversary's taps, plus deliberately plantable isolation
+// failures — the executable form of the paper's tracking-protection claim.
+//
+// Fleet shape mirrors ShardedFleet (src/core/fleet.h): N nyms over
+// ceil(N / nyms_per_host) host clusters placed round-robin onto shards;
+// every slot spawns, visits the workload's site list with think time,
+// churns (terminate + replace) once per generation. On top of that:
+//
+//   * A PassiveObserver at every host uplink (entry vantage) and every
+//     destination's access link (exit vantage).
+//   * Per-cluster replicas of the workload's four sites (a shard's DNS is
+//     cluster-local; names are prefixed "h<c>." so replicas coexist, while
+//     the canonical site key — the profile name — stays cluster-invariant
+//     for cross-host linkage analysis).
+//   * A ground-truth NymRecord snapshotted at each churn: which cookies,
+//     exit indices, and upload stains this instance actually exposed.
+//   * Optional leak plants — the isolation failures the oracles must catch:
+//       kSharedCookieJar  — same-host nyms import one cookie jar (§3.3)
+//       kReusedCircuit    — same-host nyms pin exits per destination (§3.5)
+//       kDisabledScrub    — uploads skip the SaniVM and keep EXIF (§3.6)
+//
+// Analyze() runs the attack suite post-run, serially, over structures
+// ordered by (cluster, slot, generation) — so the AdversaryReport, and the
+// adversary.* metric family ExportMetrics emits, are byte-identical across
+// thread counts.
+#ifndef SRC_ADVERSARY_EXPERIMENT_H_
+#define SRC_ADVERSARY_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adversary/attacks.h"
+#include "src/adversary/observer.h"
+#include "src/core/nym_manager.h"
+#include "src/parallel/sharded_sim.h"
+#include "src/workload/website.h"
+
+namespace nymix {
+
+enum class LeakPlant { kNone, kSharedCookieJar, kReusedCircuit, kDisabledScrub };
+std::string_view LeakPlantName(LeakPlant plant);
+
+// Which four sites the fleet visits. Browse is the paper-style page set;
+// streaming and upload swap in the ROADMAP item 4 profiles; mixed carries
+// one of each shape (and is what the catch/clear test matrix uses, since
+// the scrub plant only leaks through uploads).
+enum class WorkloadMix { kBrowse, kStreaming, kUpload, kMixed };
+std::string_view WorkloadMixName(WorkloadMix mix);
+
+struct AdversaryOptions {
+  int nym_count = 8;
+  int nyms_per_host = 2;
+  int generations = 2;
+  // Passes over the site list per generation (4 visits per pass).
+  int passes_per_generation = 1;
+  WorkloadMix workload = WorkloadMix::kMixed;
+  LeakPlant plant = LeakPlant::kNone;
+  // Correlation window for the flow-matching attack.
+  SimDuration correlation_window = Millis(500);
+  // Exit-fingerprint probe: minimum shared sites for a verdict (attacks.h).
+  size_t min_common_sites = 3;
+  // Per-cluster Tor deployment. 4 exits x 4 sites makes a coincidental
+  // full-map agreement a 1-in-256 event per pair — rare enough that the
+  // clean fleet's exit advantage stays ~0 at any test scale.
+  TorNetwork::Config tor = MakeAdversaryTorConfig();
+
+  static TorNetwork::Config MakeAdversaryTorConfig() {
+    TorNetwork::Config config;
+    config.relay_count = 8;
+    config.guard_count = 2;
+    config.exit_count = 4;
+    return config;
+  }
+};
+
+// Quantified leak metrics — what the oracles threshold and the ablation
+// sweeps emit.
+struct AdversaryReport {
+  LinkageSummary linkage;
+  AnonymitySummary anonymity;
+  FlowCorrelationSummary correlation;
+  uint64_t nym_instances = 0;
+  uint64_t entry_flows = 0;
+  uint64_t exit_flows = 0;
+  uint64_t tap_packets = 0;
+  uint64_t tap_bytes = 0;
+};
+
+class AdversaryExperiment {
+ public:
+  // Builds every cluster, site replica, and tap up front. `sharded` must
+  // outlive the experiment; its plan fixes the cluster partition.
+  AdversaryExperiment(ShardedSimulation& sharded, const AdversaryOptions& options, uint64_t seed);
+  ~AdversaryExperiment();
+
+  // Spawns every slot's first nym and drives the executor to quiescence.
+  void Run();
+
+  // Runs every attack over the collected observations (call after Run).
+  AdversaryReport Analyze() const;
+
+  // Emits `report` as the adversary.* metric family (gauges for rates and
+  // advantages, counters for observation volumes).
+  static void ExportMetrics(const AdversaryReport& report, MetricsRegistry& metrics);
+
+  // Post-run aggregates, summed in shard-id order.
+  uint64_t visits() const;
+  uint64_t churns() const;
+  int host_count() const { return static_cast<int>(clusters_.size()); }
+
+  // Tap access for the metadata-only negative tests.
+  const PassiveObserver& entry_observer(int host) const {
+    return *clusters_[static_cast<size_t>(host)]->entry_tap;
+  }
+
+ private:
+  struct SiteReplica {
+    std::unique_ptr<Website> site;
+    std::unique_ptr<PassiveObserver> exit_tap;
+  };
+
+  struct Cluster {
+    int shard = 0;
+    std::unique_ptr<HostMachine> host;
+    std::unique_ptr<TorNetwork> tor;
+    std::unique_ptr<NymManager> manager;
+    std::vector<SiteReplica> sites;  // one per workload site, this cluster's replica
+    std::unique_ptr<PassiveObserver> entry_tap;
+  };
+
+  struct Slot {
+    int cluster = 0;
+    Nym* nym = nullptr;
+    SimTime born = 0;
+    int visits_done = 0;  // within the current generation
+    int generation = 0;
+    int visit_retries = 0;
+    int create_retries = 0;
+    bool finished = false;
+    int epoch = 0;
+  };
+
+  struct ShardState {
+    Prng think_prng;
+    int total_slots = 0;
+    int finished_slots = 0;
+    uint64_t visits = 0;
+    uint64_t churns = 0;
+
+    explicit ShardState(uint64_t seed) : think_prng(seed) {}
+  };
+
+  Cluster& ClusterOf(int slot) {
+    return *clusters_[static_cast<size_t>(slots_[static_cast<size_t>(slot)].cluster)];
+  }
+  ShardState& ShardOf(int slot) {
+    return *shard_states_[static_cast<size_t>(ClusterOf(slot).shard)];
+  }
+
+  void SpawnNym(int slot);
+  void VisitNext(int slot, int epoch);
+  void Advance(int slot, int epoch);
+  void FinishSlot(int slot);
+  void AbandonSlot(int slot);
+  SimDuration ThinkTime(ShardState& shard);
+  // Ground truth at churn time: cookies, exit map, upload stain.
+  NymRecord SnapshotNym(int slot);
+
+  ShardedSimulation& sharded_;
+  AdversaryOptions options_;
+  uint64_t seed_ = 0;
+  std::vector<WebsiteProfile> site_profiles_;  // canonical (unprefixed) workload
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<ShardState>> shard_states_;
+  // Ground truth per slot, appended in generation order (shard-local
+  // writes; flattened slot-major for analysis).
+  std::vector<std::vector<NymRecord>> records_by_slot_;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_ADVERSARY_EXPERIMENT_H_

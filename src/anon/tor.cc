@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "src/util/prng.h"
+
 namespace nymix {
 
 std::string_view AnonymizerKindName(AnonymizerKind kind) {
@@ -547,7 +549,16 @@ size_t TorClient::ExitIndexForDestination(const std::string& host) {
     }
   }
   const std::vector<size_t>& pool = alive.empty() ? exits : alive;
-  size_t exit = pool[prng_.NextBelow(pool.size())];
+  size_t exit;
+  if (config_.exit_pin_seed.has_value()) {
+    // Planted circuit reuse: the exit is a pure function of (pin seed,
+    // destination), shared by every client carrying the same pin. No prng_
+    // draw happens on this branch — the plant must not perturb any other
+    // seeded decision this client makes.
+    exit = pool[Mix64(*config_.exit_pin_seed ^ Fnv1a64(host)) % pool.size()];
+  } else {
+    exit = pool[prng_.NextBelow(pool.size())];
+  }
   exit_by_destination_.emplace(host, exit);
   return exit;
 }

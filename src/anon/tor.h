@@ -149,6 +149,16 @@ struct TorClientConfig {
   BackoffPolicy directory_retry;
   SimDuration fetch_stall_timeout = Seconds(30);
   BackoffPolicy fetch_retry;
+
+  // --- Leak-plant knob (src/adversary) ----------------------------------
+  // When set, per-destination exit selection is derived from
+  // Mix64(*exit_pin_seed ^ Fnv1a64(host)) instead of this client's private
+  // prng stream — so every nym sharing the pin seed lands on the SAME exit
+  // for the same destination, the "reused circuit" isolation failure the
+  // adversary suite must catch. Never set on the clean path; the default
+  // (nullopt) draws from prng_ exactly as before, consuming identical Prng
+  // state.
+  std::optional<uint64_t> exit_pin_seed;
 };
 
 class TorClient : public Anonymizer {

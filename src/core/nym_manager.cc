@@ -70,7 +70,9 @@ std::unique_ptr<Anonymizer> NymManager::MakeAnonymizer(const CreateOptions& opti
       return std::make_unique<IncognitoVpn>(attachment);
     case AnonymizerKind::kTor: {
       NYMIX_CHECK_MSG(tor_ != nullptr, "no Tor network deployed");
-      auto client = std::make_unique<TorClient>(attachment, *tor_, seed);
+      TorClientConfig tor_config;
+      tor_config.exit_pin_seed = options.circuit_reuse_key;
+      auto client = std::make_unique<TorClient>(attachment, *tor_, seed, tor_config);
       if (options.guard_seed.has_value()) {
         client->SeedGuardSelection(*options.guard_seed);
       }

@@ -68,6 +68,10 @@ class NymManager {
     // Chain composition (kChained): inner wrapped by outer.
     AnonymizerKind chain_inner = AnonymizerKind::kDissent;
     AnonymizerKind chain_outer = AnonymizerKind::kTor;
+    // Leak plant (src/adversary): forwarded to TorClientConfig::exit_pin_seed
+    // so every nym sharing the key reuses the same exit per destination —
+    // the "reused circuit" isolation failure. Never set on clean paths.
+    std::optional<uint64_t> circuit_reuse_key;
   };
 
   using CreateCallback = std::function<void(Result<Nym*>, NymStartupReport)>;

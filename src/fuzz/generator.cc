@@ -172,6 +172,18 @@ ScenarioStep RandomStepFor(ScenarioFamily family, EntropySource& entropy) {
       step.d = entropy.IntIn(0, 2000);
       break;
     }
+    case ScenarioFamily::kAdversary: {
+      // Plant-heavy: the interesting behavior is whether a planted isolation
+      // failure survives the observer's analyzers, so most steps toggle the
+      // plant; workload/churn steps vary what the taps get to see.
+      static constexpr StepKind kMenu[] = {
+          StepKind::kAdvPlant, StepKind::kAdvPlant, StepKind::kAdvPlant,
+          StepKind::kAdvWorkload, StepKind::kAdvWorkload, StepKind::kAdvChurn};
+      step.kind = kMenu[entropy.Pick(6)];
+      step.a = entropy.IntIn(0, 7);
+      step.b = entropy.IntIn(0, 7);
+      break;
+    }
   }
   return step;
 }

@@ -14,6 +14,8 @@ const std::vector<OracleInfo>& AllOracles() {
       {"decoder-sane", "decoders never crash, never over-claim, roundtrip cleanly"},
       {"scrub-clean", "successful scrubs leave no detectable removed-class risks"},
       {"fleet-accounting", "fleet visit/recovery/abandon ledgers are consistent"},
+      {"adversary-leak",
+       "planted isolation failures are caught (advantage >= 0.9); clean fleets are not"},
   };
   return kOracles;
 }

@@ -1,11 +1,13 @@
 #include "src/fuzz/runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <utility>
 
+#include "src/adversary/experiment.h"
 #include "src/anon/anonymizer.h"
 #include "src/core/fleet.h"
 #include "src/core/fleet_checkpoint.h"
@@ -52,6 +54,10 @@ int Wrap(int64_t value, int count) {
 std::string DigestOf(const std::string& surface) {
   return HexEncode(DigestToBytes(Sha256::Hash(surface)));
 }
+
+// Optional observer for RunScenarioGolden: invoked on the merged
+// observability of the base run, before the simulation is torn down.
+using GoldenEmit = std::function<void(const TraceRecorder&, const MetricsRegistry&)>;
 
 // ------------------------------------------------------------- net family
 
@@ -968,7 +974,8 @@ struct ParRunResult {
   uint64_t deliveries = 0;
 };
 
-ParRunResult RunParallelOnce(const Scenario& scenario, int threads) {
+ParRunResult RunParallelOnce(const Scenario& scenario, int threads,
+                             const GoldenEmit* golden = nullptr) {
   const ScenarioTopology& t = scenario.topology;
   int shards = static_cast<int>(ClampI(t.shards, 1, 4));
   SimTime deadline = Millis(ClampI(t.echo_deadline_ms, 200, 3000));
@@ -1057,6 +1064,9 @@ ParRunResult RunParallelOnce(const Scenario& scenario, int threads) {
 
   sharded.RunUntilIdle();
   sharded.MergeObservability();
+  if (golden != nullptr) {
+    (*golden)(sharded.merged().trace, sharded.merged().metrics);
+  }
 
   ParRunResult result;
   result.trace = sharded.merged().trace.ToChromeJson();
@@ -1095,6 +1105,124 @@ void RunParallelFamily(const Scenario& scenario, OracleSuite& suite, std::string
   }
 }
 
+// -------------------------------------------------------- adversary family
+
+// Steps configure the experiment (last write wins); the runner clamps the
+// shape so every generated scenario is a meaningful leak-quantification
+// run: nyms_per_host is pinned to 2 and nym_count kept even so a planted
+// same-host leak always has positive pairs (with singleton hosts the
+// true-positive class is empty and advantage is undefined).
+struct AdvRunResult {
+  std::string trace;
+  std::string stats;
+  AdversaryReport report;
+};
+
+AdversaryOptions AdversaryOptionsFor(const Scenario& scenario) {
+  const ScenarioTopology& t = scenario.topology;
+  AdversaryOptions options;
+  options.nyms_per_host = 2;
+  options.nym_count = 4 + 2 * Wrap(t.nym_count, 3);  // 4, 6, or 8
+  options.generations = static_cast<int>(ClampI(t.generations, 1, 2));
+  for (const ScenarioStep& step : scenario.steps) {
+    switch (step.kind) {
+      case StepKind::kAdvPlant:
+        options.plant = static_cast<LeakPlant>(Wrap(step.a, 4));
+        break;
+      case StepKind::kAdvWorkload:
+        options.workload = static_cast<WorkloadMix>(Wrap(step.a, 4));
+        break;
+      case StepKind::kAdvChurn:
+        options.generations = static_cast<int>(ClampI(step.a, 1, 2));
+        break;
+      default:
+        break;  // foreign-family step: no-op by the closure rule
+    }
+  }
+  return options;
+}
+
+AdvRunResult RunAdversaryOnce(const Scenario& scenario, int threads,
+                              const GoldenEmit* golden = nullptr) {
+  int shards = static_cast<int>(ClampI(scenario.topology.shards, 1, 4));
+  AdversaryOptions options = AdversaryOptionsFor(scenario);
+
+  ShardedSimulation sharded(scenario.seed, ShardPlan{shards, threads});
+  sharded.EnableObservability(/*record_wall_time=*/false);
+  AdversaryExperiment experiment(sharded, options, scenario.seed);
+  experiment.Run();
+  sharded.MergeObservability();
+  if (golden != nullptr) {
+    (*golden)(sharded.merged().trace, sharded.merged().metrics);
+  }
+
+  AdvRunResult result;
+  result.report = experiment.Analyze();
+  result.trace = sharded.merged().trace.ToChromeJson();
+
+  MetricsRegistry adversary_metrics;
+  adversary_metrics.set_enabled(true);
+  adversary_metrics.set_record_wall_time(false);
+  AdversaryExperiment::ExportMetrics(result.report, adversary_metrics);
+  std::ostringstream stats;
+  sharded.merged().metrics.WriteJson(stats);
+  stats << "\n";
+  adversary_metrics.WriteJson(stats);
+  stats << " visits=" << experiment.visits() << " churns=" << experiment.churns();
+  result.stats = stats.str();
+  return result;
+}
+
+void RunAdversaryFamily(const Scenario& scenario, OracleSuite& suite, std::string& surface) {
+  AdversaryOptions options = AdversaryOptionsFor(scenario);
+  LeakPlant plant = options.plant;
+  // The scrub plant leaks only through uploads: under a workload with no
+  // upload site every stain is empty and the fleet is indistinguishable
+  // from clean, so the oracle holds it to the clean floor instead.
+  bool plant_observable =
+      plant != LeakPlant::kNone &&
+      !(plant == LeakPlant::kDisabledScrub && options.workload != WorkloadMix::kUpload &&
+        options.workload != WorkloadMix::kMixed);
+
+  int threads = static_cast<int>(ClampI(scenario.topology.threads, 1, 8));
+  AdvRunResult base = RunAdversaryOnce(scenario, /*threads=*/1);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "adversary plant=%s advantage=%.6f linkage=%.6f instances=%llu\n",
+                std::string(LeakPlantName(plant)).c_str(), base.report.linkage.advantage,
+                base.report.linkage.linkage_probability,
+                static_cast<unsigned long long>(base.report.nym_instances));
+  surface += line;
+  surface += base.trace;
+  surface += base.stats;
+
+  if (suite.enabled("adversary-leak")) {
+    double advantage = base.report.linkage.advantage;
+    if (!plant_observable && advantage > 0.1) {
+      std::snprintf(line, sizeof(line),
+                    "clean fleet linked with advantage %.6f (> 0.1 floor)", advantage);
+      suite.Fail("adversary-leak", line);
+    } else if (plant_observable && advantage < 0.9) {
+      std::snprintf(line, sizeof(line), "planted %s escaped: advantage %.6f (< 0.9 bar)",
+                    std::string(LeakPlantName(plant)).c_str(), advantage);
+      suite.Fail("adversary-leak", line);
+    }
+  }
+
+  if (threads > 1 && suite.enabled("trace-identity")) {
+    AdvRunResult other = RunAdversaryOnce(scenario, threads);
+    if (other.trace != base.trace) {
+      suite.Fail("trace-identity",
+                 "adversary trace diverged between --threads=1 and --threads=" +
+                     std::to_string(threads));
+    } else if (other.stats != base.stats) {
+      suite.Fail("trace-identity",
+                 "adversary metrics diverged between --threads=1 and --threads=" +
+                     std::to_string(threads));
+    }
+  }
+}
+
 }  // namespace
 
 RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options) {
@@ -1116,6 +1244,9 @@ RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options) {
     case ScenarioFamily::kParallel:
       RunParallelFamily(scenario, suite, surface);
       break;
+    case ScenarioFamily::kAdversary:
+      RunAdversaryFamily(scenario, suite, surface);
+      break;
   }
   RunReport report;
   report.ok = suite.ok();
@@ -1124,6 +1255,23 @@ RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options) {
   report.digest = DigestOf(surface);
   report.steps_executed = scenario.steps.size();
   return report;
+}
+
+Status RunScenarioGolden(
+    const Scenario& scenario,
+    const std::function<void(const TraceRecorder& trace, const MetricsRegistry& metrics)>& emit) {
+  switch (scenario.family) {
+    case ScenarioFamily::kParallel:
+      RunParallelOnce(scenario, /*threads=*/1, &emit);
+      return OkStatus();
+    case ScenarioFamily::kAdversary:
+      RunAdversaryOnce(scenario, /*threads=*/1, &emit);
+      return OkStatus();
+    default:
+      return InvalidArgumentError(
+          "golden promotion supports the parallel and adversary families, not '" +
+          std::string(ScenarioFamilyName(scenario.family)) + "'");
+  }
 }
 
 }  // namespace nymix

@@ -16,11 +16,14 @@
 #ifndef SRC_FUZZ_RUNNER_H_
 #define SRC_FUZZ_RUNNER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/fuzz/oracle.h"
 #include "src/fuzz/scenario.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace nymix {
 
@@ -35,6 +38,16 @@ struct RunnerOptions {
 };
 
 RunReport RunScenario(const Scenario& scenario, const RunnerOptions& options = {});
+
+// Golden-trace promotion hook (tests/golden_scenarios.cc): runs the
+// scenario's base threads=1 simulation — no oracles, no rerun — and hands
+// the merged trace/metrics to `emit` before teardown, so a clean corpus
+// survivor can be re-emitted as a tests/golden/ JSON/NBT pair. Supported
+// for the simulation-backed families that merge shard observability
+// (parallel, adversary); other families return InvalidArgumentError.
+Status RunScenarioGolden(
+    const Scenario& scenario,
+    const std::function<void(const TraceRecorder& trace, const MetricsRegistry& metrics)>& emit);
 
 }  // namespace nymix
 

@@ -16,6 +16,7 @@ constexpr FamilyName kFamilyNames[] = {
     {ScenarioFamily::kFleet, "fleet"},
     {ScenarioFamily::kDecoder, "decoder"},
     {ScenarioFamily::kParallel, "parallel"},
+    {ScenarioFamily::kAdversary, "adversary"},
 };
 
 struct KindName {
@@ -48,6 +49,9 @@ constexpr KindName kKindNames[] = {
     {StepKind::kParChannel, ScenarioFamily::kParallel, "par_channel"},
     {StepKind::kParBurst, ScenarioFamily::kParallel, "par_burst"},
     {StepKind::kParEcho, ScenarioFamily::kParallel, "par_echo"},
+    {StepKind::kAdvPlant, ScenarioFamily::kAdversary, "adv_plant"},
+    {StepKind::kAdvWorkload, ScenarioFamily::kAdversary, "adv_workload"},
+    {StepKind::kAdvChurn, ScenarioFamily::kAdversary, "adv_churn"},
 };
 
 std::string_view TrimSpace(std::string_view text) {

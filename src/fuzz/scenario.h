@@ -32,6 +32,7 @@ enum class ScenarioFamily {
   kFleet,     // ShardedFleet churn with fault schedules
   kDecoder,   // malformed bytes against NYMLOG/KvStore/NBT/scenario decoders
   kParallel,  // windowed-schedule channel storms: adaptive-horizon executor
+  kAdversary, // passive-observer leak quantification over planted fleets
 };
 
 std::string_view ScenarioFamilyName(ScenarioFamily family);
@@ -66,6 +67,10 @@ enum class StepKind {
   kParChannel,  // a=shard_a, b=shard_b offset, c=latency_ms, d=window_ms (0=free)
   kParBurst,    // a=channel index, b=side (even=A, odd=B), c=at_ms, d=count
   kParEcho,     // a=channel index (both ends echo on promised windows)
+  // --- adversary family (observer model leak quantification) ------------
+  kAdvPlant,     // a=leak plant (0=none, 1=cookie jar, 2=circuit, 3=scrub)
+  kAdvWorkload,  // a=workload mix (0=browse, 1=streaming, 2=upload, 3=mixed)
+  kAdvChurn,     // a=churn generations
 };
 
 std::string_view StepKindName(StepKind kind);

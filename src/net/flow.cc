@@ -66,6 +66,7 @@ FlowId FlowScheduler::StartFlow(const Route& route, uint64_t bytes, double overh
   }
   flow.links = route.links;
   flow.remaining_bytes = static_cast<double>(bytes) * overhead_factor;
+  flow.wire_bytes_total = flow.remaining_bytes;
   flow.options = options;
   flow.done = std::move(done);
   flow.started = false;
@@ -138,6 +139,7 @@ bool FlowScheduler::CancelFlow(FlowId id) {
   if (TraceRecorder* tracer = loop_.tracer()) {
     tracer->AddAsyncEnd("net", "flow", id, loop_.now());
   }
+  NotifyFlowTaps(id, node.mapped(), /*completed=*/false);
   if (node.mapped().done) {
     node.mapped().done(CancelledError("flow cancelled"));
   }
@@ -151,6 +153,24 @@ uint64_t FlowScheduler::FlowRateBps(FlowId id) const {
     return 0;
   }
   return static_cast<uint64_t>(it->second.rate_bytes_per_us * 8e6);
+}
+
+void FlowScheduler::NotifyFlowTaps(FlowId id, const Flow& flow, bool completed) {
+  FlowMetadata meta;
+  meta.flow_id = id;
+  meta.created_at = flow.created_at;
+  meta.ended_at = loop_.now();
+  meta.wire_bytes = static_cast<uint64_t>(flow.wire_bytes_total);
+  meta.completed = completed;
+  // Dedupe in id order: a route crossing the same link twice is one
+  // observation, and ordered iteration keeps tap callback order a function
+  // of creation order only.
+  std::set<Link*, LinkIdLess> unique(flow.links.begin(), flow.links.end());
+  for (Link* link : unique) {
+    if (LinkTap* tap = link->tap()) {
+      tap->OnFlowEnded(*link, meta);
+    }
+  }
 }
 
 void FlowScheduler::FailFlow(FlowId id, Status status, const char* counter) {
@@ -174,6 +194,7 @@ void FlowScheduler::FailFlow(FlowId id, Status status, const char* counter) {
     tracer->AddInstant("fault", std::string("flow_failed:") + StatusCodeName(status.code()).data(),
                        "faults", loop_.now());
   }
+  NotifyFlowTaps(id, node.mapped(), /*completed=*/false);
   if (node.mapped().done) {
     node.mapped().done(std::move(status));
   }
@@ -250,6 +271,7 @@ void FlowScheduler::Settle() {
     if (TraceRecorder* tracer = loop_.tracer()) {
       tracer->AddAsyncEnd("net", "flow", id, now);
     }
+    NotifyFlowTaps(id, node.mapped(), /*completed=*/true);
     if (node.mapped().done) {
       node.mapped().done(now);
     }

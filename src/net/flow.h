@@ -128,6 +128,7 @@ class FlowScheduler {
   struct Flow {
     std::vector<Link*> links;
     double remaining_bytes = 0;
+    double wire_bytes_total = 0;  // initial remaining_bytes, for tap reports
     double rate_bytes_per_us = 0;
     bool started = false;  // becomes true after the setup RTT
     SimTime created_at = 0;
@@ -151,6 +152,10 @@ class FlowScheduler {
 
   // Advances all running flows to now, completing any that finished.
   void Settle();
+  // Reports a finished flow (completed or not) to the taps of every unique
+  // link on its route (src/net/tap.h). Deduplicated and ordered by link id,
+  // so observation order is reproducible.
+  void NotifyFlowTaps(FlowId id, const Flow& flow, bool completed);
   // Refreshes rates (full / component / skip as dirtiness requires) and
   // schedules the next completion event.
   void Reschedule();

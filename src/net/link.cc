@@ -74,6 +74,18 @@ void Link::Send(Packet packet, bool from_a) {
   if (capture_ != nullptr) {
     capture_->Record(loop_.now(), packet);
   }
+  if (tap_ != nullptr) {
+    PacketMetadata meta;
+    meta.time = loop_.now();
+    meta.wire_bytes = packet.WireSize();
+    meta.src_ip = packet.src_ip;
+    meta.dst_ip = packet.dst_ip;
+    meta.src_port = packet.src_port;
+    meta.dst_port = packet.dst_port;
+    meta.protocol = packet.protocol;
+    meta.from_a = from_a;
+    tap_->OnPacket(*this, meta);
+  }
   if (MetricsRegistry* meters = loop_.meters()) {
     meters->GetCounter("net.link.packets_sent")->Increment();
     meters->GetCounter("net.link.bytes_sent")->Increment(packet.WireSize());

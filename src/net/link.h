@@ -15,6 +15,7 @@
 
 #include "src/net/capture.h"
 #include "src/net/packet.h"
+#include "src/net/tap.h"
 #include "src/util/event_loop.h"
 #include "src/util/prng.h"
 
@@ -107,6 +108,13 @@ class Link {
   // Taps observe both directions (the §5.1 Wireshark position).
   void AttachCapture(PacketCapture* capture) { capture_ = capture; }
 
+  // Adversary tap (src/net/tap.h): metadata-only, single slot. Sees every
+  // packet put on the wire (before drop/fault resolution — a wire tap sits
+  // upstream of the receiver) and every bulk flow that ends having crossed
+  // this link. Unlike AttachCapture it never retains payloads.
+  void AttachTap(LinkTap* tap) { tap_ = tap; }
+  LinkTap* tap() const { return tap_; }
+
   // Schedules delivery to the opposite side after latency + serialization.
   void SendFromA(Packet packet) { Send(std::move(packet), /*from_a=*/true); }
   void SendFromB(Packet packet) { Send(std::move(packet), /*from_a=*/false); }
@@ -172,6 +180,7 @@ class Link {
   PacketSink* a_ = nullptr;
   PacketSink* b_ = nullptr;
   PacketCapture* capture_ = nullptr;
+  LinkTap* tap_ = nullptr;
   uint64_t delivered_ = 0;
   std::array<uint64_t, kNumLinkDropReasons> dropped_by_reason_{};
   LinkFaultProfile fault_profile_;

@@ -1,0 +1,70 @@
+// LinkTap: the adversary's vantage point. A passive observer clamped onto
+// a Link sees exactly what a wire tap at an entry or exit relay would see —
+// timing, size, endpoint addresses, protocol — and nothing else. The
+// metadata structs below are the *entire* observation surface: they carry no
+// payload bytes and no annotation string by construction, so an attack
+// analyzer written against them is physically incapable of cheating by
+// reading content (tests/adversary_test.cc pins this with a negative test).
+//
+// Contrast with PacketCapture (capture.h), the §5.1 debugging Wireshark:
+// captures retain the whole Packet, payload included, because they model the
+// *defender* auditing their own machine. Taps model the network adversary
+// of the paper's threat model (§2), who owns the wire but not the endpoint.
+//
+// Determinism: taps are notified synchronously from Link::Send and from the
+// FlowScheduler's flow-end paths, in virtual time, on the shard that owns
+// the link. Observation order is therefore a pure function of (seed, shard
+// plan) and byte-identical at every thread count, like everything else.
+#ifndef SRC_NET_TAP_H_
+#define SRC_NET_TAP_H_
+
+#include <cstdint>
+
+#include "src/net/address.h"
+#include "src/net/packet.h"
+#include "src/util/sim_clock.h"
+
+namespace nymix {
+
+class Link;
+
+// What a tap sees of one packet on the wire. Sizes are wire sizes
+// (headers + payload length); the payload itself never crosses this
+// boundary.
+struct PacketMetadata {
+  SimTime time = 0;
+  uint64_t wire_bytes = 0;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  Port src_port = 0;
+  Port dst_port = 0;
+  IpProtocol protocol = IpProtocol::kUdp;
+  bool from_a = true;  // direction on the tapped link
+};
+
+// What a tap sees of one bulk flow that crossed its link: start/end timing
+// and total wire bytes — the inputs to flow-correlation and intersection
+// attacks. `flow_id` is the simulator's internal id, usable as a stable
+// observation key; a real attacker would key on (time, size) tuples, which
+// the analyzers in src/adversary restrict themselves to.
+struct FlowMetadata {
+  uint64_t flow_id = 0;
+  SimTime created_at = 0;
+  SimTime ended_at = 0;
+  uint64_t wire_bytes = 0;
+  bool completed = false;  // false: failed or cancelled mid-transfer
+};
+
+// Passive observer interface. Implementations must not mutate simulation
+// state from these hooks (nymlint's determinism rules apply: no wall clock,
+// no unordered iteration feeding outputs).
+class LinkTap {
+ public:
+  virtual ~LinkTap() = default;
+  virtual void OnPacket(const Link& link, const PacketMetadata& meta) = 0;
+  virtual void OnFlowEnded(const Link& link, const FlowMetadata& meta) = 0;
+};
+
+}  // namespace nymix
+
+#endif  // SRC_NET_TAP_H_

@@ -83,6 +83,16 @@ std::string BrowserModel::CookieFor(const std::string& domain) {
   return cookie;
 }
 
+void BrowserModel::ImportCookies(const std::map<std::string, std::string>& cookies) {
+  for (const auto& [domain, value] : cookies) {
+    cookies_[domain] = value;
+  }
+  NYMIX_CHECK(anon_vm_->disk()
+                  .WriteFile(config_.profile_dir + "/cookies",
+                             Blob::FromString(RenderKvFile(cookies_)))
+                  .ok());
+}
+
 Status BrowserModel::ClearCookies() {
   cookies_.clear();
   if (anon_vm_->disk().fs().Exists(config_.profile_dir + "/cookies")) {
@@ -233,6 +243,13 @@ void BrowserModel::Visit(Website& site, std::function<void(Result<SimTime>)> don
   bool revisit =
       std::find(history.begin(), history.end(), profile.domain) != history.end();
   uint64_t download = revisit ? profile.revisit_bytes : profile.page_bytes;
+  if (profile.stream_segments > 1) {
+    // Streaming profile: media segments ride the same fetch as one long
+    // transfer (the flow model already coalesces bulk bytes).
+    download += static_cast<uint64_t>(profile.stream_segments - 1) * profile.revisit_bytes;
+  }
+  // Default profiles upload only the 4 KiB request, exactly as before.
+  uint64_t upload = 4 * kKiB + profile.upload_bytes;
   std::string cookie = CookieFor(profile.domain);
   std::string account = credentials_.count(profile.domain) ? credentials_[profile.domain] : "";
   std::string evercookie;
@@ -242,10 +259,10 @@ void BrowserModel::Visit(Website& site, std::function<void(Result<SimTime>)> don
 
   ++visits_performed_;
   SimTime visit_start = sim_.now();
-  auto perform = [this, &site, profile, revisit, download, cookie, account, evercookie,
+  auto perform = [this, &site, profile, revisit, download, upload, cookie, account, evercookie,
                   visit_start](std::function<void(Result<SimTime>)> fetch_done) {
     anonymizer_->Fetch(
-        profile.domain, 4 * kKiB, download,
+        profile.domain, upload, download,
         [this, &site, profile, revisit, cookie, account, evercookie, visit_start,
          fetch_done = std::move(fetch_done)](Result<FetchReceipt> receipt) {
           if (!receipt.ok()) {

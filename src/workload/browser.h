@@ -52,6 +52,13 @@ class BrowserModel {
   std::string CookieFor(const std::string& domain);
   bool HasCookieFor(const std::string& domain) const;
 
+  // Merges externally supplied cookies into the jar (and persists them),
+  // overwriting on collision. This is the "shared cookie jar" isolation
+  // failure the adversary suite plants: a sync service or misconfigured
+  // profile bleed that gives two nyms the same tracking identity. Clean
+  // Nymix code never calls this.
+  void ImportCookies(const std::map<std::string, std::string>& cookies);
+
   // "Clear cookies": empties the cookie jar — but NOT evercookies, which
   // is precisely why per-nym throwaway VMs beat in-browser private modes
   // (§3.3: "a single state management bug ... render the user trackable").

@@ -95,6 +95,32 @@ std::vector<WebsiteProfile> PaperWebsiteProfiles() {
   return profiles;
 }
 
+WebsiteProfile StreamingWebsiteProfile() {
+  WebsiteProfile stream;
+  stream.name = "StreamTube";
+  stream.domain = "stream.example.net";
+  stream.page_bytes = 1 * kMiB;       // player shell
+  stream.revisit_bytes = 2 * kMiB;    // one media segment
+  stream.stream_segments = 6;         // ~11 MiB steady pull per visit
+  stream.cache_first_bytes = 8 * kMiB;
+  stream.cache_revisit_bytes = 2 * kMiB;
+  stream.memory_dirty_bytes = 24 * kMiB;
+  return stream;
+}
+
+WebsiteProfile LargeUploadWebsiteProfile() {
+  WebsiteProfile upload;
+  upload.name = "ShareDrop";
+  upload.domain = "upload.example.net";
+  upload.page_bytes = 600 * kKiB;
+  upload.revisit_bytes = 300 * kKiB;
+  upload.upload_bytes = 8 * kMiB;     // photo batch through the scrub path
+  upload.cache_first_bytes = 2 * kMiB;
+  upload.cache_revisit_bytes = 512 * kKiB;
+  upload.memory_dirty_bytes = 9 * kMiB;
+  return upload;
+}
+
 Website::Website(Simulation& sim, WebsiteProfile profile) : profile_(std::move(profile)) {
   access_link_ = sim.CreateLink("web-" + profile_.name, Millis(10), 1'000'000'000);
   ip_ = sim.internet().RegisterHost(profile_.domain, this, access_link_);

@@ -28,11 +28,26 @@ struct WebsiteProfile {
   // the cookie jar (cache + Flash-LSO store) that survives "clear cookies"
   // and re-identifies the browser instance across sessions (§3.3).
   bool plants_evercookie = false;
+  // Streaming: a visit fetches this many media segments, each of
+  // revisit_bytes, on top of the page itself (1 = plain page load). Long
+  // steady transfers are the most correlatable traffic shape the adversary
+  // suite models.
+  int stream_segments = 1;
+  // Large upload: a visit additionally uploads this many bytes (photo
+  // share / backup). Uploads pass the SaniVM scrub pipeline, so they are
+  // where a disabled scrub leaks EXIF stains.
+  uint64_t upload_bytes = 0;
 };
 
 // The paper's visit order: "Gmail, Twitter, Youtube, Tor Blog, BBC,
 // Facebook, Slashdot, and ESPN".
 std::vector<WebsiteProfile> PaperWebsiteProfiles();
+
+// Beyond the paper's browse set (ROADMAP item 4): a segment-streaming video
+// site and a large-upload share site, the two traffic shapes the adversary
+// bench sweeps against. Deterministic fixed profiles like the paper set.
+WebsiteProfile StreamingWebsiteProfile();
+WebsiteProfile LargeUploadWebsiteProfile();
 
 class Website : public InternetHost {
  public:

@@ -1,10 +1,14 @@
 #include "tests/golden_scenarios.h"
 
 #include <sstream>
+#include <utility>
 
 #include "src/core/fleet.h"
 #include "src/core/testbed.h"
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
 #include "src/obs/observability.h"
+#include "src/store/file_io.h"
 #include "src/store/nbt.h"
 
 namespace nymix {
@@ -72,6 +76,27 @@ auto RunScaleFleet(Emit emit) {
   return emit(sharded.merged().trace, &sharded.merged().metrics);
 }
 
+// Promoted fuzz survivors: the checked-in .nymfuzz corpus entry is the
+// single source of truth for the scenario; its base (threads=1) run is
+// re-emitted through the fuzz runner's golden hook. A digest drift shows
+// up here as a reviewable golden diff AND in `nymfuzz --corpus` replay.
+template <typename Emit>
+auto RunCorpusSurvivor(const char* basename, Emit emit) {
+  std::string path = std::string(NYMIX_CORPUS_DIR) + "/" + basename;
+  Result<Bytes> data = ReadFileBytes(path);
+  NYMIX_CHECK_MSG(data.ok(), "golden corpus survivor unreadable: " + path);
+  Result<ReproFile> repro = ReproFromText(StringFromBytes(*data));
+  NYMIX_CHECK_MSG(repro.ok(), "golden corpus survivor unparsable: " + path);
+  decltype(emit(std::declval<const TraceRecorder&>(),
+                static_cast<const MetricsRegistry*>(nullptr))) out;
+  Status ran = RunScenarioGolden(
+      repro->scenario, [&out, &emit](const TraceRecorder& trace, const MetricsRegistry& metrics) {
+        out = emit(trace, &metrics);
+      });
+  NYMIX_CHECK_MSG(ran.ok(), "golden corpus survivor failed to run: " + path);
+  return out;
+}
+
 std::string EmitJson(const TraceRecorder& trace, const MetricsRegistry* metrics) {
   std::ostringstream out;
   out << trace.ToChromeJson();
@@ -92,6 +117,17 @@ Bytes Fig5SmallNbt() { return RunFig5(EmitNbt); }
 Bytes Fig7SmallNbt() { return RunFig7(EmitNbt); }
 Bytes ScaleFleetSmallNbt() { return RunScaleFleet(EmitNbt); }
 
+constexpr char kParallelBurst[] = "parallel-burst-collision-23.nymfuzz";
+constexpr char kParallelEcho[] = "parallel-windowed-echo-17.nymfuzz";
+constexpr char kAdversaryCookie[] = "adversary-planted-cookie-23.nymfuzz";
+
+std::string ParallelBurstCollision() { return RunCorpusSurvivor(kParallelBurst, EmitJson); }
+std::string ParallelWindowedEcho() { return RunCorpusSurvivor(kParallelEcho, EmitJson); }
+std::string AdversaryPlantedCookie() { return RunCorpusSurvivor(kAdversaryCookie, EmitJson); }
+Bytes ParallelBurstCollisionNbt() { return RunCorpusSurvivor(kParallelBurst, EmitNbt); }
+Bytes ParallelWindowedEchoNbt() { return RunCorpusSurvivor(kParallelEcho, EmitNbt); }
+Bytes AdversaryPlantedCookieNbt() { return RunCorpusSurvivor(kAdversaryCookie, EmitNbt); }
+
 }  // namespace
 
 const std::vector<GoldenScenario>& GoldenScenarios() {
@@ -99,6 +135,9 @@ const std::vector<GoldenScenario>& GoldenScenarios() {
       {"fig5_small", &Fig5Small, &Fig5SmallNbt},
       {"fig7_small", &Fig7Small, &Fig7SmallNbt},
       {"scale_fleet_small", &ScaleFleetSmall, &ScaleFleetSmallNbt},
+      {"parallel_burst_collision_23", &ParallelBurstCollision, &ParallelBurstCollisionNbt},
+      {"parallel_windowed_echo_17", &ParallelWindowedEcho, &ParallelWindowedEchoNbt},
+      {"adversary_planted_cookie_23", &AdversaryPlantedCookie, &AdversaryPlantedCookieNbt},
   };
   return kScenarios;
 }

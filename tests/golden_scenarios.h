@@ -37,6 +37,10 @@ struct GoldenScenario {
 //                  visit (the Figure 7 phases: boot, Tor bootstrap, load).
 // scale_fleet_small: four nyms over two hosts in two shards through the
 //                  parallel executor — merged multi-shard trace format.
+// parallel_burst_collision_23, parallel_windowed_echo_17,
+// adversary_planted_cookie_23: clean fuzz survivors promoted from
+//                  tests/fuzz_corpus/ — the .nymfuzz entry is the source
+//                  of truth and its base run is re-emitted here.
 const std::vector<GoldenScenario>& GoldenScenarios();
 
 }  // namespace nymix

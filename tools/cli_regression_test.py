@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CLI regression tests for the built binaries.
+
+Covers the contracts a shell user (or CI script) relies on:
+  * scale_fleet rejects unknown --topology= / --mode= values with exit 2
+    and a usage line instead of silently falling back to a default.
+  * nymfuzz --minimize re-shrinks a checked-in corpus entry: the rewritten
+    file replays clean and carries a digest pin.
+
+Binary paths come from argv (ctest passes $<TARGET_FILE:...>):
+  cli_regression_test.py SCALE_FLEET_BIN NYMFUZZ_BIN CORPUS_DIR
+
+Only the standard library is used.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCALE_FLEET = None
+NYMFUZZ = None
+CORPUS_DIR = None
+
+
+class ScaleFleetCliTest(unittest.TestCase):
+    def run_bench(self, *args):
+        return subprocess.run([SCALE_FLEET, *args], capture_output=True, text=True)
+
+    def test_unknown_topology_exits_2_with_usage(self):
+        proc = self.run_bench("--topology=bogus")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn('unknown --topology "bogus"', proc.stderr)
+        self.assertIn("usage: scale_fleet [--topology=isolated|crossed]", proc.stderr)
+
+    def test_unknown_mode_exits_2_with_usage(self):
+        proc = self.run_bench("--mode=bogus")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn('unknown --mode "bogus"', proc.stderr)
+        self.assertIn("usage: scale_fleet [--mode=both|incremental|full]", proc.stderr)
+
+
+class NymfuzzMinimizeTest(unittest.TestCase):
+    def test_minimize_rewrites_corpus_entry_that_still_replays(self):
+        source = os.path.join(CORPUS_DIR, "adversary-planted-cookie-23.nymfuzz")
+        with tempfile.TemporaryDirectory() as tmp:
+            entry = os.path.join(tmp, "entry.nymfuzz")
+            shutil.copy(source, entry)
+            minimized = subprocess.run(
+                [NYMFUZZ, "--minimize", entry, "--out=" + entry],
+                capture_output=True, text=True)
+            self.assertEqual(minimized.returncode, 0, minimized.stderr)
+            with open(entry) as handle:
+                text = handle.read()
+            self.assertIn("family adversary", text)
+            self.assertIn("digest ", text)
+            replay = subprocess.run(
+                [NYMFUZZ, "--replay", entry], capture_output=True, text=True)
+            self.assertEqual(replay.returncode, 0, replay.stderr)
+            self.assertIn("verified (clean)", replay.stdout)
+
+    def test_minimize_unreadable_file_exits_2(self):
+        proc = subprocess.run(
+            [NYMFUZZ, "--minimize", "/nonexistent/no.nymfuzz"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+
+def main():
+    global SCALE_FLEET, NYMFUZZ, CORPUS_DIR
+    if len(sys.argv) != 4:
+        print("usage: cli_regression_test.py SCALE_FLEET_BIN NYMFUZZ_BIN CORPUS_DIR",
+              file=sys.stderr)
+        return 2
+    SCALE_FLEET, NYMFUZZ, CORPUS_DIR = sys.argv[1:4]
+    sys.argv = sys.argv[:1]
+    unittest.main()
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,12 @@
 //                                          run records an empty oracle, so
 //                                          the fixture pins the digest)
 //   nymfuzz --list-oracles                 print the invariant suite
+//   nymfuzz --minimize FILE [--out=FILE]   re-shrink a checked-in corpus
+//                                          entry after behavior changes: a
+//                                          still-failing repro is minimized
+//                                          again and its expectation block
+//                                          refreshed; a clean entry gets its
+//                                          digest pin refreshed
 //
 // Knobs: --family=net|host|fleet|decoder|parallel, --max-steps=N, --out-dir=DIR
 // (where shrunk repros are written), --plant=nat-leak (sabotage the CommVM
@@ -51,6 +57,7 @@ int Usage() {
                "       nymfuzz --gen-seed=S [--record=FILE.nymfuzz]\n"
                "       nymfuzz --replay FILE.nymfuzz\n"
                "       nymfuzz --corpus DIR\n"
+               "       nymfuzz --minimize FILE.nymfuzz [--out=FILE]\n"
                "       nymfuzz --list-oracles\n");
   return 2;
 }
@@ -87,6 +94,53 @@ int ReplayFile(const std::string& path, const nymix::RunnerOptions& options) {
   return 0;
 }
 
+// Re-shrinks a checked-in .nymfuzz entry against current behavior. A repro
+// that still fails gets minimized again (its oracle may have shifted since
+// it was recorded); a clean entry keeps its scenario and gets a fresh
+// digest pin. Returns 0 = rewritten, 2 = unreadable/unwritable.
+int MinimizeFile(const std::string& path, const std::string& out_path,
+                 const nymix::RunnerOptions& options) {
+  nymix::Result<nymix::Bytes> data = nymix::ReadFileBytes(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "nymfuzz: %s: %s\n", path.c_str(), data.status().ToString().c_str());
+    return 2;
+  }
+  nymix::Result<nymix::ReproFile> repro =
+      nymix::ReproFromText(nymix::StringFromBytes(*data));
+  if (!repro.ok()) {
+    std::fprintf(stderr, "nymfuzz: %s: %s\n", path.c_str(), repro.status().ToString().c_str());
+    return 2;
+  }
+  nymix::RunReport report = nymix::RunScenario(repro->scenario, options);
+  nymix::ReproFile minimized;
+  if (report.ok) {
+    minimized.scenario = std::move(repro->scenario);
+    std::printf("nymfuzz: %s: clean (%zu steps); refreshing digest pin\n", path.c_str(),
+                minimized.scenario.steps.size());
+  } else {
+    nymix::ShrinkResult shrunk = nymix::ShrinkScenario(repro->scenario, report, options);
+    std::printf("nymfuzz: %s: %s still fires; re-shrunk %zu -> %zu steps\n", path.c_str(),
+                shrunk.report.oracle.c_str(), repro->scenario.steps.size(),
+                shrunk.scenario.steps.size());
+    minimized.scenario = std::move(shrunk.scenario);
+    minimized.oracle = shrunk.report.oracle;
+    minimized.detail = shrunk.report.detail;
+    report = shrunk.report;
+  }
+  minimized.digest = report.digest;
+  const std::string& target = out_path.empty() ? path : out_path;
+  nymix::Status wrote =
+      nymix::WriteFileBytes(target, nymix::BytesFromString(nymix::ReproToText(minimized)));
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "nymfuzz: writing %s: %s\n", target.c_str(), wrote.ToString().c_str());
+    return 2;
+  }
+  std::printf("nymfuzz: wrote %s (%s, digest %s)\n", target.c_str(),
+              minimized.oracle.empty() ? "clean" : minimized.oracle.c_str(),
+              minimized.digest.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +159,8 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string corpus_dir;
   std::string record_path;
+  std::string minimize_path;
+  std::string minimize_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -170,6 +226,13 @@ int main(int argc, char** argv) {
       corpus_dir = v;
     } else if (const char* v = value("--record=")) {
       record_path = v;
+    } else if (arg == "--minimize") {
+      if (++i >= argc) return Usage();
+      minimize_path = argv[i];
+    } else if (const char* v = value("--minimize=")) {
+      minimize_path = v;
+    } else if (const char* v = value("--out=")) {
+      minimize_out = v;
     } else {
       std::fprintf(stderr, "nymfuzz: unknown argument '%s'\n", arg.c_str());
       return Usage();
@@ -185,6 +248,10 @@ int main(int argc, char** argv) {
 
   if (!replay_path.empty()) {
     return ReplayFile(replay_path, runner_options);
+  }
+
+  if (!minimize_path.empty()) {
+    return MinimizeFile(minimize_path, minimize_out, runner_options);
   }
 
   if (!corpus_dir.empty()) {
